@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Figure 1 (pipeline stage flow)."""
+
+from repro.experiments import figure01
+
+
+def test_figure01(benchmark, env):
+    result = benchmark.pedantic(figure01.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Section 6 (ranked evaluation)."""
+
+from repro.experiments import ranked_eval
+
+
+def test_ranked_eval(benchmark, env):
+    result = benchmark.pedantic(ranked_eval.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,12 @@
+"""Benchmark: slot-filling by-product volumes (Section 6 comparison)."""
+
+from repro.experiments import slot_filling
+
+
+def test_slot_filling(benchmark, env):
+    result = benchmark.pedantic(
+        slot_filling.run, args=(env,), rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 1 (KB class profile)."""
+
+from repro.experiments import table01
+
+
+def test_table01(benchmark, env):
+    result = benchmark.pedantic(table01.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 2 (KB property densities)."""
+
+from repro.experiments import table02
+
+
+def test_table02(benchmark, env):
+    result = benchmark.pedantic(table02.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 3 (corpus shape statistics)."""
+
+from repro.experiments import table03
+
+
+def test_table03(benchmark, env):
+    result = benchmark.pedantic(table03.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 4 (corpus-to-KB matching)."""
+
+from repro.experiments import table04
+
+
+def test_table04(benchmark, env):
+    result = benchmark.pedantic(table04.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

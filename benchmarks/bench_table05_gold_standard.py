@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 5 (gold standard overview)."""
+
+from repro.experiments import table05
+
+
+def test_table05(benchmark, env):
+    result = benchmark.pedantic(table05.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 6 (attribute matching by iteration)."""
+
+from repro.experiments import table06
+
+
+def test_table06(benchmark, env):
+    result = benchmark.pedantic(table06.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

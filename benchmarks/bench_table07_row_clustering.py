@@ -1,0 +1,70 @@
+"""Benchmark: regenerates Table 7 (row clustering ablation).
+
+Runs the cumulative-metric ablation on one held-out fold (the full 3-fold
+version is available via ``table07.run(env)``; one fold keeps the bench
+session tractable while preserving the ablation ordering).
+"""
+
+from repro.experiments import table07
+
+
+def test_table07(benchmark, env):
+    result = benchmark.pedantic(
+        table07.run, args=(env,), kwargs={"folds": (0,)}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    assert result.rows
+
+
+def test_ablation_clustering_machinery(benchmark, env):
+    """Ablation bench: blocking and KLj on/off (DESIGN.md §5)."""
+    from repro.clustering import (
+        RowClusterer, RowMetricContext, evaluate_clustering, make_row_metrics,
+    )
+    from repro.clustering.similarity import RowSimilarity
+
+    class_name = "Song"
+    __, test_gold = env.fold_golds(class_name, 0)
+    artifacts = env.fold_run(class_name, 0).iterations[1]
+    records = artifacts.records
+    models = env.fold_models(class_name, 0)
+    context = RowMetricContext.build(
+        env.world.knowledge_base, class_name, records
+    )
+    gold_clusters = {
+        cluster.cluster_id: list(cluster.row_ids)
+        for cluster in test_gold.clusters
+    }
+
+    def run_variants():
+        rows = []
+        for label, kwargs in (
+            ("greedy+klj+blocking", {}),
+            ("greedy only", {"use_klj": False}),
+            ("no blocking", {"use_blocking": False}),
+            ("serial greedy", {"batch_size": 1}),
+        ):
+            similarity = RowSimilarity(
+                make_row_metrics(
+                    ("LABEL", "BOW", "PHI", "ATTRIBUTE", "IMPLICIT_ATT",
+                     "SAME_TABLE"),
+                    context,
+                ),
+                models.row_aggregator,
+            )
+            clusterer = RowClusterer(similarity, seed=7, **kwargs)
+            clusters = clusterer.cluster(records)
+            scores = evaluate_clustering(
+                gold_clusters,
+                {cluster.cluster_id: cluster.row_ids() for cluster in clusters},
+            )
+            rows.append((label, scores.penalized_precision,
+                         scores.average_recall, scores.f1))
+        return rows
+
+    rows = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    print()
+    for label, pcp, ar, f1 in rows:
+        print(f"  {label:22s} PCP={pcp:.3f} AR={ar:.3f} F1={f1:.3f}")
+    assert rows

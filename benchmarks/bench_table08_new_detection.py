@@ -1,0 +1,16 @@
+"""Benchmark: regenerates Table 8 (new detection ablation).
+
+One held-out fold (see bench_table07 note); the full 3-fold version is
+``table08.run(env)``.
+"""
+
+from repro.experiments import table08
+
+
+def test_table08(benchmark, env):
+    result = benchmark.pedantic(
+        table08.run, args=(env,), kwargs={"folds": (0,)}, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 9 (new instances found)."""
+
+from repro.experiments import table09
+
+
+def test_table09(benchmark, env):
+    result = benchmark.pedantic(table09.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 10 (facts found / fusion scoring)."""
+
+from repro.experiments import table10
+
+
+def test_table10(benchmark, env):
+    result = benchmark.pedantic(table10.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 11 (large-scale profiling)."""
+
+from repro.experiments import table11
+
+
+def test_table11(benchmark, env):
+    result = benchmark.pedantic(table11.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

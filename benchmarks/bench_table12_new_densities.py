@@ -1,0 +1,10 @@
+"""Benchmark: regenerates Table 12 (new-entity property densities)."""
+
+from repro.experiments import table12
+
+
+def test_table12(benchmark, env):
+    result = benchmark.pedantic(table12.run, args=(env,), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    assert result.rows

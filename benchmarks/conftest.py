@@ -1,0 +1,24 @@
+"""Shared benchmark environment.
+
+All benchmarks share one cached :class:`ExperimentEnv` so the expensive
+artifacts (world, gold standards, trained models, pipeline runs) are built
+once per session.  ``REPRO_BENCH_SCALE`` scales the world (default 0.25,
+which reproduces every table's shape in minutes; use 1.0 for the
+full-scale run).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.env import get_env
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture(scope="session")
+def env():
+    return get_env(seed=BENCH_SEED, scale_factor=BENCH_SCALE)

@@ -1,0 +1,61 @@
+"""Long Tail Entity Extraction (LTEE) from web table data.
+
+Reproduction of Oulabi & Bizer, "Extending Cross-Domain Knowledge Bases with
+Long Tail Entities using Web Table Data", EDBT 2019.
+
+The public API is organised around the paper's pipeline:
+
+* :mod:`repro.kb` — the knowledge base to be extended.
+* :mod:`repro.webtables` — the relational web table corpus.
+* :mod:`repro.matching` — schema matching (table-to-class and
+  attribute-to-property).
+* :mod:`repro.clustering` — row clustering via correlation clustering.
+* :mod:`repro.fusion` — entity creation (value fusion).
+* :mod:`repro.newdetect` — new-instance detection.
+* :mod:`repro.pipeline` — the two-iteration orchestration plus the paper's
+  evaluation protocols.
+* :mod:`repro.synthesis` — a seeded synthetic substitute for DBpedia 2014 and
+  the WDC 2012 corpus (see DESIGN.md for the substitution argument).
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import build_world, LongTailPipeline
+
+    world = build_world(seed=7)
+    pipeline = LongTailPipeline.default(world.knowledge_base)
+    result = pipeline.run(world.corpus, "Song")
+    print(result.summary())
+"""
+
+__all__ = [
+    "LongTailPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "build_world",
+    "build_gold_standard",
+    "__version__",
+]
+
+__version__ = "1.0.0"
+
+# Lazy attribute resolution keeps `import repro.text` cheap and lets the
+# submodules stay independent.
+_LAZY_EXPORTS = {
+    "LongTailPipeline": ("repro.pipeline.pipeline", "LongTailPipeline"),
+    "PipelineConfig": ("repro.pipeline.pipeline", "PipelineConfig"),
+    "PipelineResult": ("repro.pipeline.result", "PipelineResult"),
+    "build_world": ("repro.synthesis.api", "build_world"),
+    "build_gold_standard": ("repro.synthesis.api", "build_gold_standard"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)

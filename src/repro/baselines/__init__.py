@@ -1,0 +1,13 @@
+"""Baselines from the related work (Section 6).
+
+The paper positions its system against *set expansion*: methods that grow
+a small seed set of entity names by corpus co-occurrence, returning a
+fixed number of ranked names without structured descriptions.
+:class:`~repro.baselines.set_expansion.SeedBasedExpander` implements that
+family's canonical recipe over our table corpus, enabling the §6
+comparison (ranked precision) against the pipeline's output.
+"""
+
+from repro.baselines.set_expansion import ExpansionResult, SeedBasedExpander
+
+__all__ = ["SeedBasedExpander", "ExpansionResult"]

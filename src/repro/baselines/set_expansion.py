@@ -1,0 +1,86 @@
+"""Seed-based set expansion over web tables (the §6 baseline family).
+
+Implements the canonical corpus-co-occurrence recipe shared by the set
+expansion systems the paper compares against [Wang & Cohen 2007; Wang et
+al. 2015; Zhang & Balog 2017]: starting from a handful of seed entity
+names, score candidate row labels by how often they co-occur with seeds in
+the same table (weighted by how many distinct seeds a table contains), and
+return a fixed-size ranked list.
+
+The two structural limitations the paper criticizes are faithfully
+present: the output is *names only* (no descriptions), and the result size
+is a fixed cut-off rather than "as many new instances as exist".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.text.tokenize import normalize_label
+from repro.webtables.corpus import TableCorpus
+
+
+@dataclass(frozen=True)
+class ExpansionResult:
+    """Ranked expansion output."""
+
+    seeds: tuple[str, ...]
+    ranked_labels: tuple[str, ...]
+    scores: tuple[float, ...]
+
+
+class SeedBasedExpander:
+    """Co-occurrence set expansion over a table corpus.
+
+    ``label_columns`` maps table ids to their label column (obtained from
+    schema matching's label attribute detection); only label-column cells
+    participate, mirroring how entity names are harvested from tables.
+    """
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        label_columns: dict[str, int],
+    ) -> None:
+        self._labels_by_table: dict[str, set[str]] = {}
+        self._tables_by_label: dict[str, set[str]] = defaultdict(set)
+        for table_id, column in label_columns.items():
+            table = corpus.get(table_id)
+            labels = {
+                normalize_label(cell)
+                for cell in table.column(column)
+                if cell is not None and normalize_label(cell)
+            }
+            self._labels_by_table[table_id] = labels
+            for label in labels:
+                self._tables_by_label[label].add(table_id)
+
+    def expand(self, seeds: list[str], cutoff: int = 256) -> ExpansionResult:
+        """Expand the seed set; returns ``cutoff`` ranked candidate labels.
+
+        A table containing *k* distinct seeds contributes weight *k* to
+        every non-seed label it holds — multi-seed tables are strong
+        evidence the table enumerates the target concept.
+        """
+        seed_labels = {normalize_label(seed) for seed in seeds}
+        seed_labels.discard("")
+        if not seed_labels:
+            raise ValueError("need at least one non-empty seed")
+        table_weight: dict[str, int] = defaultdict(int)
+        for seed in seed_labels:
+            for table_id in self._tables_by_label.get(seed, ()):
+                table_weight[table_id] += 1
+        candidate_scores: dict[str, float] = defaultdict(float)
+        for table_id, weight in table_weight.items():
+            for label in self._labels_by_table[table_id]:
+                if label not in seed_labels:
+                    candidate_scores[label] += weight
+        ranked = sorted(
+            candidate_scores.items(), key=lambda item: (-item[1], item[0])
+        )[:cutoff]
+        return ExpansionResult(
+            seeds=tuple(sorted(seed_labels)),
+            ranked_labels=tuple(label for label, __ in ranked),
+            scores=tuple(score for __, score in ranked),
+        )

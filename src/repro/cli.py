@@ -1,0 +1,105 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``build-world`` — generate the synthetic world and save corpus / KB /
+  gold standards to a directory.
+* ``run`` — run the (default, untrained) pipeline for a class over a
+  saved or freshly generated world and print the summary.
+* ``experiment`` — regenerate one paper table/figure by experiment id
+  (``table01`` … ``table12``, ``figure01``, ``ranked_eval``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+from pathlib import Path
+
+EXPERIMENT_IDS = tuple(
+    [f"table{number:02d}" for number in range(1, 13)] + ["figure01", "ranked_eval"]
+)
+
+
+def _cmd_build_world(args: argparse.Namespace) -> int:
+    from repro.io import save_corpus, save_gold_standard, save_knowledge_base
+    from repro.synthesis.api import build_gold_standard, build_world
+    from repro.synthesis.profiles import CLASS_SPECS, WorldScale
+
+    world = build_world(seed=args.seed, scale=WorldScale(args.scale))
+    output = Path(args.output)
+    output.mkdir(parents=True, exist_ok=True)
+    save_corpus(world.corpus, output / "corpus.jsonl")
+    save_knowledge_base(world.knowledge_base, output / "knowledge_base.json")
+    for class_name in CLASS_SPECS:
+        gold = build_gold_standard(world, class_name)
+        save_gold_standard(gold, output / f"gold_{class_name}.json")
+    print(f"world written to {output}/ "
+          f"({len(world.corpus)} tables, {len(world.knowledge_base)} instances)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.pipeline.pipeline import LongTailPipeline, PipelineConfig
+    from repro.synthesis.api import build_world
+    from repro.synthesis.profiles import WorldScale
+
+    world = build_world(seed=args.seed, scale=WorldScale(args.scale))
+    config = PipelineConfig(dedup_new_entities=args.dedup)
+    pipeline = LongTailPipeline.default(world.knowledge_base, config)
+    result = pipeline.run(world.corpus, args.class_name)
+    print(result.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.env import get_env
+
+    module = importlib.import_module(f"repro.experiments.{args.experiment}")
+    env = get_env(seed=args.seed, scale_factor=args.scale)
+    print(module.run(env).format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Long Tail Entity Extraction from web tables "
+                    "(Oulabi & Bizer, EDBT 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build-world", help="generate + save the world")
+    build.add_argument("--seed", type=int, default=7)
+    build.add_argument("--scale", type=float, default=0.25)
+    build.add_argument("--output", default="world_out")
+    build.set_defaults(handler=_cmd_build_world)
+
+    run = subparsers.add_parser("run", help="run the default pipeline")
+    run.add_argument("class_name", choices=(
+        "GridironFootballPlayer", "Song", "Settlement",
+    ))
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--scale", type=float, default=0.25)
+    run.add_argument("--dedup", action="store_true",
+                     help="deduplicate new entities (Section 5 extension)")
+    run.set_defaults(handler=_cmd_run)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("experiment", choices=EXPERIMENT_IDS)
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument("--scale", type=float, default=0.25)
+    experiment.set_defaults(handler=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,56 @@
+"""Row clustering (Section 3.2).
+
+Clusters table rows that describe the same real-world instance, without
+reference to the knowledge base's instance inventory (so rows of *new*
+instances cluster too).  A learned aggregate of six row similarity metrics
+feeds a scalable two-stage correlation clustering: batch-parallel greedy
+assignment followed by Kernighan-Lin-with-joins refinement, with label
+blocking bounding the comparisons.
+"""
+
+from repro.clustering.context import RowMetricContext, make_row_metrics
+from repro.clustering.metrics import (
+    ROW_METRIC_NAMES,
+    AttributeMetric,
+    BowMetric,
+    ImplicitAttMetric,
+    LabelMetric,
+    PhiMetric,
+    RowMetric,
+    SameTableMetric,
+)
+from repro.clustering.blocking import build_blocks
+from repro.clustering.similarity import RowSimilarity
+from repro.clustering.greedy import Cluster, greedy_correlation_clustering
+from repro.clustering.klj import klj_refine
+from repro.clustering.clusterer import RowClusterer
+from repro.clustering.evaluation import ClusteringScores, evaluate_clustering
+from repro.clustering.training import (
+    build_pair_training_data,
+    calibrate_clustering_offset,
+    train_row_similarity,
+)
+
+__all__ = [
+    "RowMetricContext",
+    "make_row_metrics",
+    "ROW_METRIC_NAMES",
+    "RowMetric",
+    "LabelMetric",
+    "BowMetric",
+    "PhiMetric",
+    "AttributeMetric",
+    "ImplicitAttMetric",
+    "SameTableMetric",
+    "build_blocks",
+    "RowSimilarity",
+    "Cluster",
+    "greedy_correlation_clustering",
+    "klj_refine",
+    "RowClusterer",
+    "ClusteringScores",
+    "evaluate_clustering",
+    "build_pair_training_data",
+    "calibrate_clustering_offset",
+    "train_row_similarity",
+]

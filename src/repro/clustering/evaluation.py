@@ -1,0 +1,131 @@
+"""Clustering evaluation after Hassanzadeh et al. (Section 3.2).
+
+Three scores: *average recall* over the gold clusters, *penalized
+clustering precision* (pairwise precision multiplied by a penalty for
+deviating from the correct number of clusters), and their F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.webtables.table import RowId
+
+
+@dataclass(frozen=True)
+class ClusteringScores:
+    """The Table 7 score triple (plus the raw ingredients)."""
+
+    penalized_precision: float
+    average_recall: float
+    f1: float
+    pair_precision: float
+    penalty: float
+    n_returned: int
+    n_gold: int
+
+
+def _one_to_one_mapping(
+    gold: Mapping[str, frozenset[RowId]],
+    returned: Mapping[str, frozenset[RowId]],
+) -> dict[str, str]:
+    """Greedy one-to-one map gold-cluster → returned-cluster.
+
+    A returned cluster maps to the gold cluster from which it contains the
+    highest fraction of its rows; ties break on absolute overlap.  The
+    pairing is made one-to-one by assigning best pairs first.
+    """
+    candidates: list[tuple[float, int, str, str]] = []
+    for returned_id, returned_rows in returned.items():
+        if not returned_rows:
+            continue
+        for gold_id, gold_rows in gold.items():
+            overlap = len(returned_rows & gold_rows)
+            if overlap == 0:
+                continue
+            fraction = overlap / len(returned_rows)
+            candidates.append((fraction, overlap, gold_id, returned_id))
+    candidates.sort(key=lambda entry: (-entry[0], -entry[1], entry[2], entry[3]))
+    mapping: dict[str, str] = {}
+    used_returned: set[str] = set()
+    for __, __, gold_id, returned_id in candidates:
+        if gold_id in mapping or returned_id in used_returned:
+            continue
+        mapping[gold_id] = returned_id
+        used_returned.add(returned_id)
+    return mapping
+
+
+def evaluate_clustering(
+    gold_clusters: Mapping[str, Sequence[RowId]],
+    returned_clusters: Mapping[str, Sequence[RowId]],
+) -> ClusteringScores:
+    """Score a returned clustering against gold clusters.
+
+    Only rows covered by the gold annotation participate; returned
+    clusters are restricted to those rows first (the paper clusters gold
+    standard rows directly).
+    """
+    gold = {
+        cluster_id: frozenset(rows)
+        for cluster_id, rows in gold_clusters.items()
+        if rows
+    }
+    gold_rows: set[RowId] = set()
+    for rows in gold.values():
+        gold_rows.update(rows)
+    returned = {}
+    for cluster_id, rows in returned_clusters.items():
+        restricted = frozenset(row for row in rows if row in gold_rows)
+        if restricted:
+            returned[cluster_id] = restricted
+
+    mapping = _one_to_one_mapping(gold, returned)
+
+    # Average recall over gold clusters (zero when unmapped).
+    recalls = []
+    for gold_id, gold_rows_set in gold.items():
+        mapped = mapping.get(gold_id)
+        if mapped is None:
+            recalls.append(0.0)
+        else:
+            recalls.append(len(returned[mapped] & gold_rows_set) / len(gold_rows_set))
+    average_recall = sum(recalls) / len(recalls) if recalls else 0.0
+
+    # Pairwise precision over returned clusters.
+    row_to_gold: dict[RowId, str] = {}
+    for gold_id, rows in gold.items():
+        for row in rows:
+            row_to_gold[row] = gold_id
+    correct_pairs = 0
+    total_pairs = 0
+    for rows in returned.values():
+        ordered = sorted(rows)
+        for index, row_a in enumerate(ordered):
+            for row_b in ordered[index + 1 :]:
+                total_pairs += 1
+                if row_to_gold.get(row_a) == row_to_gold.get(row_b):
+                    correct_pairs += 1
+    pair_precision = correct_pairs / total_pairs if total_pairs else 1.0
+
+    sizes = [len(returned), len(gold), len(mapping)]
+    penalty = min(sizes) / max(sizes) if max(sizes) > 0 else 0.0
+    penalized_precision = pair_precision * penalty
+
+    if penalized_precision + average_recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = (
+            2 * penalized_precision * average_recall
+            / (penalized_precision + average_recall)
+        )
+    return ClusteringScores(
+        penalized_precision=penalized_precision,
+        average_recall=average_recall,
+        f1=f1,
+        pair_precision=pair_precision,
+        penalty=penalty,
+        n_returned=len(returned),
+        n_gold=len(gold),
+    )

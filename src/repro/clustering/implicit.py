@@ -1,0 +1,136 @@
+"""Implicit table attributes (Section 3.2, IMPLICIT_ATT metric).
+
+Many tables share an unstated theme — players drafted in 2010, cities in
+Germany — that no column states explicitly.  Using the knowledge base as
+background knowledge, each row's label retrieves candidate instances; a
+property-value combination supported by a large fraction of the table's
+rows (through their candidates) becomes an *implicit attribute* of the
+table, with that fraction as its confidence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.datatypes import DataType
+from repro.datatypes.values import DateValue
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.records import RowRecord
+from repro.text.tokenize import normalize_label
+
+#: Property types eligible as implicit attributes.  Quantities are excluded:
+#: near-equal numbers do not share a hashable key, and real table themes are
+#: categorical (team, country, draft year), not continuous.
+_ELIGIBLE_TYPES = frozenset(
+    {
+        DataType.INSTANCE_REFERENCE,
+        DataType.NOMINAL_STRING,
+        DataType.NOMINAL_INTEGER,
+        DataType.DATE,
+        DataType.TEXT,
+    }
+)
+
+
+def value_key(value: object) -> str:
+    """Canonical hashable key of a value for implicit-attribute matching.
+
+    Dates key by year (a theme like "drafted 2010" is year-granular).
+    """
+    if isinstance(value, DateValue):
+        return str(value.year)
+    if isinstance(value, int):
+        return str(value)
+    return normalize_label(str(value))
+
+
+@dataclass(frozen=True)
+class ImplicitAttribute:
+    """One implicit property-value combination with its confidence."""
+
+    property_name: str
+    key: str
+    confidence: float
+
+
+class ImplicitAttributeDeriver:
+    """Derives implicit attributes for tables of one class."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        class_name: str,
+        candidate_limit: int = 3,
+        threshold: float = 0.5,
+    ) -> None:
+        self.kb = kb
+        self.class_name = class_name
+        self.candidate_limit = candidate_limit
+        self.threshold = threshold
+        self._eligible_properties = {
+            name: prop
+            for name, prop in kb.schema.properties_of(class_name).items()
+            if prop.data_type in _ELIGIBLE_TYPES
+        }
+
+    def derive_for_table(
+        self, records: Iterable[RowRecord]
+    ) -> dict[str, ImplicitAttribute]:
+        """Implicit attributes of one table, keyed by property name.
+
+        The per-property best-supported combination is kept when its
+        support (fraction of rows whose candidates carry the combination)
+        reaches the threshold.
+        """
+        records = list(records)
+        if not records:
+            return {}
+        support: dict[tuple[str, str], int] = defaultdict(int)
+        for record in records:
+            combos = self._row_combinations(record)
+            for combo in combos:
+                support[combo] += 1
+        result: dict[str, ImplicitAttribute] = {}
+        total = len(records)
+        for (property_name, key), count in support.items():
+            confidence = count / total
+            if confidence < self.threshold:
+                continue
+            current = result.get(property_name)
+            if current is None or confidence > current.confidence:
+                result[property_name] = ImplicitAttribute(
+                    property_name, key, confidence
+                )
+        return result
+
+    def _row_combinations(self, record: RowRecord) -> set[tuple[str, str]]:
+        """All (property, value-key) combos of the row's KB candidates."""
+        combos: set[tuple[str, str]] = set()
+        for instance in self.kb.candidates_by_label(
+            record.norm_label, self.candidate_limit
+        ):
+            for property_name in self._eligible_properties:
+                fact = instance.fact(property_name)
+                if fact is not None:
+                    combos.add((property_name, value_key(fact)))
+        return combos
+
+
+def derive_implicit_attributes(
+    kb: KnowledgeBase,
+    class_name: str,
+    records: Iterable[RowRecord],
+    candidate_limit: int = 3,
+    threshold: float = 0.5,
+) -> dict[str, dict[str, ImplicitAttribute]]:
+    """Implicit attributes for every table among ``records``."""
+    by_table: dict[str, list[RowRecord]] = defaultdict(list)
+    for record in records:
+        by_table[record.table_id].append(record)
+    deriver = ImplicitAttributeDeriver(kb, class_name, candidate_limit, threshold)
+    return {
+        table_id: deriver.derive_for_table(table_records)
+        for table_id, table_records in by_table.items()
+    }

@@ -1,0 +1,146 @@
+"""Kernighan-Lin with joins (KLj) cluster refinement (Section 3.2).
+
+Improves a preliminary clustering by three local operations, each accepted
+only when it increases the correlation-clustering fitness (the sum of
+within-cluster pair similarities):
+
+* **join** — merge two clusters (gain: the sum of their inter-cluster
+  similarities),
+* **move** — move a single row between two clusters,
+* **split** — move a row out into a fresh singleton cluster (the paper's
+  "compare each cluster with an empty set").
+
+Cluster pairs are only considered when they share a block.  Passes repeat
+until a full pass makes no improvement (or ``max_passes`` is reached).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.clustering.greedy import Cluster
+from repro.clustering.similarity import RowSimilarity
+from repro.matching.records import RowRecord
+
+
+def _inter_cluster_gain(
+    cluster_a: Cluster, cluster_b: Cluster, similarity: RowSimilarity
+) -> float:
+    return sum(
+        similarity.score(member_a, member_b)
+        for member_a in cluster_a.members
+        for member_b in cluster_b.members
+    )
+
+
+def _cohesion(record: RowRecord, cluster: Cluster, similarity: RowSimilarity) -> float:
+    """Summed similarity of a row to the *other* members of its cluster."""
+    return sum(
+        similarity.score(record, member)
+        for member in cluster.members
+        if member.row_id != record.row_id
+    )
+
+
+def klj_refine(
+    clusters: Sequence[Cluster],
+    similarity: RowSimilarity,
+    blocks: dict,
+    max_passes: int = 4,
+) -> list[Cluster]:
+    """Refine a clustering in place; returns the improved cluster list."""
+    working = [cluster for cluster in clusters if cluster.members]
+    counter = 0
+    for __ in range(max_passes):
+        improved = False
+        # --- join / move over block-sharing pairs --------------------
+        index_pairs = _block_sharing_pairs(working)
+        merged_away: set[int] = set()
+        for index_a, index_b in index_pairs:
+            if index_a in merged_away or index_b in merged_away:
+                continue
+            cluster_a = working[index_a]
+            cluster_b = working[index_b]
+            if not cluster_a.members or not cluster_b.members:
+                continue
+            gain = _inter_cluster_gain(cluster_a, cluster_b, similarity)
+            if gain > 0:
+                cluster_a.members.extend(cluster_b.members)
+                cluster_a.blocks.update(cluster_b.blocks)
+                cluster_b.members = []
+                merged_away.add(index_b)
+                improved = True
+                continue
+            if _try_moves(cluster_a, cluster_b, similarity):
+                improved = True
+        working = [cluster for cluster in working if cluster.members]
+        # --- split: eject rows that bind negatively ------------------
+        ejected: list[RowRecord] = []
+        for cluster in working:
+            if len(cluster.members) < 2:
+                continue
+            keep: list[RowRecord] = []
+            eject_local: list[RowRecord] = []
+            for record in cluster.members:
+                if _cohesion(record, cluster, similarity) < 0:
+                    eject_local.append(record)
+                else:
+                    keep.append(record)
+            if not eject_local:
+                continue
+            if not keep:
+                # Never empty a cluster completely via splitting.
+                keep.append(eject_local.pop())
+            if eject_local:
+                cluster.members = keep
+                ejected.extend(eject_local)
+                improved = True
+        for record in ejected:
+            counter += 1
+            row_blocks = set(blocks.get(record.row_id, frozenset()))
+            working.append(
+                Cluster(f"klj{counter:06d}", members=[record], blocks=row_blocks)
+            )
+        if not improved:
+            break
+    return [cluster for cluster in working if cluster.members]
+
+
+def _block_sharing_pairs(clusters: list[Cluster]) -> list[tuple[int, int]]:
+    by_block: dict[str, list[int]] = {}
+    for index, cluster in enumerate(clusters):
+        for block in cluster.blocks:
+            by_block.setdefault(block, []).append(index)
+    pairs: set[tuple[int, int]] = set()
+    for indices in by_block.values():
+        for position, index_a in enumerate(indices):
+            for index_b in indices[position + 1 :]:
+                pairs.add((index_a, index_b) if index_a < index_b else (index_b, index_a))
+    return sorted(pairs)
+
+
+def _try_moves(
+    cluster_a: Cluster, cluster_b: Cluster, similarity: RowSimilarity
+) -> bool:
+    """Best single-row move between two clusters, applied when positive."""
+    best_gain = 0.0
+    best_move: tuple[RowRecord, Cluster, Cluster] | None = None
+    for source, target in ((cluster_a, cluster_b), (cluster_b, cluster_a)):
+        if len(source.members) < 2:
+            continue  # moving the only row is a join, handled elsewhere
+        for record in source.members:
+            gain = (
+                sum(similarity.score(record, member) for member in target.members)
+                - _cohesion(record, source, similarity)
+            )
+            if gain > best_gain:
+                best_gain = gain
+                best_move = (record, source, target)
+    if best_move is None:
+        return False
+    record, source, target = best_move
+    source.members = [
+        member for member in source.members if member.row_id != record.row_id
+    ]
+    target.members.append(record)
+    return True

@@ -1,0 +1,97 @@
+"""PHI label-correlation vectors (Section 3.2, PHI metric).
+
+For every row label, a vector of its PHI correlation with all other labels
+of the corpus, derived from label co-occurrence within tables:
+
+    PHI(x, y) = (n·n_xy − n_x·n_y) / sqrt(n_x · n_y · (n−n_x) · (n−n_y))
+
+A table's vector is the average of its row-label vectors — a semantic
+fingerprint of what the table is about; two rows are compared through
+their tables' vectors.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+SparseVector = dict[str, float]
+
+
+def cosine_sparse(vector_a: Mapping[str, float], vector_b: Mapping[str, float]) -> float:
+    """Cosine similarity of two sparse vectors (0.0 for empty vectors)."""
+    if not vector_a or not vector_b:
+        return 0.0
+    if len(vector_b) < len(vector_a):
+        vector_a, vector_b = vector_b, vector_a
+    dot = sum(
+        weight * vector_b[key] for key, weight in vector_a.items() if key in vector_b
+    )
+    if dot == 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(weight * weight for weight in vector_a.values()))
+    norm_b = math.sqrt(sum(weight * weight for weight in vector_b.values()))
+    return dot / (norm_a * norm_b)
+
+
+class PhiVectorizer:
+    """Builds per-label PHI vectors and per-table average vectors."""
+
+    def __init__(self, max_entries_per_label: int = 50) -> None:
+        self.max_entries_per_label = max_entries_per_label
+        self._table_vectors: dict[str, SparseVector] = {}
+
+    def fit(self, tables_to_labels: Mapping[str, Iterable[str]]) -> "PhiVectorizer":
+        """Compute vectors from table → row-label sets."""
+        label_sets = {
+            table_id: frozenset(labels)
+            for table_id, labels in tables_to_labels.items()
+        }
+        occurrence: dict[str, int] = defaultdict(int)
+        co_occurrence: dict[tuple[str, str], int] = defaultdict(int)
+        for labels in label_sets.values():
+            ordered = sorted(labels)
+            for label in ordered:
+                occurrence[label] += 1
+            for index, label_a in enumerate(ordered):
+                for label_b in ordered[index + 1 :]:
+                    co_occurrence[(label_a, label_b)] += 1
+        total = len(occurrence)
+        label_vectors: dict[str, SparseVector] = defaultdict(dict)
+        if total >= 2:
+            for (label_a, label_b), together in co_occurrence.items():
+                n_a = occurrence[label_a]
+                n_b = occurrence[label_b]
+                denominator = n_a * n_b * (total - n_a) * (total - n_b)
+                if denominator <= 0:
+                    continue
+                phi = (total * together - n_a * n_b) / math.sqrt(denominator)
+                if phi == 0.0:
+                    continue
+                label_vectors[label_a][label_b] = phi
+                label_vectors[label_b][label_a] = phi
+        for label, vector in label_vectors.items():
+            if len(vector) > self.max_entries_per_label:
+                top = sorted(vector.items(), key=lambda item: -abs(item[1]))
+                label_vectors[label] = dict(top[: self.max_entries_per_label])
+        self._table_vectors = {}
+        for table_id, labels in label_sets.items():
+            accumulated: SparseVector = defaultdict(float)
+            for label in labels:
+                for key, weight in label_vectors.get(label, {}).items():
+                    accumulated[key] += weight
+            if labels:
+                count = len(labels)
+                self._table_vectors[table_id] = {
+                    key: weight / count for key, weight in accumulated.items()
+                }
+            else:
+                self._table_vectors[table_id] = {}
+        return self
+
+    def table_vector(self, table_id: str) -> SparseVector:
+        return self._table_vectors.get(table_id, {})
+
+    def table_similarity(self, table_a: str, table_b: str) -> float:
+        return cosine_sparse(self.table_vector(table_a), self.table_vector(table_b))

@@ -1,0 +1,43 @@
+"""Aggregated, cached row-pair similarity."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.clustering.metrics import RowMetric
+from repro.matching.records import RowRecord
+from repro.ml.aggregation import MetricVector, ScoreAggregator
+from repro.webtables.table import RowId
+
+
+class RowSimilarity:
+    """Computes the aggregated similarity of two rows, in [-1, 1].
+
+    Wraps the metric bundle and a fitted aggregator; pair scores are cached
+    because KLj revisits the same pairs repeatedly.
+    """
+
+    def __init__(
+        self, metrics: Sequence[RowMetric], aggregator: ScoreAggregator
+    ) -> None:
+        self.metrics = list(metrics)
+        self.aggregator = aggregator
+        self._cache: dict[tuple[RowId, RowId], float] = {}
+
+    def metric_vector(self, a: RowRecord, b: RowRecord) -> MetricVector:
+        """Raw metric outputs for a pair (used at training time too)."""
+        return MetricVector(
+            {metric.name: metric.compute(a, b) for metric in self.metrics}
+        )
+
+    def score(self, a: RowRecord, b: RowRecord) -> float:
+        """Aggregated similarity; symmetric and cached."""
+        key = (a.row_id, b.row_id) if a.row_id <= b.row_id else (b.row_id, a.row_id)
+        cached = self._cache.get(key)
+        if cached is None:
+            cached = self.aggregator.score(self.metric_vector(a, b))
+            self._cache[key] = cached
+        return cached
+
+    def cache_size(self) -> int:
+        return len(self._cache)

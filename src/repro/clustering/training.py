@@ -1,0 +1,112 @@
+"""Training data and aggregator fitting for row clustering.
+
+The learning set is modelled as row pairs that match (same gold cluster)
+or not (Section 3.2).  Pairs are drawn from within blocks — the only pairs
+the clusterer ever scores — and upsampled so matching and non-matching
+pairs are balanced.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping, Sequence
+
+from repro.clustering.blocking import build_blocks
+from repro.clustering.context import RowMetricContext, make_row_metrics
+from repro.clustering.metrics import ROW_METRIC_NAMES
+from repro.clustering.similarity import RowSimilarity
+from repro.matching.records import RowRecord
+from repro.ml.aggregation import CombinedAggregator, MetricVector, ScoreAggregator
+from repro.ml.crossval import upsample_balanced
+from repro.webtables.table import RowId
+
+
+def build_pair_training_data(
+    records: Sequence[RowRecord],
+    gold_cluster_of_row: Mapping[RowId, str],
+    seed: int = 0,
+    max_pairs: int = 4000,
+) -> list[tuple[RowRecord, RowRecord, bool]]:
+    """Labelled within-block row pairs, balanced by upsampling."""
+    annotated = [
+        record for record in records if record.row_id in gold_cluster_of_row
+    ]
+    blocks = build_blocks(annotated)
+    positives: list[tuple[RowRecord, RowRecord, bool]] = []
+    negatives: list[tuple[RowRecord, RowRecord, bool]] = []
+    for index, record_a in enumerate(annotated):
+        blocks_a = blocks[record_a.row_id]
+        for record_b in annotated[index + 1 :]:
+            if not (blocks_a & blocks[record_b.row_id]):
+                continue
+            same = (
+                gold_cluster_of_row[record_a.row_id]
+                == gold_cluster_of_row[record_b.row_id]
+            )
+            pair = (record_a, record_b, same)
+            (positives if same else negatives).append(pair)
+    rng = random.Random(seed)
+    if len(positives) > max_pairs // 2:
+        positives = rng.sample(positives, max_pairs // 2)
+    if len(negatives) > max_pairs // 2:
+        negatives = rng.sample(negatives, max_pairs // 2)
+    positives, negatives = upsample_balanced(positives, negatives, seed=seed)
+    pairs = positives + negatives
+    rng.shuffle(pairs)
+    return pairs
+
+
+def calibrate_clustering_offset(
+    similarity: RowSimilarity,
+    records: Sequence[RowRecord],
+    gold_clusters: Mapping[str, Sequence[RowId]],
+    seed: int = 0,
+    grid: Sequence[float] = (0.0, 0.2, 0.4, 0.6),
+) -> float:
+    """Choose the decision offset that maximizes clustering F1 on training rows.
+
+    Runs the clusterer once per grid value on the training records; the
+    offset shifts the aggregated score's merge boundary (see
+    :class:`~repro.ml.aggregation.ShiftedAggregator`).
+    """
+    from repro.clustering.clusterer import RowClusterer
+    from repro.clustering.evaluation import evaluate_clustering
+    from repro.ml.aggregation import ShiftedAggregator
+
+    base = similarity.aggregator
+    best_offset = 0.0
+    best_f1 = -1.0
+    for offset in grid:
+        shifted = RowSimilarity(
+            similarity.metrics, ShiftedAggregator(base, offset)
+        )
+        clusters = RowClusterer(shifted, seed=seed).cluster(records)
+        scores = evaluate_clustering(
+            gold_clusters,
+            {cluster.cluster_id: cluster.row_ids() for cluster in clusters},
+        )
+        if scores.f1 > best_f1:
+            best_f1 = scores.f1
+            best_offset = offset
+    return best_offset
+
+
+def train_row_similarity(
+    context: RowMetricContext,
+    pairs: Sequence[tuple[RowRecord, RowRecord, bool]],
+    metric_names: Sequence[str] = ROW_METRIC_NAMES,
+    aggregator: ScoreAggregator | None = None,
+    seed: int = 0,
+) -> RowSimilarity:
+    """Fit an aggregator on labelled pairs and wrap it as a RowSimilarity."""
+    metrics = make_row_metrics(metric_names, context)
+    if aggregator is None:
+        aggregator = CombinedAggregator(list(metric_names), seed=seed)
+    similarity = RowSimilarity(metrics, aggregator)
+    vectors: list[MetricVector] = []
+    labels: list[bool] = []
+    for record_a, record_b, same in pairs:
+        vectors.append(similarity.metric_vector(record_a, record_b))
+        labels.append(same)
+    aggregator.fit(vectors, labels)
+    return similarity

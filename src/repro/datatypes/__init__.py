@@ -1,0 +1,41 @@
+"""The paper's six-type data type system.
+
+Every value, fact, attribute column and knowledge base property in the
+pipeline is typed with one of six data types (Section 3.1):
+
+* ``TEXT`` — fuzzy strings (labels).
+* ``NOMINAL_STRING`` — strings that are equal or unequal (ISO codes).
+* ``INSTANCE_REFERENCE`` — references to other instances (a player's team).
+* ``DATE`` — dates at year or day granularity.
+* ``QUANTITY`` — numbers whose closeness is semantically meaningful.
+* ``NOMINAL_INTEGER`` — integers without a closeness semantics (jersey
+  numbers, draft rounds).
+
+Each type has a similarity function and an equivalence threshold; detection
+from raw cells covers only ``TEXT``/``DATE``/``QUANTITY``, the remaining
+three are assigned by the attribute-to-property matcher.
+"""
+
+from repro.datatypes.types import (
+    DataType,
+    DETECTABLE_TYPES,
+    candidate_property_types,
+)
+from repro.datatypes.values import DateValue
+from repro.datatypes.detection import detect_cell_type, detect_column_type
+from repro.datatypes.normalization import normalize_value, NormalizationError
+from repro.datatypes.similarity import TypedSimilarity, value_similarity, values_equal
+
+__all__ = [
+    "DataType",
+    "DETECTABLE_TYPES",
+    "candidate_property_types",
+    "DateValue",
+    "detect_cell_type",
+    "detect_column_type",
+    "normalize_value",
+    "NormalizationError",
+    "TypedSimilarity",
+    "value_similarity",
+    "values_equal",
+]

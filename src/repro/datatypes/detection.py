@@ -1,0 +1,77 @@
+"""Regex-based data type detection for attribute columns.
+
+The paper (Section 3.1) detects three types — text, date, quantity — using
+manually defined regular expressions, and assigns an attribute the majority
+type among its cell values.  Ties break toward ``TEXT``, the safest
+assumption for web table content.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.datatypes.normalization import (
+    NormalizationError,
+    parse_date,
+    parse_quantity,
+)
+from repro.datatypes.types import DataType
+from repro.text.tokenize import clean_cell
+
+
+def detect_cell_type(raw: str | None) -> DataType | None:
+    """Detect the type of a single cell, or ``None`` for empty cells.
+
+    Dates win over quantities so that bare years ("1987") type as dates when
+    the column majority agrees; a column of arbitrary numbers will still
+    majority-vote to ``QUANTITY`` because most numbers are not year-shaped.
+    """
+    text = clean_cell(raw)
+    if not text:
+        return None
+    try:
+        parse_date(text)
+        return DataType.DATE
+    except NormalizationError:
+        pass
+    try:
+        parse_quantity(text)
+        return DataType.QUANTITY
+    except NormalizationError:
+        pass
+    return DataType.TEXT
+
+
+def detect_column_type(cells: Iterable[str | None]) -> DataType:
+    """Majority-vote the detected type of a column's cells.
+
+    Empty cells do not vote.  A fully empty column defaults to ``TEXT``.
+    Bare-year cells are ambiguous between DATE and QUANTITY; when a column
+    mixes bare years with non-year numbers, the non-year numbers indicate a
+    quantity column and the year votes are merged into the quantity count.
+    """
+    votes: Counter[DataType] = Counter()
+    year_like = 0
+    for cell in cells:
+        detected = detect_cell_type(cell)
+        if detected is None:
+            continue
+        votes[detected] += 1
+        if detected is DataType.DATE:
+            text = clean_cell(cell)
+            if len(text) == 4 and text.isdigit():
+                year_like += 1
+    if not votes:
+        return DataType.TEXT
+    # Merge ambiguous bare years into QUANTITY when real quantities dominate
+    # the unambiguous cells.
+    if votes[DataType.QUANTITY] > (votes[DataType.DATE] - year_like):
+        votes[DataType.QUANTITY] += year_like
+        votes[DataType.DATE] -= year_like
+    ranked = votes.most_common()
+    best_type, best_count = ranked[0]
+    tied = [data_type for data_type, count in ranked if count == best_count]
+    if len(tied) > 1 and DataType.TEXT in tied:
+        return DataType.TEXT
+    return best_type

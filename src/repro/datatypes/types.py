@@ -1,0 +1,54 @@
+"""Data type enumeration and the detected-type → candidate-type mapping."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DataType(str, Enum):
+    """The six data types of the paper (Section 3.1)."""
+
+    TEXT = "text"
+    NOMINAL_STRING = "nominal_string"
+    INSTANCE_REFERENCE = "instance_reference"
+    DATE = "date"
+    QUANTITY = "quantity"
+    NOMINAL_INTEGER = "nominal_integer"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Types the regex-based detector can assign to a raw attribute column.
+#: The remaining three types require semantic understanding and are assigned
+#: by the attribute-to-property matcher after a successful match.
+DETECTABLE_TYPES: frozenset[DataType] = frozenset(
+    {DataType.TEXT, DataType.DATE, DataType.QUANTITY}
+)
+
+#: For each *detected* attribute type, the knowledge base property types that
+#: are admissible match candidates (Section 3.1, attribute-to-property
+#: matching, step 1).
+_CANDIDATE_TYPES: dict[DataType, frozenset[DataType]] = {
+    DataType.TEXT: frozenset(
+        {DataType.INSTANCE_REFERENCE, DataType.NOMINAL_STRING, DataType.TEXT}
+    ),
+    DataType.QUANTITY: frozenset({DataType.QUANTITY, DataType.NOMINAL_INTEGER}),
+    DataType.DATE: frozenset(
+        {DataType.DATE, DataType.QUANTITY, DataType.NOMINAL_INTEGER}
+    ),
+}
+
+
+def candidate_property_types(detected: DataType) -> frozenset[DataType]:
+    """Admissible property types for an attribute of a detected type.
+
+    Raises ``ValueError`` for the three types the detector never emits.
+    """
+    try:
+        return _CANDIDATE_TYPES[detected]
+    except KeyError:
+        raise ValueError(
+            f"{detected} is assigned by the matcher, not the detector; "
+            "only text/date/quantity attributes have candidate property types"
+        ) from None

@@ -1,0 +1,45 @@
+"""Canonical value objects for normalized cell values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class DateValue:
+    """A date with either year or day granularity (Section 3.1).
+
+    ``month``/``day`` are ``None`` for year-granularity dates (e.g. a song's
+    release year) and both set for day-granularity dates (a birth date).
+    Ordering sorts by (year, month, day) with year-only dates first within a
+    year, which is what the weighted-median fuser needs.
+    """
+
+    year: int
+    month: int | None = None
+    day: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.month is None) != (self.day is None):
+            raise ValueError("month and day must be both set or both absent")
+        if self.month is not None:
+            if not 1 <= self.month <= 12:
+                raise ValueError(f"month out of range: {self.month}")
+            if not 1 <= self.day <= 31:
+                raise ValueError(f"day out of range: {self.day}")
+
+    @property
+    def is_day_granular(self) -> bool:
+        """True when the date carries a full year-month-day."""
+        return self.month is not None
+
+    def ordinal(self) -> float:
+        """Map to a continuous scale (fractional years) for median fusion."""
+        if not self.is_day_granular:
+            return float(self.year)
+        return self.year + (self.month - 1) / 12.0 + (self.day - 1) / 372.0
+
+    def __str__(self) -> str:
+        if self.is_day_granular:
+            return f"{self.year:04d}-{self.month:02d}-{self.day:02d}"
+        return f"{self.year:04d}"

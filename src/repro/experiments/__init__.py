@@ -1,0 +1,32 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run(env) -> ExperimentTable`` regenerating the rows
+of its paper table (or the data behind its figure) on the synthetic
+substrate.  The shared :class:`~repro.experiments.env.ExperimentEnv`
+caches the world, gold standards, fold splits and trained models so a
+whole benchmark session builds them once.
+
+Index (see DESIGN.md §4):
+
+========  ====================================================
+table01   KB class profile (instances & facts)
+table02   KB property densities
+table03   corpus shape statistics
+table04   corpus-to-KB matching counts
+table05   gold standard overview
+table06   attribute-to-property matching by iteration
+table07   row clustering ablation
+table08   new detection ablation
+table09   new instances found
+table10   facts found (fusion scoring comparison)
+table11   large-scale profiling
+table12   property densities of new entities
+figure01  pipeline stage flow
+ranked    §6 ranked (set-expansion) evaluation
+========  ====================================================
+"""
+
+from repro.experiments.env import ExperimentEnv, get_env
+from repro.experiments.report import ExperimentTable, format_table
+
+__all__ = ["ExperimentEnv", "get_env", "ExperimentTable", "format_table"]

@@ -1,0 +1,52 @@
+"""Plain-text experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class ExperimentTable:
+    """One regenerated paper table."""
+
+    exp_id: str
+    title: str
+    header: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        return format_table(
+            f"{self.exp_id}: {self.title}", self.header, self.rows, self.notes
+        )
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:,.1f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    notes: Sequence[str] | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(name) for name in header]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(name.ljust(widths[i]) for i, name in enumerate(header)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    for note in notes or ():
+        lines.append(f"note: {note}")
+    return "\n".join(lines)

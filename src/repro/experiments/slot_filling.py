@@ -1,0 +1,62 @@
+"""Section 6 (slot filling): facts for existing instances as a by-product.
+
+The paper compares its output volume against slot-filling systems (its
+predecessor found 378,892 facts, 64,237 of them new, at F1 0.71 on the
+same corpus).  Our pipeline produces the equivalent for free: entities
+matched to existing instances carry fused facts, some of which fill empty
+KB slots.  This harness reports those volumes plus the consistency rate
+on checkable slots.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.env import CLASSES, ExperimentEnv, get_env
+from repro.experiments.report import ExperimentTable
+from repro.pipeline.slotfill import slot_filling_report
+
+
+def run(env: ExperimentEnv | None = None) -> ExperimentTable:
+    env = env or get_env()
+    table = ExperimentTable(
+        exp_id="§6 slot filling",
+        title="Slot-filling by-product of the full-corpus run",
+        header=(
+            "Class", "Facts", "Confirming", "Conflicting", "NewFacts",
+            "Consistency",
+        ),
+        notes=[
+            "paper's predecessor system: 378,892 facts / 64,237 new "
+            "(F1 0.71) on the unscaled corpus",
+        ],
+    )
+    totals = [0, 0, 0, 0]
+    for class_name, display in CLASSES:
+        result = env.profiling_run(class_name)
+        final = result.final
+        report = slot_filling_report(
+            final.entities, final.detection, env.world.knowledge_base,
+            class_name,
+        )
+        table.rows.append(
+            (
+                display,
+                report.total_facts,
+                report.confirming,
+                report.conflicting,
+                report.new_facts,
+                round(report.consistency, 3),
+            )
+        )
+        totals[0] += report.total_facts
+        totals[1] += report.confirming
+        totals[2] += report.conflicting
+        totals[3] += report.new_facts
+    consistency = totals[1] / (totals[1] + totals[2]) if totals[1] + totals[2] else 0.0
+    table.rows.append(
+        ("Total", totals[0], totals[1], totals[2], totals[3], round(consistency, 3))
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

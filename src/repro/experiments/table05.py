@@ -1,0 +1,54 @@
+"""Table 5: overview of the gold standard."""
+
+from __future__ import annotations
+
+from repro.experiments.env import CLASSES, ExperimentEnv, get_env
+from repro.experiments.report import ExperimentTable
+from repro.goldstandard.stats import gold_standard_stats
+
+#: Paper values: (tables, attributes, rows, existing, new, matched values,
+#: value groups, correct value present).
+PAPER = {
+    "GF-Player": (192, 572, 358, 81, 19, 1207, 475, 444),
+    "Song": (152, 248, 193, 34, 63, 425, 231, 212),
+    "Settlement": (188, 162, 376, 49, 25, 451, 152, 124),
+}
+
+
+def run(env: ExperimentEnv | None = None) -> ExperimentTable:
+    env = env or get_env()
+    table = ExperimentTable(
+        exp_id="Table 5",
+        title="Overview of the gold standard",
+        header=(
+            "Class", "Tables", "Attributes", "Rows", "Existing", "New",
+            "MatchedValues", "ValueGroups", "CorrectPresent",
+        ),
+        notes=[
+            "paper (for shape): "
+            + "; ".join(
+                f"{name}: {values}" for name, values in PAPER.items()
+            )
+        ],
+    )
+    for class_name, display in CLASSES:
+        gold = env.gold(class_name)
+        stats = gold_standard_stats(gold, env.world.corpus)
+        table.rows.append(
+            (
+                display,
+                stats.tables,
+                stats.attributes,
+                stats.rows,
+                stats.existing_clusters,
+                stats.new_clusters,
+                stats.matched_values,
+                stats.value_groups,
+                stats.correct_value_present,
+            )
+        )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

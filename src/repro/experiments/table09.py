@@ -1,0 +1,111 @@
+"""Table 9: new instances found evaluation.
+
+Two configurations per class, as in the paper: gold clustering + learned
+new detection (isolates detection errors), and learned clustering +
+learned detection (the full system).  Scores are averaged over the three
+cross-validation folds.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.context import RowMetricContext
+from repro.experiments.env import CLASSES, ExperimentEnv, get_env
+from repro.experiments.report import ExperimentTable
+from repro.fusion.fuser import EntityCreator
+from repro.fusion.scoring import make_scorer
+from repro.newdetect.candidates import CandidateSelector
+from repro.newdetect.detector import EntityInstanceSimilarity, NewDetector
+from repro.newdetect.metrics import ENTITY_METRIC_NAMES, make_entity_metrics
+from repro.pipeline.evaluation import evaluate_new_instances_found
+from repro.pipeline.gold_utils import gold_clusters_to_row_clusters
+
+#: Paper values: {(class, clustering): (P, R, F1)}.
+PAPER = {
+    ("GF-Player", "GS"): (0.89, 0.95, 0.91),
+    ("GF-Player", "ALL"): (0.82, 0.95, 0.87),
+    ("Song", "GS"): (0.92, 0.88, 0.90),
+    ("Song", "ALL"): (0.72, 0.72, 0.72),
+    ("Settlement", "GS"): (0.84, 0.90, 0.87),
+    ("Settlement", "ALL"): (0.74, 0.87, 0.80),
+}
+PAPER_AVERAGE = (0.76, 0.85, 0.80)
+
+FOLDS = (0, 1, 2)
+
+
+def _detect_on_gold_clusters(env: ExperimentEnv, class_name: str, fold: int):
+    """GS clustering + learned detection for one fold."""
+    kb = env.world.knowledge_base
+    __, test_gold = env.fold_golds(class_name, fold)
+    artifacts = env.fold_run(class_name, fold).iterations[1]
+    records = artifacts.records
+    clusters = gold_clusters_to_row_clusters(test_gold, records)
+    creator = EntityCreator(kb, class_name, make_scorer("voting"))
+    entities = creator.create(clusters)
+    context = RowMetricContext.build(kb, class_name, records)
+    models = env.fold_models(class_name, fold)
+    detector = NewDetector(
+        CandidateSelector(kb),
+        EntityInstanceSimilarity(
+            make_entity_metrics(
+                ENTITY_METRIC_NAMES, kb, class_name, context.implicit_by_table
+            ),
+            models.entity_aggregator,
+        ),
+        models.new_threshold,
+        models.existing_threshold,
+    )
+    return entities, detector.detect(entities), test_gold
+
+
+def run(env: ExperimentEnv | None = None, folds=FOLDS) -> ExperimentTable:
+    env = env or get_env()
+    table = ExperimentTable(
+        exp_id="Table 9",
+        title="New instances found evaluation",
+        header=("Class", "Clust.", "NewDet.", "P", "R", "F1", "Paper(P/R/F1)"),
+    )
+    average = [0.0, 0.0, 0.0]
+    for class_name, display in CLASSES:
+        for clustering in ("GS", "ALL"):
+            sums = [0.0, 0.0, 0.0]
+            for fold in folds:
+                if clustering == "GS":
+                    entities, detection, test_gold = _detect_on_gold_clusters(
+                        env, class_name, fold
+                    )
+                else:
+                    __, test_gold = env.fold_golds(class_name, fold)
+                    artifacts = env.fold_run(class_name, fold).iterations[1]
+                    entities, detection = artifacts.entities, artifacts.detection
+                scores = evaluate_new_instances_found(entities, detection, test_gold)
+                sums[0] += scores.precision
+                sums[1] += scores.recall
+                sums[2] += scores.f1
+            precision, recall, f1 = (value / len(folds) for value in sums)
+            paper = PAPER[(display, clustering)]
+            table.rows.append(
+                (
+                    display, clustering, "ALL",
+                    round(precision, 3), round(recall, 3), round(f1, 3),
+                    f"{paper[0]}/{paper[1]}/{paper[2]}",
+                )
+            )
+            if clustering == "ALL":
+                average[0] += precision
+                average[1] += recall
+                average[2] += f1
+    table.rows.append(
+        (
+            "Average", "ALL", "ALL",
+            round(average[0] / len(CLASSES), 3),
+            round(average[1] / len(CLASSES), 3),
+            round(average[2] / len(CLASSES), 3),
+            f"{PAPER_AVERAGE[0]}/{PAPER_AVERAGE[1]}/{PAPER_AVERAGE[2]}",
+        )
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,162 @@
+"""Table 10: facts found evaluation across fusion scoring approaches.
+
+Three configurations per class — GS/GS (perfect clustering and detection),
+GS/ALL, ALL/ALL — each with the three candidate scoring strategies
+(VOTING, KBT, MATCHING).  Averaged over the three folds.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.context import RowMetricContext
+from repro.experiments.env import CLASSES, ExperimentEnv, get_env
+from repro.experiments.report import ExperimentTable
+from repro.fusion.fuser import EntityCreator
+from repro.fusion.scoring import exact_row_instances, make_scorer
+from repro.newdetect.candidates import CandidateSelector
+from repro.newdetect.detector import (
+    Classification,
+    DetectionResult,
+    EntityInstanceSimilarity,
+    NewDetector,
+)
+from repro.newdetect.metrics import ENTITY_METRIC_NAMES, make_entity_metrics
+from repro.pipeline.evaluation import evaluate_facts_found
+from repro.pipeline.gold_utils import gold_clusters_to_row_clusters
+
+SCORERS = ("VOTING", "KBT", "MATCHING")
+FOLDS = (0, 1, 2)
+
+#: Paper F1 per (class, clustering, detection, scorer).
+PAPER = {
+    ("GF-Player", "GS", "GS"): (0.82, 0.82, 0.82),
+    ("GF-Player", "GS", "ALL"): (0.81, 0.81, 0.81),
+    ("GF-Player", "ALL", "ALL"): (0.81, 0.81, 0.81),
+    ("Song", "GS", "GS"): (0.80, 0.81, 0.81),
+    ("Song", "GS", "ALL"): (0.74, 0.73, 0.74),
+    ("Song", "ALL", "ALL"): (0.67, 0.69, 0.68),
+    ("Settlement", "GS", "GS"): (0.98, 0.98, 0.98),
+    ("Settlement", "GS", "ALL"): (0.93, 0.93, 0.93),
+    ("Settlement", "ALL", "ALL"): (0.91, 0.91, 0.91),
+}
+PAPER_AVERAGE = (0.80, 0.80, 0.80)
+
+
+def _make_value_scorer(env, scorer_name, mapping, class_name, table_ids):
+    world = env.world
+    if scorer_name == "KBT":
+        row_instance = exact_row_instances(
+            world.corpus, mapping, world.knowledge_base, class_name, table_ids
+        )
+        return make_scorer(
+            "kbt",
+            corpus=world.corpus,
+            mapping=mapping,
+            kb=world.knowledge_base,
+            row_instance=row_instance,
+        )
+    return make_scorer(scorer_name.lower(), mapping=mapping)
+
+
+def _oracle_detection(entities, test_gold) -> DetectionResult:
+    """Gold new detection: classify exactly as annotated."""
+    by_cluster = {cluster.cluster_id: cluster for cluster in test_gold.clusters}
+    result = DetectionResult()
+    for entity in entities:
+        cluster = by_cluster.get(entity.entity_id.removeprefix("e:"))
+        if cluster is None:
+            result.classifications[entity.entity_id] = Classification.AMBIGUOUS
+            continue
+        if cluster.is_new:
+            result.classifications[entity.entity_id] = Classification.NEW
+            result.best_scores[entity.entity_id] = None
+        else:
+            result.classifications[entity.entity_id] = Classification.EXISTING
+            result.correspondences[entity.entity_id] = cluster.kb_uri
+            result.best_scores[entity.entity_id] = 1.0
+    return result
+
+
+def _fold_f1(env, class_name, fold, clustering, detection_mode, scorer_name):
+    kb = env.world.knowledge_base
+    __, test_gold = env.fold_golds(class_name, fold)
+    artifacts = env.fold_run(class_name, fold).iterations[1]
+    records = artifacts.records
+    mapping = artifacts.mapping
+    table_ids = sorted({record.table_id for record in records})
+    scorer = _make_value_scorer(env, scorer_name, mapping, class_name, table_ids)
+    creator = EntityCreator(kb, class_name, scorer)
+    if clustering == "GS":
+        clusters = gold_clusters_to_row_clusters(test_gold, records)
+        entities = creator.create(clusters)
+    else:
+        entities = creator.create(artifacts.clusters)
+    if detection_mode == "GS":
+        detection = _oracle_detection(entities, test_gold)
+    else:
+        context = RowMetricContext.build(kb, class_name, records)
+        models = env.fold_models(class_name, fold)
+        detector = NewDetector(
+            CandidateSelector(kb),
+            EntityInstanceSimilarity(
+                make_entity_metrics(
+                    ENTITY_METRIC_NAMES, kb, class_name, context.implicit_by_table
+                ),
+                models.entity_aggregator,
+            ),
+            models.new_threshold,
+            models.existing_threshold,
+        )
+        detection = detector.detect(entities)
+    return evaluate_facts_found(entities, detection, test_gold, kb).f1
+
+
+def run(env: ExperimentEnv | None = None, folds=FOLDS) -> ExperimentTable:
+    env = env or get_env()
+    table = ExperimentTable(
+        exp_id="Table 10",
+        title="Facts found evaluation (fusion scoring comparison)",
+        header=(
+            "Class", "Clust.", "NewDet.",
+            "F1 VOTING", "F1 KBT", "F1 MATCHING", "Paper(V/K/M)",
+        ),
+    )
+    configurations = (("GS", "GS"), ("GS", "ALL"), ("ALL", "ALL"))
+    averages = [0.0, 0.0, 0.0]
+    for class_name, display in CLASSES:
+        for clustering, detection_mode in configurations:
+            f1_by_scorer = []
+            for scorer_name in SCORERS:
+                total = 0.0
+                for fold in folds:
+                    total += _fold_f1(
+                        env, class_name, fold, clustering, detection_mode,
+                        scorer_name,
+                    )
+                f1_by_scorer.append(total / len(folds))
+            paper = PAPER[(display, clustering, detection_mode)]
+            table.rows.append(
+                (
+                    display, clustering, detection_mode,
+                    round(f1_by_scorer[0], 3),
+                    round(f1_by_scorer[1], 3),
+                    round(f1_by_scorer[2], 3),
+                    f"{paper[0]}/{paper[1]}/{paper[2]}",
+                )
+            )
+            if (clustering, detection_mode) == ("ALL", "ALL"):
+                for index in range(3):
+                    averages[index] += f1_by_scorer[index]
+    table.rows.append(
+        (
+            "Average", "ALL", "ALL",
+            round(averages[0] / len(CLASSES), 3),
+            round(averages[1] / len(CLASSES), 3),
+            round(averages[2] / len(CLASSES), 3),
+            f"{PAPER_AVERAGE[0]}/{PAPER_AVERAGE[1]}/{PAPER_AVERAGE[2]}",
+        )
+    )
+    return table
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

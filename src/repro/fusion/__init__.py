@@ -1,0 +1,30 @@
+"""Entity creation (Section 3.3).
+
+Transforms row clusters into entities: labels collected from the rows'
+label cells, and one fused value per knowledge base property with
+candidates, chosen by the four-step score → group → select → fuse method
+with three alternative candidate scoring strategies (VOTING, KBT,
+MATCHING).
+"""
+
+from repro.fusion.entity import CandidateValue, Entity
+from repro.fusion.scoring import (
+    KBTScorer,
+    MatchingScorer,
+    ValueScorer,
+    VotingScorer,
+    make_scorer,
+)
+from repro.fusion.fuser import EntityCreator, fuse_values
+
+__all__ = [
+    "CandidateValue",
+    "Entity",
+    "ValueScorer",
+    "VotingScorer",
+    "KBTScorer",
+    "MatchingScorer",
+    "make_scorer",
+    "EntityCreator",
+    "fuse_values",
+]

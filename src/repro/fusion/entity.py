@@ -1,0 +1,57 @@
+"""Entity data model."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.matching.records import RowRecord
+from repro.webtables.table import RowId
+
+
+@dataclass(frozen=True)
+class CandidateValue:
+    """One candidate value for an entity's property slot."""
+
+    value: object
+    score: float
+    row_id: RowId
+    column: int
+
+
+@dataclass
+class Entity:
+    """A created entity: labels + fused facts, with provenance.
+
+    ``facts`` maps property names to fused, normalized values; the
+    candidate values that produced each fact are kept in ``provenance``
+    for the evaluation protocols and for debugging.
+    """
+
+    entity_id: str
+    class_name: str
+    labels: tuple[str, ...]
+    rows: list[RowRecord] = field(default_factory=list)
+    facts: dict[str, object] = field(default_factory=dict)
+    provenance: dict[str, list[CandidateValue]] = field(default_factory=dict)
+
+    @property
+    def primary_label(self) -> str:
+        return self.labels[0] if self.labels else ""
+
+    def row_ids(self) -> list[RowId]:
+        return [record.row_id for record in self.rows]
+
+    def fact_count(self) -> int:
+        return len(self.facts)
+
+
+def collect_labels(rows: list[RowRecord]) -> tuple[str, ...]:
+    """Distinct row labels, most frequent first (ties: lexicographic)."""
+    counts = Counter()
+    display: dict[str, str] = {}
+    for record in rows:
+        counts[record.norm_label] += 1
+        display.setdefault(record.norm_label, record.label)
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return tuple(display[norm] for norm, __ in ordered)

@@ -1,0 +1,152 @@
+"""The four-step fusion method and the entity creation component.
+
+Per property: (1) score all candidate values, (2) group equal values under
+the data-type similarity, (3) select the group with the highest summed
+score, (4) fuse the group — majority value for text/instance-reference
+types, weighted median for quantities and dates; nominal groups are
+already uniform.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.clustering.greedy import Cluster
+from repro.datatypes import DataType
+from repro.datatypes.similarity import TypedSimilarity
+from repro.datatypes.values import DateValue
+from repro.fusion.entity import CandidateValue, Entity, collect_labels
+from repro.fusion.scoring import ValueScorer
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.text.tokenize import normalize_label
+
+
+def _group_equal_values(
+    candidates: Sequence[CandidateValue], similarity: TypedSimilarity
+) -> list[list[CandidateValue]]:
+    """Greedy first-fit grouping under type equality."""
+    groups: list[list[CandidateValue]] = []
+    for candidate in candidates:
+        placed = False
+        for group in groups:
+            if similarity.equal(group[0].value, candidate.value):
+                group.append(candidate)
+                placed = True
+                break
+        if not placed:
+            groups.append([candidate])
+    return groups
+
+
+def _weighted_median(group: Sequence[CandidateValue], key) -> object:
+    """Value at the weighted median position of the group."""
+    ordered = sorted(group, key=lambda candidate: key(candidate.value))
+    total = sum(candidate.score for candidate in ordered)
+    if total <= 0:
+        return ordered[len(ordered) // 2].value
+    accumulated = 0.0
+    for candidate in ordered:
+        accumulated += candidate.score
+        if accumulated >= total / 2.0:
+            return candidate.value
+    return ordered[-1].value
+
+
+def _majority(group: Sequence[CandidateValue]) -> object:
+    """Surface form with the highest summed score within the group."""
+    score_by_key: dict[str, float] = defaultdict(float)
+    value_by_key: dict[str, object] = {}
+    for candidate in group:
+        key = normalize_label(str(candidate.value))
+        score_by_key[key] += candidate.score
+        value_by_key.setdefault(key, candidate.value)
+    best_key = max(score_by_key.items(), key=lambda item: (item[1], item[0]))[0]
+    return value_by_key[best_key]
+
+
+def fuse_values(
+    candidates: Sequence[CandidateValue],
+    data_type: DataType,
+    tolerance: float = 0.05,
+) -> object | None:
+    """Fuse candidate values into one value (``None`` for no candidates)."""
+    if not candidates:
+        return None
+    similarity = TypedSimilarity(data_type, tolerance)
+    groups = _group_equal_values(candidates, similarity)
+    best_group = max(
+        groups, key=lambda group: sum(candidate.score for candidate in group)
+    )
+    if data_type is DataType.QUANTITY:
+        return _weighted_median(best_group, key=float)
+    if data_type is DataType.DATE:
+        # Prefer day-granular representatives at equal ordinal positions.
+        fused = _weighted_median(
+            best_group, key=lambda value: (value.ordinal(), value.is_day_granular)
+        )
+        day_granular = [
+            candidate.value
+            for candidate in best_group
+            if isinstance(candidate.value, DateValue)
+            and candidate.value.is_day_granular
+            and candidate.value.year == fused.year
+        ]
+        if not fused.is_day_granular and day_granular:
+            return day_granular[0]
+        return fused
+    if data_type in (DataType.TEXT, DataType.INSTANCE_REFERENCE):
+        return _majority(best_group)
+    # Nominal types: every group member is identical by construction.
+    return best_group[0].value
+
+
+class EntityCreator:
+    """Creates entities from row clusters (Section 3.3)."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        class_name: str,
+        scorer: ValueScorer,
+    ) -> None:
+        self.kb = kb
+        self.class_name = class_name
+        self.scorer = scorer
+        self._properties = kb.schema.properties_of(class_name)
+
+    def create(self, clusters: Sequence[Cluster]) -> list[Entity]:
+        """One entity per non-empty cluster."""
+        entities = []
+        for cluster in clusters:
+            if cluster.members:
+                entities.append(self._create_one(cluster))
+        return entities
+
+    def _create_one(self, cluster: Cluster) -> Entity:
+        rows = list(cluster.members)
+        candidates_by_property: dict[str, list[CandidateValue]] = defaultdict(list)
+        for record in rows:
+            for property_name, value in record.values.items():
+                score = self.scorer.score(
+                    record.table_id, record.row_id, property_name, value
+                )
+                candidates_by_property[property_name].append(
+                    CandidateValue(value, score, record.row_id, -1)
+                )
+        facts: dict[str, object] = {}
+        for property_name, candidates in candidates_by_property.items():
+            prop = self._properties.get(property_name)
+            if prop is None:
+                continue
+            fused = fuse_values(candidates, prop.data_type, prop.tolerance)
+            if fused is not None:
+                facts[property_name] = fused
+        return Entity(
+            entity_id=f"e:{cluster.cluster_id}",
+            class_name=self.class_name,
+            labels=collect_labels(rows),
+            rows=rows,
+            facts=facts,
+            provenance=dict(candidates_by_property),
+        )

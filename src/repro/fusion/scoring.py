@@ -1,0 +1,194 @@
+"""Candidate value scoring strategies (Section 3.3).
+
+* **VOTING** — every candidate scores 1.0 (plain majority).
+* **KBT** — knowledge-based trust [Dong et al. 2015]: an attribute
+  column's score is the measured correctness of its values that overlap
+  with facts of knowledge base instances matched to its rows.
+* **MATCHING** — the aggregated score the attribute-to-property matcher
+  attached to the column.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.datatypes.normalization import NormalizationError, normalize_value
+from repro.datatypes.similarity import TypedSimilarity
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.correspondences import SchemaMapping
+from repro.text.tokenize import normalize_label
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import RowId
+
+
+class ValueScorer(Protocol):
+    """Scores one candidate value of a row for a property."""
+
+    def score(
+        self, table_id: str, row_id: RowId, property_name: str, value: object
+    ) -> float:
+        ...
+
+
+class VotingScorer:
+    """All candidates are equal."""
+
+    def score(
+        self, table_id: str, row_id: RowId, property_name: str, value: object
+    ) -> float:
+        return 1.0
+
+
+class MatchingScorer:
+    """Score of the column's attribute-to-property correspondence."""
+
+    def __init__(self, mapping: SchemaMapping) -> None:
+        self._mapping = mapping
+
+    def score(
+        self, table_id: str, row_id: RowId, property_name: str, value: object
+    ) -> float:
+        table_mapping = self._mapping.table(table_id)
+        if table_mapping is None:
+            return 0.5
+        for correspondence in table_mapping.attributes.values():
+            if correspondence.property_name == property_name:
+                return max(0.05, min(1.0, correspondence.score))
+        return 0.5
+
+
+def exact_row_instances(
+    corpus: TableCorpus,
+    mapping: SchemaMapping,
+    kb: KnowledgeBase,
+    class_name: str,
+    table_ids: list[str],
+) -> dict[RowId, str]:
+    """High-precision row → instance map via exact label equality.
+
+    Rows whose normalized label exactly matches a label of a KB instance
+    of the table's class are matched to that instance (the most popular
+    one when several share the label).  This is the "overlap with existing
+    knowledge" the KBT scorer measures trust against.
+    """
+    result: dict[RowId, str] = {}
+    class_names = kb.schema.descendants(class_name)
+    for table_id in table_ids:
+        table_mapping = mapping.table(table_id)
+        if table_mapping is None or table_mapping.label_column is None:
+            continue
+        table = corpus.get(table_id)
+        for row in table.iter_rows():
+            label = row.cell(table_mapping.label_column)
+            if label is None:
+                continue
+            instances = [
+                instance
+                for instance in kb.instances_with_label(normalize_label(label))
+                if instance.class_name in class_names
+            ]
+            if not instances:
+                continue
+            best = max(instances, key=lambda instance: instance.page_links)
+            result[row.row_id] = best.uri
+    return result
+
+
+class KBTScorer:
+    """Knowledge-based trust per attribute column.
+
+    The trust of a column is ``equal / comparable`` over its cells whose
+    row is matched to a KB instance carrying a fact for the column's
+    property; columns without overlap get a neutral 0.5.
+    """
+
+    def __init__(
+        self,
+        corpus: TableCorpus,
+        mapping: SchemaMapping,
+        kb: KnowledgeBase,
+        row_instance: dict[RowId, str],
+        neutral_trust: float = 0.5,
+    ) -> None:
+        self._corpus = corpus
+        self._mapping = mapping
+        self._kb = kb
+        self._row_instance = row_instance
+        self._neutral = neutral_trust
+        self._trust_cache: dict[tuple[str, str], float] = {}
+
+    def score(
+        self, table_id: str, row_id: RowId, property_name: str, value: object
+    ) -> float:
+        key = (table_id, property_name)
+        if key not in self._trust_cache:
+            self._trust_cache[key] = self._column_trust(table_id, property_name)
+        return self._trust_cache[key]
+
+    def _column_trust(self, table_id: str, property_name: str) -> float:
+        table_mapping = self._mapping.table(table_id)
+        if table_mapping is None:
+            return self._neutral
+        column = None
+        data_type = None
+        for correspondence in table_mapping.attributes.values():
+            if correspondence.property_name == property_name:
+                column = correspondence.column
+                data_type = correspondence.data_type
+                break
+        if column is None:
+            return self._neutral
+        class_name = table_mapping.class_name
+        tolerance = 0.05
+        if class_name is not None and class_name in {
+            kb_class.name for kb_class in self._kb.schema.classes()
+        }:
+            prop = self._kb.schema.properties_of(class_name).get(property_name)
+            if prop is not None:
+                tolerance = prop.tolerance
+        similarity = TypedSimilarity(data_type, tolerance)
+        table = self._corpus.get(table_id)
+        comparable = 0
+        equal = 0
+        for row in table.iter_rows():
+            uri = self._row_instance.get(row.row_id)
+            if uri is None or uri not in self._kb:
+                continue
+            fact = self._kb.get(uri).fact(property_name)
+            if fact is None:
+                continue
+            cell = row.cell(column)
+            if cell is None:
+                continue
+            try:
+                parsed = normalize_value(cell, data_type)
+            except NormalizationError:
+                continue
+            comparable += 1
+            if similarity.equal(parsed, fact):
+                equal += 1
+        if comparable == 0:
+            return self._neutral
+        return equal / comparable
+
+
+def make_scorer(
+    name: str,
+    corpus: TableCorpus | None = None,
+    mapping: SchemaMapping | None = None,
+    kb: KnowledgeBase | None = None,
+    row_instance: dict[RowId, str] | None = None,
+) -> ValueScorer:
+    """Scorer factory by paper name: ``voting`` / ``kbt`` / ``matching``."""
+    normalized = name.lower()
+    if normalized == "voting":
+        return VotingScorer()
+    if normalized == "matching":
+        if mapping is None:
+            raise ValueError("MATCHING scorer needs the schema mapping")
+        return MatchingScorer(mapping)
+    if normalized == "kbt":
+        if corpus is None or mapping is None or kb is None:
+            raise ValueError("KBT scorer needs corpus, mapping and kb")
+        return KBTScorer(corpus, mapping, kb, row_instance or {})
+    raise ValueError(f"unknown scoring approach: {name!r}")

@@ -1,0 +1,27 @@
+"""Gold standard data model (Section 2.3).
+
+The paper's manually built gold standard annotates: clusters of rows that
+describe the same instance, whether each cluster is new or corresponds to an
+existing knowledge base instance, attribute-to-property correspondences, and
+the correct fact for every cluster × property combination with candidate
+values.  This package holds the annotation model and the Table 5-style
+overview statistics; the annotations themselves are produced by
+:mod:`repro.synthesis.gold_builder` from ground truth.
+"""
+
+from repro.goldstandard.annotations import (
+    GoldStandard,
+    GSCluster,
+    GSFact,
+    LABEL_COLUMN,
+)
+from repro.goldstandard.stats import GoldStandardStats, gold_standard_stats
+
+__all__ = [
+    "GoldStandard",
+    "GSCluster",
+    "GSFact",
+    "LABEL_COLUMN",
+    "GoldStandardStats",
+    "gold_standard_stats",
+]

@@ -1,0 +1,92 @@
+"""Annotation records of the gold standard."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.webtables.table import RowId
+
+#: Sentinel property name marking a column as the table's label attribute.
+LABEL_COLUMN = "__label__"
+
+
+@dataclass(frozen=True)
+class GSCluster:
+    """An annotated cluster of rows describing one real-world instance.
+
+    ``kb_uri`` is the corresponding knowledge base instance for existing
+    instances and ``None`` for new ones.  ``homonym_group`` ties together
+    clusters with highly similar labels; fold splitting keeps a homonym
+    group within a single fold.
+    """
+
+    cluster_id: str
+    row_ids: tuple[RowId, ...]
+    is_new: bool
+    kb_uri: str | None
+    homonym_group: str
+
+    def __post_init__(self) -> None:
+        if self.is_new and self.kb_uri is not None:
+            raise ValueError("a new cluster cannot reference a KB instance")
+        if not self.row_ids:
+            raise ValueError("a cluster needs at least one row")
+
+
+@dataclass(frozen=True)
+class GSFact:
+    """The correct value for one cluster × property *value group*.
+
+    A value group exists whenever at least one candidate value for the
+    property occurs in the cluster's annotated rows; ``value_present``
+    records whether the *correct* value is among those candidates (the
+    recall denominator of the facts-found evaluation, Section 4.2).
+    """
+
+    cluster_id: str
+    property_name: str
+    value: object
+    value_present: bool
+
+
+@dataclass
+class GoldStandard:
+    """All annotations for one class (Section 2.3).
+
+    ``attribute_correspondences`` maps ``(table_id, column_index)`` to the
+    matched property name, with :data:`LABEL_COLUMN` marking label columns;
+    unannotated columns have no correct correspondence.
+    """
+
+    class_name: str
+    table_ids: tuple[str, ...]
+    clusters: list[GSCluster]
+    attribute_correspondences: dict[tuple[str, int], str]
+    facts: list[GSFact] = field(default_factory=list)
+
+    def cluster_of_row(self) -> dict[RowId, str]:
+        """Reverse map: row id → annotated cluster id."""
+        mapping: dict[RowId, str] = {}
+        for cluster in self.clusters:
+            for row_id in cluster.row_ids:
+                mapping[row_id] = cluster.cluster_id
+        return mapping
+
+    def annotated_rows(self) -> list[RowId]:
+        """All row ids covered by cluster annotations."""
+        return [row_id for cluster in self.clusters for row_id in cluster.row_ids]
+
+    def new_clusters(self) -> list[GSCluster]:
+        return [cluster for cluster in self.clusters if cluster.is_new]
+
+    def existing_clusters(self) -> list[GSCluster]:
+        return [cluster for cluster in self.clusters if not cluster.is_new]
+
+    def facts_of(self, cluster_id: str) -> list[GSFact]:
+        return [fact for fact in self.facts if fact.cluster_id == cluster_id]
+
+    def get_cluster(self, cluster_id: str) -> GSCluster:
+        for cluster in self.clusters:
+            if cluster.cluster_id == cluster_id:
+                return cluster
+        raise KeyError(cluster_id)

@@ -1,0 +1,63 @@
+"""Gold standard overview statistics (the paper's Table 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.goldstandard.annotations import LABEL_COLUMN, GoldStandard
+
+
+@dataclass(frozen=True)
+class GoldStandardStats:
+    """One row of Table 5."""
+
+    class_name: str
+    tables: int
+    attributes: int
+    rows: int
+    existing_clusters: int
+    new_clusters: int
+    matched_values: int
+    value_groups: int
+    correct_value_present: int
+
+
+def gold_standard_stats(gold: GoldStandard, corpus) -> GoldStandardStats:
+    """Compute the Table 5 row for one class's gold standard.
+
+    ``matched_values`` counts non-empty cells in annotated rows that sit in
+    a column with an attribute-to-property correspondence (the label column
+    does not count, matching the paper's "not counting the label
+    attribute").
+    """
+    attribute_count = sum(
+        1
+        for property_name in gold.attribute_correspondences.values()
+        if property_name != LABEL_COLUMN
+    )
+    matched_values = 0
+    for cluster in gold.clusters:
+        for row_id in cluster.row_ids:
+            table_id, row_index = row_id
+            table = corpus.get(table_id)
+            for column_index in range(table.n_columns):
+                correspondence = gold.attribute_correspondences.get(
+                    (table_id, column_index)
+                )
+                if correspondence is None or correspondence == LABEL_COLUMN:
+                    continue
+                if table.rows[row_index][column_index] is not None:
+                    matched_values += 1
+    value_groups = len(gold.facts)
+    correct_present = sum(1 for fact in gold.facts if fact.value_present)
+    return GoldStandardStats(
+        class_name=gold.class_name,
+        tables=len(gold.table_ids),
+        attributes=attribute_count,
+        rows=len(gold.annotated_rows()),
+        existing_clusters=len(gold.existing_clusters()),
+        new_clusters=len(gold.new_clusters()),
+        matched_values=matched_values,
+        value_groups=value_groups,
+        correct_value_present=correct_present,
+    )

@@ -1,0 +1,77 @@
+"""A minimal token inverted index."""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Hashable, Iterable
+
+
+class InvertedIndex:
+    """Maps tokens to the set of document ids containing them.
+
+    Documents are arbitrary hashable ids; the index tracks document count
+    for IDF computation and token lengths for prefix-bucket fuzzy lookup.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, set[Hashable]] = defaultdict(set)
+        self._doc_tokens: dict[Hashable, frozenset[str]] = {}
+        # First-two-characters bucket used to bound fuzzy token expansion.
+        self._prefix_buckets: dict[str, set[str]] = defaultdict(set)
+
+    def add(self, doc_id: Hashable, tokens: Iterable[str]) -> None:
+        """Index a document under its tokens (re-adding replaces nothing)."""
+        token_set = frozenset(tokens)
+        if doc_id in self._doc_tokens:
+            raise ValueError(f"document already indexed: {doc_id!r}")
+        self._doc_tokens[doc_id] = token_set
+        for token in token_set:
+            self._postings[token].add(doc_id)
+            self._prefix_buckets[token[:2]].add(token)
+
+    def __len__(self) -> int:
+        return len(self._doc_tokens)
+
+    def __contains__(self, doc_id: Hashable) -> bool:
+        return doc_id in self._doc_tokens
+
+    def tokens_of(self, doc_id: Hashable) -> frozenset[str]:
+        return self._doc_tokens[doc_id]
+
+    def postings(self, token: str) -> set[Hashable]:
+        """Documents containing ``token`` (empty set when unseen)."""
+        return self._postings.get(token, set())
+
+    def idf(self, token: str) -> float:
+        """Smoothed inverse document frequency of a token."""
+        total = len(self._doc_tokens)
+        if total == 0:
+            return 0.0
+        frequency = len(self._postings.get(token, ()))
+        return math.log((1 + total) / (1 + frequency)) + 1.0
+
+    def similar_tokens(self, token: str, max_distance: int = 1) -> set[str]:
+        """Indexed tokens within ``max_distance`` edits of ``token``.
+
+        Only tokens sharing the first two characters and of comparable
+        length are considered, which bounds the candidate set without a trie;
+        short tokens (< 4 chars) only match exactly, mirroring common fuzzy
+        search practice.
+        """
+        if token in self._postings:
+            result = {token}
+        else:
+            result = set()
+        if len(token) < 4 or max_distance <= 0:
+            return result
+        from repro.text.levenshtein import levenshtein
+
+        for candidate in self._prefix_buckets.get(token[:2], ()):
+            if candidate in result:
+                continue
+            if abs(len(candidate) - len(token)) > max_distance:
+                continue
+            if levenshtein(candidate, token) <= max_distance:
+                result.add(candidate)
+        return result

@@ -1,0 +1,25 @@
+"""Persistence: JSON serialization for the library's data artifacts.
+
+The paper publishes its gold standard and data for replication; this
+package provides the equivalent for the reproduction — lossless JSON
+round-trips for web table corpora, knowledge bases and gold standards,
+with normalized values (dates, quantities) encoded in a tagged form.
+"""
+
+from repro.io.serialize import (
+    load_corpus,
+    load_gold_standard,
+    load_knowledge_base,
+    save_corpus,
+    save_gold_standard,
+    save_knowledge_base,
+)
+
+__all__ = [
+    "save_corpus",
+    "load_corpus",
+    "save_knowledge_base",
+    "load_knowledge_base",
+    "save_gold_standard",
+    "load_gold_standard",
+]

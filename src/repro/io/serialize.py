@@ -1,0 +1,231 @@
+"""JSON round-trips for corpora, knowledge bases and gold standards."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datatypes import DataType
+from repro.datatypes.values import DateValue
+from repro.goldstandard.annotations import GoldStandard, GSCluster, GSFact
+from repro.kb.instance import KBInstance
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.schema import KBClass, KBProperty, KBSchema
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import WebTable
+
+
+# ----------------------------------------------------------------------
+# Tagged value encoding (normalized fact values)
+# ----------------------------------------------------------------------
+def encode_value(value: object) -> object:
+    """Encode a normalized value into a JSON-safe form."""
+    if isinstance(value, DateValue):
+        return {"$date": str(value)}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def decode_value(encoded: object) -> object:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(encoded, dict) and "$date" in encoded:
+        text = encoded["$date"]
+        if len(text) == 4:
+            return DateValue(int(text))
+        year, month, day = text.split("-")
+        return DateValue(int(year), int(month), int(day))
+    return encoded
+
+
+# ----------------------------------------------------------------------
+# Corpus
+# ----------------------------------------------------------------------
+def save_corpus(corpus: TableCorpus, path: str | Path) -> None:
+    """Write a corpus as JSON lines (one table per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for table in corpus:
+            record = {
+                "table_id": table.table_id,
+                "header": list(table.header),
+                "rows": [list(row) for row in table.rows],
+                "url": table.url,
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_corpus(path: str | Path) -> TableCorpus:
+    corpus = TableCorpus()
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            corpus.add(
+                WebTable(
+                    table_id=record["table_id"],
+                    header=tuple(record["header"]),
+                    rows=[tuple(row) for row in record["rows"]],
+                    url=record.get("url", ""),
+                )
+            )
+    return corpus
+
+
+# ----------------------------------------------------------------------
+# Knowledge base (schema + instances in one document)
+# ----------------------------------------------------------------------
+def save_knowledge_base(kb: KnowledgeBase, path: str | Path) -> None:
+    classes = []
+    for kb_class in kb.schema.classes():
+        classes.append(
+            {
+                "name": kb_class.name,
+                "parent": kb_class.parent,
+                "properties": [
+                    {
+                        "name": prop.name,
+                        "data_type": prop.data_type.value,
+                        "labels": list(prop.labels),
+                        "tolerance": prop.tolerance,
+                    }
+                    for prop in kb_class.properties.values()
+                ],
+            }
+        )
+    instances = []
+    for kb_class in kb.schema.classes():
+        for instance in kb.instances_of(kb_class.name, include_subclasses=False):
+            instances.append(
+                {
+                    "uri": instance.uri,
+                    "class_name": instance.class_name,
+                    "labels": list(instance.labels),
+                    "facts": {
+                        name: encode_value(value)
+                        for name, value in instance.facts.items()
+                    },
+                    "abstract": instance.abstract,
+                    "page_links": instance.page_links,
+                }
+            )
+    document = {"classes": classes, "instances": instances}
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def load_knowledge_base(path: str | Path) -> KnowledgeBase:
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = KBSchema()
+    # Parents must exist before children: insert roots first, iterate.
+    pending = list(document["classes"])
+    while pending:
+        progressed = False
+        remaining = []
+        for entry in pending:
+            if entry["parent"] is None or entry["parent"] in schema:
+                schema.add_class(
+                    KBClass(
+                        entry["name"],
+                        parent=entry["parent"],
+                        properties={
+                            prop["name"]: KBProperty(
+                                name=prop["name"],
+                                data_type=DataType(prop["data_type"]),
+                                labels=tuple(prop["labels"]),
+                                tolerance=prop["tolerance"],
+                            )
+                            for prop in entry["properties"]
+                        },
+                    )
+                )
+                progressed = True
+            else:
+                remaining.append(entry)
+        if not progressed:
+            raise ValueError("class hierarchy has unresolved parents")
+        pending = remaining
+    kb = KnowledgeBase(schema)
+    for entry in document["instances"]:
+        kb.add_instance(
+            KBInstance(
+                uri=entry["uri"],
+                class_name=entry["class_name"],
+                labels=tuple(entry["labels"]),
+                facts={
+                    name: decode_value(value)
+                    for name, value in entry["facts"].items()
+                },
+                abstract=entry.get("abstract", ""),
+                page_links=entry.get("page_links", 0),
+            )
+        )
+    return kb
+
+
+# ----------------------------------------------------------------------
+# Gold standard
+# ----------------------------------------------------------------------
+def save_gold_standard(gold: GoldStandard, path: str | Path) -> None:
+    document = {
+        "class_name": gold.class_name,
+        "table_ids": list(gold.table_ids),
+        "clusters": [
+            {
+                "cluster_id": cluster.cluster_id,
+                "row_ids": [list(row_id) for row_id in cluster.row_ids],
+                "is_new": cluster.is_new,
+                "kb_uri": cluster.kb_uri,
+                "homonym_group": cluster.homonym_group,
+            }
+            for cluster in gold.clusters
+        ],
+        "attribute_correspondences": [
+            {"table_id": table_id, "column": column, "property": property_name}
+            for (table_id, column), property_name in sorted(
+                gold.attribute_correspondences.items()
+            )
+        ],
+        "facts": [
+            {
+                "cluster_id": fact.cluster_id,
+                "property": fact.property_name,
+                "value": encode_value(fact.value),
+                "value_present": fact.value_present,
+            }
+            for fact in gold.facts
+        ],
+    }
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+
+
+def load_gold_standard(path: str | Path) -> GoldStandard:
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    return GoldStandard(
+        class_name=document["class_name"],
+        table_ids=tuple(document["table_ids"]),
+        clusters=[
+            GSCluster(
+                cluster_id=entry["cluster_id"],
+                row_ids=tuple(
+                    (table_id, row_index) for table_id, row_index in entry["row_ids"]
+                ),
+                is_new=entry["is_new"],
+                kb_uri=entry["kb_uri"],
+                homonym_group=entry["homonym_group"],
+            )
+            for entry in document["clusters"]
+        ],
+        attribute_correspondences={
+            (entry["table_id"], entry["column"]): entry["property"]
+            for entry in document["attribute_correspondences"]
+        },
+        facts=[
+            GSFact(
+                cluster_id=entry["cluster_id"],
+                property_name=entry["property"],
+                value=decode_value(entry["value"]),
+                value_present=entry["value_present"],
+            )
+            for entry in document["facts"]
+        ],
+    )

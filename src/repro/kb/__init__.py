@@ -1,0 +1,24 @@
+"""Knowledge base substrate (DBpedia stand-in).
+
+The pipeline consumes the knowledge base through this package's API only:
+class hierarchy and typed property schema (:mod:`repro.kb.schema`),
+instances with labels/facts/abstracts (:mod:`repro.kb.instance`), the
+queryable store with label-based candidate lookup and page-link popularity
+(:mod:`repro.kb.knowledge_base`), and the profiling helpers behind the
+paper's Tables 1 and 2 (:mod:`repro.kb.profiling`).
+"""
+
+from repro.kb.schema import KBClass, KBProperty, KBSchema
+from repro.kb.instance import KBInstance
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.profiling import class_profile, property_densities
+
+__all__ = [
+    "KBClass",
+    "KBProperty",
+    "KBSchema",
+    "KBInstance",
+    "KnowledgeBase",
+    "class_profile",
+    "property_densities",
+]

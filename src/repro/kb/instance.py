@@ -1,0 +1,38 @@
+"""Knowledge base instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KBInstance:
+    """An instance of a knowledge base class.
+
+    ``facts`` maps property names to *normalized* values (see
+    :mod:`repro.datatypes.normalization`); ``labels`` are the surface names
+    the instance is known under; ``abstract`` is a short description used by
+    the BOW entity-to-instance metric; ``page_links`` is the incoming
+    Wikipedia page link count that drives the POPULARITY metric.
+    """
+
+    uri: str
+    class_name: str
+    labels: tuple[str, ...]
+    facts: dict[str, object] = field(default_factory=dict)
+    abstract: str = ""
+    page_links: int = 0
+
+    @property
+    def primary_label(self) -> str:
+        """The preferred display label (first label, or the URI tail)."""
+        if self.labels:
+            return self.labels[0]
+        return self.uri.rsplit("/", 1)[-1]
+
+    def fact(self, property_name: str):
+        """The value for a property, or ``None`` when the slot is empty."""
+        return self.facts.get(property_name)
+
+    def fact_count(self) -> int:
+        return len(self.facts)

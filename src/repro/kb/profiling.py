@@ -1,0 +1,60 @@
+"""Knowledge base profiling (the paper's Tables 1 and 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+@dataclass(frozen=True)
+class ClassProfile:
+    """Instance and fact counts for one class (a row of Table 1)."""
+
+    class_name: str
+    instances: int
+    facts: int
+
+
+@dataclass(frozen=True)
+class PropertyDensity:
+    """Fact count and density for one property (a row of Table 2)."""
+
+    class_name: str
+    property_name: str
+    facts: int
+    density: float
+
+
+def class_profile(kb: KnowledgeBase, class_name: str) -> ClassProfile:
+    """Instances and facts of a class, as reported in Table 1."""
+    return ClassProfile(
+        class_name=class_name,
+        instances=kb.instance_count(class_name),
+        facts=kb.fact_count(class_name),
+    )
+
+
+def property_densities(
+    kb: KnowledgeBase, class_name: str, min_density: float = 0.0
+) -> list[PropertyDensity]:
+    """Per-property densities of a class, sorted densest-first (Table 2).
+
+    Density is the fraction of the class's instances carrying a fact for the
+    property.  The paper only considers properties with an initial density of
+    at least 30%; pass ``min_density=0.30`` to apply that filter.
+    """
+    instances = kb.instances_of(class_name)
+    total = len(instances)
+    rows: list[PropertyDensity] = []
+    if total == 0:
+        return rows
+    for property_name in kb.schema.properties_of(class_name):
+        facts = sum(1 for instance in instances if property_name in instance.facts)
+        density = facts / total
+        if density >= min_density:
+            rows.append(
+                PropertyDensity(class_name, property_name, facts, density)
+            )
+    rows.sort(key=lambda row: (-row.density, row.property_name))
+    return rows

@@ -1,0 +1,127 @@
+"""Knowledge base schema: classes in a hierarchy and typed properties."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes import DataType
+
+
+@dataclass(frozen=True)
+class KBProperty:
+    """A property of a knowledge base class.
+
+    ``labels`` holds the natural-language names under which the property is
+    known (used by the KB-Label matcher); ``tolerance`` is the relative
+    tolerance for quantity comparison (the paper's learned tolerance range).
+    """
+
+    name: str
+    data_type: DataType
+    labels: tuple[str, ...] = ()
+    tolerance: float = 0.05
+
+    def all_labels(self) -> tuple[str, ...]:
+        """The property name plus its alternative surface labels."""
+        return (self.name, *self.labels)
+
+
+@dataclass
+class KBClass:
+    """A class with an optional parent (single-inheritance hierarchy)."""
+
+    name: str
+    parent: str | None = None
+    properties: dict[str, KBProperty] = field(default_factory=dict)
+
+    def property(self, name: str) -> KBProperty:
+        return self.properties[name]
+
+
+class KBSchema:
+    """The class hierarchy plus per-class property schemata.
+
+    DBpedia's ontology is a tree of classes; the TYPE similarity metric
+    (Section 3.4) compares an instance's transitive classes against the
+    entity's class ancestry, and candidate selection requires candidates to
+    share the class or one parent class.
+    """
+
+    def __init__(self) -> None:
+        self._classes: dict[str, KBClass] = {}
+
+    def add_class(self, kb_class: KBClass) -> None:
+        if kb_class.name in self._classes:
+            raise ValueError(f"duplicate class: {kb_class.name}")
+        if kb_class.parent is not None and kb_class.parent not in self._classes:
+            raise ValueError(f"unknown parent class: {kb_class.parent}")
+        self._classes[kb_class.name] = kb_class
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def get(self, name: str) -> KBClass:
+        return self._classes[name]
+
+    def classes(self) -> list[KBClass]:
+        return list(self._classes.values())
+
+    def properties_of(self, class_name: str) -> dict[str, KBProperty]:
+        """Properties of a class, including those inherited from ancestors."""
+        merged: dict[str, KBProperty] = {}
+        for ancestor in reversed(self.ancestry(class_name)):
+            merged.update(self._classes[ancestor].properties)
+        return merged
+
+    def ancestry(self, class_name: str) -> list[str]:
+        """The class itself followed by its ancestors up to the root."""
+        chain: list[str] = []
+        current: str | None = class_name
+        while current is not None:
+            if current in chain:
+                raise ValueError(f"class hierarchy cycle at {current}")
+            chain.append(current)
+            current = self._classes[current].parent
+        return chain
+
+    def descendants(self, class_name: str) -> set[str]:
+        """The class itself plus all transitive subclasses."""
+        result = {class_name}
+        changed = True
+        while changed:
+            changed = False
+            for kb_class in self._classes.values():
+                if kb_class.parent in result and kb_class.name not in result:
+                    result.add(kb_class.name)
+                    changed = True
+        return result
+
+    def share_parent(self, class_a: str, class_b: str) -> bool:
+        """Whether two classes coincide or share any ancestor below the root.
+
+        Used by new-detection candidate selection: a candidate instance must
+        be of the entity's class or share one parent class with it.
+        """
+        if class_a == class_b:
+            return True
+        ancestors_a = set(self.ancestry(class_a))
+        ancestors_b = set(self.ancestry(class_b))
+        shared = ancestors_a & ancestors_b
+        roots = {chain[-1] for chain in (self.ancestry(class_a),)}
+        return bool(shared - roots)
+
+    def type_overlap(self, instance_classes: set[str], entity_class: str) -> float:
+        """TYPE metric: overlap of instance classes with the entity ancestry.
+
+        Returns the fraction of the entity's ancestry covered by the
+        instance's (transitive) classes.
+        """
+        ancestry = self.ancestry(entity_class)
+        if not ancestry:
+            return 0.0
+        expanded: set[str] = set()
+        for name in instance_classes:
+            if name in self._classes:
+                expanded.update(self.ancestry(name))
+        overlap = sum(1 for name in ancestry if name in expanded)
+        return overlap / len(ancestry)

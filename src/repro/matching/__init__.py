@@ -1,0 +1,43 @@
+"""Schema matching (Section 3.1).
+
+Matches web tables to knowledge base classes and attribute columns to
+properties, in four steps: data type detection, label attribute detection,
+table-to-class matching, and attribute-to-property matching with five
+matchers whose scores are aggregated with learned per-class weights and
+per-property thresholds.
+"""
+
+from repro.matching.correspondences import (
+    AttributeCorrespondence,
+    SchemaMapping,
+    TableMapping,
+)
+from repro.matching.records import RowRecord, build_row_records
+from repro.matching.label_attribute import detect_label_attribute
+from repro.matching.table_class import TableClassMatcher
+from repro.matching.attribute_property import (
+    AttributePropertyMatcher,
+    MatcherFeedback,
+)
+from repro.matching.learning import (
+    AttributeMatchingModel,
+    learn_attribute_model,
+    evaluate_attribute_matching,
+)
+from repro.matching.schema_matcher import SchemaMatcher
+
+__all__ = [
+    "AttributeCorrespondence",
+    "SchemaMapping",
+    "TableMapping",
+    "RowRecord",
+    "build_row_records",
+    "detect_label_attribute",
+    "TableClassMatcher",
+    "AttributePropertyMatcher",
+    "MatcherFeedback",
+    "AttributeMatchingModel",
+    "learn_attribute_model",
+    "evaluate_attribute_matching",
+    "SchemaMatcher",
+]

@@ -1,0 +1,74 @@
+"""Schema mapping data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes import DataType
+
+
+@dataclass(frozen=True)
+class AttributeCorrespondence:
+    """A matched attribute column: ``(table, column) → property``.
+
+    ``score`` is the aggregated matcher score (used by the MATCHING fusion
+    scorer); ``data_type`` is the *property's* type — after matching, the
+    attribute adopts it and values are normalized accordingly.
+    """
+
+    table_id: str
+    column: int
+    property_name: str
+    score: float
+    data_type: DataType
+
+
+@dataclass
+class TableMapping:
+    """Everything schema matching derived about one table."""
+
+    table_id: str
+    class_name: str | None = None
+    class_score: float = 0.0
+    label_column: int | None = None
+    column_types: dict[int, DataType] = field(default_factory=dict)
+    attributes: dict[int, AttributeCorrespondence] = field(default_factory=dict)
+
+    def matched_properties(self) -> dict[str, int]:
+        """Property name → column index for all matched attributes."""
+        return {
+            correspondence.property_name: column
+            for column, correspondence in self.attributes.items()
+        }
+
+
+@dataclass
+class SchemaMapping:
+    """The full corpus-level schema mapping."""
+
+    by_table: dict[str, TableMapping] = field(default_factory=dict)
+
+    def table(self, table_id: str) -> TableMapping | None:
+        return self.by_table.get(table_id)
+
+    def add(self, mapping: TableMapping) -> None:
+        self.by_table[mapping.table_id] = mapping
+
+    def tables_of_class(self, class_name: str) -> list[str]:
+        """Tables matched to a class with at least one matched attribute.
+
+        The paper counts a table as matched when it has a class and at
+        least one attribute-to-property correspondence (Table 4).
+        """
+        return [
+            table_id
+            for table_id, mapping in self.by_table.items()
+            if mapping.class_name == class_name and mapping.attributes
+        ]
+
+    def all_correspondences(self) -> list[AttributeCorrespondence]:
+        return [
+            correspondence
+            for mapping in self.by_table.values()
+            for correspondence in mapping.attributes.values()
+        ]

@@ -1,0 +1,33 @@
+"""Label attribute detection (Section 3.1).
+
+For each table, the column containing the natural-language labels of the
+described entities: the text-typed column with the highest number of unique
+values, ties broken toward the leftmost column.
+"""
+
+from __future__ import annotations
+
+from repro.datatypes import DataType
+from repro.text.tokenize import normalize_label
+from repro.webtables.table import WebTable
+
+
+def detect_label_attribute(
+    table: WebTable, column_types: dict[int, DataType]
+) -> int | None:
+    """Index of the label column, or ``None`` when no text column exists."""
+    best_column: int | None = None
+    best_unique = -1
+    for column in range(table.n_columns):
+        if column_types.get(column) is not DataType.TEXT:
+            continue
+        unique_values = {
+            normalize_label(cell)
+            for cell in table.column(column)
+            if cell is not None and normalize_label(cell)
+        }
+        # Strictly-greater keeps the leftmost column on ties.
+        if len(unique_values) > best_unique:
+            best_unique = len(unique_values)
+            best_column = column
+    return best_column

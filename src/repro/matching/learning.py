@@ -1,0 +1,169 @@
+"""Learning and evaluating the attribute-to-property aggregation.
+
+Weights are learned per class with the genetic algorithm (maximizing the
+F1 of accepting correct column-property pairs); thresholds are learned per
+property by sweeping the aggregated scores (Section 3.1: "The thresholds
+are learned per property of the knowledge base schema").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.genetic import GeneticWeightLearner, f1_score
+
+
+@dataclass(frozen=True)
+class AttributeSample:
+    """One labelled (column, candidate property) pair for learning."""
+
+    table_id: str
+    column: int
+    property_name: str
+    scores: Mapping[str, float | None]
+    is_correct: bool
+
+
+@dataclass
+class AttributeMatchingModel:
+    """Learned weights (per class) and thresholds (per property)."""
+
+    class_name: str
+    matcher_names: tuple[str, ...]
+    weights: dict[str, float]
+    thresholds: dict[str, float] = field(default_factory=dict)
+    default_threshold: float = 0.5
+
+    def aggregate(self, scores: Mapping[str, float | None]) -> float:
+        """Weighted average over the matchers that produced a score.
+
+        Weights are renormalized over available matchers so that a column
+        without duplicate evidence (no matched rows in its table) is not
+        penalized for the evidence's absence — only the matchers that
+        could judge the pair vote.
+        """
+        total = 0.0
+        weight_sum = 0.0
+        for name in self.matcher_names:
+            score = scores.get(name)
+            if score is not None:
+                weight = self.weights.get(name, 0.0)
+                total += weight * score
+                weight_sum += weight
+        if weight_sum == 0.0:
+            return 0.0
+        return total / weight_sum
+
+    def threshold_for(self, property_name: str) -> float:
+        return self.thresholds.get(property_name, self.default_threshold)
+
+    @classmethod
+    def uniform(
+        cls, class_name: str, matcher_names: Sequence[str], threshold: float = 0.5
+    ) -> "AttributeMatchingModel":
+        """An unlearned fallback model with equal weights."""
+        count = len(matcher_names)
+        return cls(
+            class_name=class_name,
+            matcher_names=tuple(matcher_names),
+            weights={name: 1.0 / count for name in matcher_names},
+            default_threshold=threshold,
+        )
+
+
+def learn_attribute_model(
+    class_name: str,
+    samples: Sequence[AttributeSample],
+    matcher_names: Sequence[str],
+    seed: int = 0,
+) -> AttributeMatchingModel:
+    """Learn weights (GA) and per-property thresholds from labelled samples."""
+    matcher_names = tuple(matcher_names)
+    if not samples:
+        return AttributeMatchingModel.uniform(class_name, matcher_names)
+    matrix = np.array(
+        [
+            [
+                sample.scores.get(name) if sample.scores.get(name) is not None else 0.0
+                for name in matcher_names
+            ]
+            for sample in samples
+        ]
+    )
+    labels = np.array([sample.is_correct for sample in samples], dtype=bool)
+    learned = GeneticWeightLearner(seed=seed).learn(matrix, labels)
+    weights = dict(zip(matcher_names, (float(w) for w in learned.weights)))
+    model = AttributeMatchingModel(
+        class_name=class_name,
+        matcher_names=matcher_names,
+        weights=weights,
+        default_threshold=learned.threshold,
+    )
+    model.thresholds = _per_property_thresholds(model, samples, learned.threshold)
+    return model
+
+
+def _per_property_thresholds(
+    model: AttributeMatchingModel,
+    samples: Sequence[AttributeSample],
+    fallback: float,
+) -> dict[str, float]:
+    """Sweep aggregated scores per property for the F1-optimal threshold."""
+    by_property: dict[str, list[tuple[float, bool]]] = defaultdict(list)
+    for sample in samples:
+        aggregated = model.aggregate(sample.scores)
+        by_property[sample.property_name].append((aggregated, sample.is_correct))
+    thresholds: dict[str, float] = {}
+    for property_name, scored in by_property.items():
+        positives = [score for score, correct in scored if correct]
+        if not positives:
+            # Nothing correct ever: demand an unreachable score.
+            thresholds[property_name] = 1.01
+            continue
+        scores = np.array([score for score, __ in scored])
+        labels = np.array([correct for __, correct in scored], dtype=bool)
+        best_threshold = fallback
+        best_f1 = f1_score(scores >= fallback, labels)
+        for candidate in sorted(set(scores)):
+            candidate_f1 = f1_score(scores >= candidate, labels)
+            if candidate_f1 > best_f1:
+                best_f1 = candidate_f1
+                best_threshold = float(candidate)
+        thresholds[property_name] = best_threshold
+    return thresholds
+
+
+@dataclass(frozen=True)
+class MatchingEvaluation:
+    """Precision/recall/F1 of attribute-to-property matching (Table 6)."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def evaluate_attribute_matching(
+    predicted: Mapping[tuple[str, int], str],
+    actual: Mapping[tuple[str, int], str],
+) -> MatchingEvaluation:
+    """Compare predicted column → property assignments to gold annotations.
+
+    ``actual`` contains the annotated value columns only (no label
+    columns); predictions for unannotated columns count against precision.
+    """
+    correct = sum(
+        1
+        for key, property_name in predicted.items()
+        if actual.get(key) == property_name
+    )
+    precision = correct / len(predicted) if predicted else 0.0
+    recall = correct / len(actual) if actual else 0.0
+    if precision + recall == 0.0:
+        return MatchingEvaluation(precision, recall, 0.0)
+    return MatchingEvaluation(
+        precision, recall, 2 * precision * recall / (precision + recall)
+    )

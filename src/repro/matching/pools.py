@@ -1,0 +1,89 @@
+"""Typed value pools over knowledge base facts.
+
+The KB-Overlap matcher asks, for thousands of cells, "does this value
+generally fit property *p* of class *c* in the knowledge base?".  A
+:class:`ValuePool` answers that in (near) constant time per query by
+pre-indexing the property's fact values in a type-appropriate structure:
+hash sets for nominal types and dates, a sorted array with tolerance-window
+bisection for quantities, normalized-label sets for strings and instance
+references.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+from repro.datatypes import DataType
+from repro.datatypes.values import DateValue
+from repro.text.tokenize import normalize_label
+
+
+class ValuePool:
+    """Membership-with-equivalence over one property's KB values."""
+
+    def __init__(
+        self,
+        data_type: DataType,
+        values: Iterable[object],
+        tolerance: float = 0.05,
+    ) -> None:
+        self.data_type = data_type
+        self.tolerance = tolerance
+        self._size = 0
+        if data_type is DataType.QUANTITY:
+            self._sorted: list[float] = sorted(float(value) for value in values)
+            self._size = len(self._sorted)
+        elif data_type is DataType.DATE:
+            self._years_any: set[int] = set()
+            self._full_dates: set[tuple[int, int, int]] = set()
+            self._year_only: set[int] = set()
+            for value in values:
+                assert isinstance(value, DateValue)
+                self._years_any.add(value.year)
+                if value.is_day_granular:
+                    self._full_dates.add((value.year, value.month, value.day))
+                else:
+                    self._year_only.add(value.year)
+                self._size += 1
+        elif data_type is DataType.NOMINAL_INTEGER:
+            self._integers = {int(value) for value in values}
+            self._size = len(self._integers)
+        else:
+            self._labels = {normalize_label(str(value)) for value in values}
+            self._size = len(self._labels)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def contains_equal(self, value: object) -> bool:
+        """Whether some pooled value is *equal* to ``value`` under the type."""
+        data_type = self.data_type
+        if data_type is DataType.QUANTITY:
+            return self._contains_quantity(float(value))
+        if data_type is DataType.DATE:
+            return self._contains_date(value)
+        if data_type is DataType.NOMINAL_INTEGER:
+            return int(value) in self._integers
+        return normalize_label(str(value)) in self._labels
+
+    def _contains_quantity(self, value: float) -> bool:
+        if not self._sorted:
+            return False
+        # Relative tolerance window: |a - b| <= tolerance * max(|a|, |b|).
+        magnitude = abs(value)
+        window = self.tolerance * max(magnitude, 1e-9) * 1.5
+        low = bisect.bisect_left(self._sorted, value - window)
+        high = bisect.bisect_right(self._sorted, value + window)
+        for candidate in self._sorted[low:high]:
+            scale = max(abs(candidate), magnitude)
+            if scale == 0.0 or abs(candidate - value) <= self.tolerance * scale:
+                return True
+        return False
+
+    def _contains_date(self, value: object) -> bool:
+        assert isinstance(value, DateValue)
+        if value.is_day_granular:
+            full = (value.year, value.month, value.day)
+            return full in self._full_dates or value.year in self._year_only
+        return value.year in self._years_any

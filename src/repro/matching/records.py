@@ -1,0 +1,99 @@
+"""Row records: the typed per-row view the downstream components consume.
+
+Once schema matching has assigned a class, a label column and attribute
+correspondences to a table, every row can be projected onto the knowledge
+base schema: a label, a bag-of-words vector over all cells, and a map of
+property → normalized value.  Row clustering, entity creation and new
+detection all operate on these records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes.normalization import NormalizationError, normalize_value
+from repro.matching.correspondences import SchemaMapping
+from repro.text.tokenize import normalize_label, tokenize
+from repro.text.vectors import term_vector
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import RowId
+
+
+@dataclass
+class RowRecord:
+    """One table row projected onto the knowledge base schema.
+
+    ``label_tokens`` are precomputed for the Monge-Elkan LABEL metric,
+    which runs on every pair comparison.
+    """
+
+    row_id: RowId
+    table_id: str
+    label: str
+    norm_label: str
+    tokens: frozenset[str]
+    values: dict[str, object] = field(default_factory=dict)
+    label_tokens: tuple[str, ...] = ()
+
+    def __hash__(self) -> int:
+        return hash(self.row_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RowRecord) and other.row_id == self.row_id
+
+
+def build_row_records(
+    corpus: TableCorpus,
+    mapping: SchemaMapping,
+    class_name: str,
+    table_ids: list[str] | None = None,
+    row_ids: set[RowId] | None = None,
+) -> list[RowRecord]:
+    """Project all rows of the class's matched tables into records.
+
+    ``table_ids`` overrides the table set (defaults to all tables mapped to
+    ``class_name``); ``row_ids`` restricts output to specific rows (used
+    when running on gold standard annotations).  Rows without a usable
+    label are skipped — the pipeline assumes one label per row.
+    """
+    if table_ids is None:
+        table_ids = mapping.tables_of_class(class_name)
+    records: list[RowRecord] = []
+    for table_id in table_ids:
+        table_mapping = mapping.table(table_id)
+        if table_mapping is None or table_mapping.label_column is None:
+            continue
+        table = corpus.get(table_id)
+        label_column = table_mapping.label_column
+        for row in table.iter_rows():
+            if row_ids is not None and row.row_id not in row_ids:
+                continue
+            raw_label = row.cell(label_column)
+            if raw_label is None:
+                continue
+            norm = normalize_label(raw_label)
+            if not norm:
+                continue
+            values: dict[str, object] = {}
+            for column, correspondence in table_mapping.attributes.items():
+                cell = row.cell(column)
+                if cell is None:
+                    continue
+                try:
+                    values[correspondence.property_name] = normalize_value(
+                        cell, correspondence.data_type
+                    )
+                except NormalizationError:
+                    continue
+            records.append(
+                RowRecord(
+                    row_id=row.row_id,
+                    table_id=table_id,
+                    label=raw_label.strip(),
+                    norm_label=norm,
+                    tokens=term_vector(row.cells),
+                    values=values,
+                    label_tokens=tuple(tokenize(norm)),
+                )
+            )
+    return records

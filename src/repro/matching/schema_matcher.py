@@ -1,0 +1,205 @@
+"""Corpus-level schema matching orchestration.
+
+One :meth:`SchemaMatcher.match_corpus` call performs the full schema
+matching phase of one pipeline iteration:
+
+1. detect column data types and the label attribute per table,
+2. match each table to a class,
+3. run a *preliminary* attribute-to-property pass (KB matchers only),
+4. derive WT-Label header statistics from the preliminary mapping,
+5. rerun attribute matching with the web-table matchers enabled — plus the
+   duplicate-based matchers when clustering/new-detection feedback from a
+   previous iteration is supplied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datatypes import DataType
+from repro.datatypes.detection import detect_column_type
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.attribute_property import (
+    AttributePropertyMatcher,
+    MatcherFeedback,
+)
+from repro.matching.correspondences import SchemaMapping, TableMapping
+from repro.matching.label_attribute import detect_label_attribute
+from repro.matching.learning import AttributeMatchingModel
+from repro.matching.matchers import (
+    DuplicateEvidence,
+    HeaderStatistics,
+    MATCHER_NAMES_FIRST_ITERATION,
+    MATCHER_NAMES_SECOND_ITERATION,
+)
+from repro.matching.table_class import TableClassMatcher
+from repro.webtables.corpus import TableCorpus
+
+
+@dataclass
+class SchemaMatcherModels:
+    """Learned attribute models per (class, matcher-configuration).
+
+    ``preliminary`` models use the KB matchers only — they produce the
+    mapping from which WT-Label header statistics are derived;
+    ``first_iteration`` adds WT-Label; ``second_iteration`` adds the two
+    duplicate-based matchers.  Unlearned classes fall back to uniform
+    weights.
+    """
+
+    preliminary: dict[str, AttributeMatchingModel] = field(default_factory=dict)
+    first_iteration: dict[str, AttributeMatchingModel] = field(default_factory=dict)
+    second_iteration: dict[str, AttributeMatchingModel] = field(default_factory=dict)
+
+    def for_class(self, class_name: str, mode: str) -> AttributeMatchingModel:
+        """Model for a class in one of the modes: preliminary/first/second."""
+        if mode == "second":
+            model = self.second_iteration.get(class_name)
+            if model is not None:
+                return model
+            return AttributeMatchingModel.uniform(
+                class_name, MATCHER_NAMES_SECOND_ITERATION
+            )
+        if mode == "first":
+            model = self.first_iteration.get(class_name)
+            if model is not None:
+                return model
+            return AttributeMatchingModel.uniform(
+                class_name, MATCHER_NAMES_FIRST_ITERATION
+            )
+        if mode == "preliminary":
+            model = self.preliminary.get(class_name)
+            if model is not None:
+                return model
+            return AttributeMatchingModel.uniform(
+                class_name, ("kb_overlap", "kb_label")
+            )
+        raise ValueError(f"unknown model mode: {mode!r}")
+
+
+class SchemaMatcher:
+    """The schema matching component of the pipeline."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        models: SchemaMatcherModels | None = None,
+        candidate_limit: int = 5,
+    ) -> None:
+        self.kb = kb
+        self.models = models or SchemaMatcherModels()
+        self.table_class_matcher = TableClassMatcher(kb, candidate_limit)
+        self._analysis_cache: dict[
+            str, tuple[dict[int, DataType], int | None]
+        ] = {}
+        self._class_cache: dict[str, tuple[str | None, float]] = {}
+
+    # ------------------------------------------------------------------
+    def analyze_table(self, corpus: TableCorpus, table_id: str):
+        """Detected column types and label column (cached per table)."""
+        if table_id not in self._analysis_cache:
+            table = corpus.get(table_id)
+            column_types = {
+                column: detect_column_type(table.column(column))
+                for column in range(table.n_columns)
+            }
+            label_column = detect_label_attribute(table, column_types)
+            self._analysis_cache[table_id] = (column_types, label_column)
+        return self._analysis_cache[table_id]
+
+    def table_class(
+        self, corpus: TableCorpus, table_id: str
+    ) -> tuple[str | None, float]:
+        """Table-to-class decision (cached per table)."""
+        if table_id not in self._class_cache:
+            table = corpus.get(table_id)
+            column_types, label_column = self.analyze_table(corpus, table_id)
+            result = self.table_class_matcher.match(table, column_types, label_column)
+            self._class_cache[table_id] = (result.class_name, result.score)
+        return self._class_cache[table_id]
+
+    # ------------------------------------------------------------------
+    def match_corpus(
+        self,
+        corpus: TableCorpus,
+        evidence: DuplicateEvidence | None = None,
+        table_ids: list[str] | None = None,
+        known_classes: dict[str, str] | None = None,
+    ) -> SchemaMapping:
+        """Full schema matching over (a subset of) the corpus.
+
+        ``evidence`` enables the duplicate-based matchers (iteration 2);
+        ``known_classes`` bypasses table-to-class matching for tables whose
+        class is externally known (gold standard experiments).
+        """
+        ids = table_ids if table_ids is not None else corpus.table_ids()
+        # Phase A: types, label columns, classes.
+        base: dict[str, TableMapping] = {}
+        for table_id in ids:
+            column_types, label_column = self.analyze_table(corpus, table_id)
+            if known_classes is not None and table_id in known_classes:
+                class_name, class_score = known_classes[table_id], 1.0
+            else:
+                class_name, class_score = self.table_class(corpus, table_id)
+            base[table_id] = TableMapping(
+                table_id=table_id,
+                class_name=class_name,
+                class_score=class_score,
+                label_column=label_column,
+                column_types=column_types,
+            )
+
+        # Phase B: preliminary attribute matching (KB matchers only).
+        preliminary = self._attribute_pass(
+            corpus, base, feedback_by_class={}, mode="preliminary"
+        )
+
+        # Phase C: WT-Label statistics from the preliminary mapping, then
+        # the final pass with the corpus matchers (and duplicate evidence).
+        header_stats = HeaderStatistics.from_correspondences(
+            preliminary.all_correspondences(), corpus
+        )
+        feedback_by_class = {
+            class_name: MatcherFeedback(header_stats=header_stats, evidence=evidence)
+            for class_name in {
+                mapping.class_name for mapping in base.values() if mapping.class_name
+            }
+        }
+        mode = "second" if evidence is not None else "first"
+        return self._attribute_pass(corpus, base, feedback_by_class, mode=mode)
+
+    # ------------------------------------------------------------------
+    def _attribute_pass(
+        self,
+        corpus: TableCorpus,
+        base: dict[str, TableMapping],
+        feedback_by_class: dict[str, MatcherFeedback],
+        mode: str,
+    ) -> SchemaMapping:
+        mapping = SchemaMapping()
+        matchers: dict[str, AttributePropertyMatcher] = {}
+        known_classes = {kb_class.name for kb_class in self.kb.schema.classes()}
+        for table_id, table_mapping in base.items():
+            result = TableMapping(
+                table_id=table_id,
+                class_name=table_mapping.class_name,
+                class_score=table_mapping.class_score,
+                label_column=table_mapping.label_column,
+                column_types=dict(table_mapping.column_types),
+            )
+            class_name = table_mapping.class_name
+            if class_name is not None and class_name in known_classes:
+                if class_name not in matchers:
+                    matchers[class_name] = AttributePropertyMatcher(
+                        self.kb,
+                        class_name,
+                        self.models.for_class(class_name, mode),
+                        feedback_by_class.get(class_name),
+                    )
+                result.attributes = matchers[class_name].match_table(
+                    corpus.get(table_id),
+                    table_mapping.column_types,
+                    table_mapping.label_column,
+                )
+            mapping.add(result)
+        return mapping

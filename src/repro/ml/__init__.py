@@ -1,0 +1,48 @@
+"""Machine learning substrate.
+
+The paper learns three things: per-metric weights and decision thresholds
+with a genetic algorithm, a random forest regression tree over similarity and
+confidence scores (via WEKA), and a combination of both.  Neither WEKA nor
+scikit-learn is available offline, so this package implements the required
+pieces from scratch on numpy:
+
+* :mod:`repro.ml.tree` — CART regression trees (variance reduction).
+* :mod:`repro.ml.forest` — bagged forests with out-of-bag error and
+  impurity-based feature importances (used for the paper's metric
+  importance scores).
+* :mod:`repro.ml.genetic` — genetic algorithm maximizing matching F1 to
+  learn weights and thresholds.
+* :mod:`repro.ml.aggregation` — the three score aggregation strategies of
+  Sections 3.2/3.4 (weighted average, random forest, combined).
+* :mod:`repro.ml.crossval` — stratified group 3-fold splitting that keeps
+  homonym groups within one fold, plus upsampling to balance pair labels.
+"""
+
+from repro.ml.tree import RegressionTree
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.genetic import GeneticWeightLearner
+from repro.ml.aggregation import (
+    CombinedAggregator,
+    ForestAggregator,
+    MetricVector,
+    ScoreAggregator,
+    ShiftedAggregator,
+    StaticWeightedAggregator,
+    WeightedAverageAggregator,
+)
+from repro.ml.crossval import stratified_group_folds, upsample_balanced
+
+__all__ = [
+    "RegressionTree",
+    "RandomForestRegressor",
+    "GeneticWeightLearner",
+    "MetricVector",
+    "ScoreAggregator",
+    "WeightedAverageAggregator",
+    "ForestAggregator",
+    "CombinedAggregator",
+    "ShiftedAggregator",
+    "StaticWeightedAggregator",
+    "stratified_group_folds",
+    "upsample_balanced",
+]

@@ -1,0 +1,268 @@
+"""The three score-aggregation strategies of the paper.
+
+Row clustering (Section 3.2) and new detection (Section 3.4) both turn a
+bundle of per-metric similarity scores into one normalized score in
+[-1, 1]:
+
+* **Weighted average** — GA-learned weights + threshold; confidence scores
+  are ignored; the threshold normalizes the output so that 0 is the
+  match/non-match boundary.
+* **Random forest** — regression on score *and* confidence features with
+  targets +1 (match) / -1 (non-match); hyperparameters tuned by OOB error.
+* **Combined** — a learned convex combination of the two, which the paper
+  found strongest in both components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.genetic import GeneticWeightLearner, f1_score
+
+#: A metric emits a score in [0, 1] and an optional confidence (None when the
+#: metric could not be computed for the pair at all).
+MetricOutput = tuple[float, float] | None
+
+
+@dataclass(frozen=True)
+class MetricVector:
+    """The outputs of all metrics for one compared pair."""
+
+    outputs: Mapping[str, MetricOutput]
+
+    def score_row(self, metric_names: Sequence[str]) -> list[float]:
+        """Scores only (missing metric → 0.0); weighted-average features."""
+        row = [0.0] * len(metric_names)
+        for position, name in enumerate(metric_names):
+            output = self.outputs.get(name)
+            if output is not None:
+                row[position] = output[0]
+        return row
+
+    def feature_row(self, metric_names: Sequence[str]) -> list[float]:
+        """Score + confidence per metric; random-forest features."""
+        row = [0.0] * (2 * len(metric_names))
+        for position, name in enumerate(metric_names):
+            output = self.outputs.get(name)
+            if output is not None:
+                row[2 * position] = output[0]
+                row[2 * position + 1] = output[1]
+        return row
+
+
+class ScoreAggregator(Protocol):
+    """Common protocol: fit on labelled pairs, score new pairs in [-1, 1]."""
+
+    def fit(self, pairs: Sequence[MetricVector], labels: Sequence[bool]) -> "ScoreAggregator":
+        ...
+
+    def score(self, pair: MetricVector) -> float:
+        ...
+
+    def metric_importances(self) -> dict[str, float]:
+        ...
+
+
+class WeightedAverageAggregator:
+    """GA-learned weighted average with threshold normalization.
+
+    The learned threshold maps raw scores in [0, 1] onto [-1, 1] piecewise
+    linearly, with the threshold at 0 — the form the greedy correlation
+    clusterer requires.
+    """
+
+    def __init__(self, metric_names: Sequence[str], seed: int = 0) -> None:
+        self.metric_names = tuple(metric_names)
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.threshold_: float | None = None
+
+    def fit(
+        self, pairs: Sequence[MetricVector], labels: Sequence[bool]
+    ) -> "WeightedAverageAggregator":
+        scores = np.array([pair.score_row(self.metric_names) for pair in pairs])
+        learner = GeneticWeightLearner(seed=self.seed)
+        learned = learner.learn(scores, np.asarray(labels, dtype=bool))
+        self.weights_ = learned.weights
+        self.threshold_ = learned.threshold
+        return self
+
+    def raw_score(self, pair: MetricVector) -> float:
+        if self.weights_ is None:
+            raise RuntimeError("aggregator is not fitted")
+        row = pair.score_row(self.metric_names)
+        return float(
+            sum(score * weight for score, weight in zip(row, self.weights_))
+        )
+
+    def score(self, pair: MetricVector) -> float:
+        raw = self.raw_score(pair)
+        threshold = self.threshold_
+        if raw >= threshold:
+            span = 1.0 - threshold
+            return (raw - threshold) / span if span > 0 else 1.0
+        return (raw - threshold) / threshold if threshold > 0 else -1.0
+
+    def metric_importances(self) -> dict[str, float]:
+        if self.weights_ is None:
+            raise RuntimeError("aggregator is not fitted")
+        return dict(zip(self.metric_names, (float(w) for w in self.weights_)))
+
+
+class ForestAggregator:
+    """Random forest regression on score + confidence features."""
+
+    def __init__(
+        self, metric_names: Sequence[str], n_trees: int = 40, seed: int = 0
+    ) -> None:
+        self.metric_names = tuple(metric_names)
+        self.n_trees = n_trees
+        self.seed = seed
+        self.forest_: RandomForestRegressor | None = None
+
+    def fit(
+        self, pairs: Sequence[MetricVector], labels: Sequence[bool]
+    ) -> "ForestAggregator":
+        features = np.array([pair.feature_row(self.metric_names) for pair in pairs])
+        targets = np.where(np.asarray(labels, dtype=bool), 1.0, -1.0)
+        self.forest_ = RandomForestRegressor.tune(
+            features, targets, n_trees=self.n_trees, seed=self.seed
+        )
+        return self
+
+    def score(self, pair: MetricVector) -> float:
+        if self.forest_ is None:
+            raise RuntimeError("aggregator is not fitted")
+        prediction = self.forest_.predict_one(pair.feature_row(self.metric_names))
+        return float(min(1.0, max(-1.0, prediction)))
+
+    def metric_importances(self) -> dict[str, float]:
+        """Per-metric importance: the summed importance of its two features."""
+        if self.forest_ is None:
+            raise RuntimeError("aggregator is not fitted")
+        feature_importances = self.forest_.feature_importances_
+        importances: dict[str, float] = {}
+        for position, name in enumerate(self.metric_names):
+            importances[name] = float(
+                feature_importances[2 * position] + feature_importances[2 * position + 1]
+            )
+        total = sum(importances.values())
+        if total > 0:
+            importances = {name: value / total for name, value in importances.items()}
+        return importances
+
+
+class StaticWeightedAggregator:
+    """A fixed (not learned) weighted average with threshold normalization.
+
+    Used by the untrained default pipeline so the library works out of the
+    box; ``fit`` is a no-op.  Weights are normalized to sum 1.
+    """
+
+    def __init__(self, weights: Mapping[str, float], threshold: float = 0.5) -> None:
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.metric_names = tuple(weights)
+        self.weights_ = {name: weight / total for name, weight in weights.items()}
+        self.threshold_ = threshold
+
+    def fit(
+        self, pairs: Sequence[MetricVector], labels: Sequence[bool]
+    ) -> "StaticWeightedAggregator":
+        return self
+
+    def score(self, pair: MetricVector) -> float:
+        raw = 0.0
+        for name, weight in self.weights_.items():
+            output = pair.outputs.get(name)
+            if output is not None:
+                raw += weight * output[0]
+        threshold = self.threshold_
+        if raw >= threshold:
+            span = 1.0 - threshold
+            return (raw - threshold) / span if span > 0 else 1.0
+        return (raw - threshold) / threshold if threshold > 0 else -1.0
+
+    def metric_importances(self) -> dict[str, float]:
+        return dict(self.weights_)
+
+
+class ShiftedAggregator:
+    """Shifts a fitted aggregator's decision boundary by a learned offset.
+
+    The clusterer treats score 0 as the merge boundary; balanced pair
+    upsampling biases aggregators positive on hard negatives (homonyms),
+    so the clustering operating point is calibrated per class by
+    subtracting an offset chosen on the training fold.
+    """
+
+    def __init__(self, base: ScoreAggregator, offset: float) -> None:
+        self.base = base
+        self.offset = offset
+
+    def fit(
+        self, pairs: Sequence[MetricVector], labels: Sequence[bool]
+    ) -> "ShiftedAggregator":
+        self.base.fit(pairs, labels)
+        return self
+
+    def score(self, pair: MetricVector) -> float:
+        return max(-1.0, min(1.0, self.base.score(pair) - self.offset))
+
+    def metric_importances(self) -> dict[str, float]:
+        return self.base.metric_importances()
+
+
+class CombinedAggregator:
+    """Convex combination of weighted average and forest scores.
+
+    The blend weight is chosen by a small line search maximizing matching F1
+    (classification boundary at 0) on the learning pairs — the paper's
+    "weights are also learned as described above" applied to two inputs.
+    """
+
+    def __init__(
+        self, metric_names: Sequence[str], n_trees: int = 40, seed: int = 0
+    ) -> None:
+        self.metric_names = tuple(metric_names)
+        self.weighted = WeightedAverageAggregator(metric_names, seed=seed)
+        self.forest = ForestAggregator(metric_names, n_trees=n_trees, seed=seed)
+        self.alpha_: float = 0.5
+
+    def fit(
+        self, pairs: Sequence[MetricVector], labels: Sequence[bool]
+    ) -> "CombinedAggregator":
+        labels = np.asarray(labels, dtype=bool)
+        self.weighted.fit(pairs, labels)
+        self.forest.fit(pairs, labels)
+        weighted_scores = np.array([self.weighted.score(pair) for pair in pairs])
+        forest_scores = np.array([self.forest.score(pair) for pair in pairs])
+        best_alpha = 0.5
+        best_f1 = -1.0
+        for alpha in np.linspace(0.0, 1.0, 21):
+            blended = alpha * weighted_scores + (1.0 - alpha) * forest_scores
+            blend_f1 = f1_score(blended >= 0.0, labels)
+            if blend_f1 > best_f1:
+                best_f1 = blend_f1
+                best_alpha = float(alpha)
+        self.alpha_ = best_alpha
+        return self
+
+    def score(self, pair: MetricVector) -> float:
+        return self.alpha_ * self.weighted.score(pair) + (
+            1.0 - self.alpha_
+        ) * self.forest.score(pair)
+
+    def metric_importances(self) -> dict[str, float]:
+        """Paper's metric importance: mean of forest and weight importances."""
+        weighted = self.weighted.metric_importances()
+        forest = self.forest.metric_importances()
+        return {
+            name: (weighted[name] + forest[name]) / 2.0
+            for name in self.metric_names
+        }

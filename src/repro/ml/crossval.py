@@ -1,0 +1,88 @@
+"""Cross-validation splitting and class balancing.
+
+The gold standard is split into three folds such that (a) new and existing
+clusters are evenly distributed and (b) homonym groups — clusters with
+highly similar labels — always land in the same fold (Section 2.3).  Pair
+training sets are upsampled so matching and non-matching pairs are balanced
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Hashable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+
+
+def stratified_group_folds(
+    items: Sequence[Item],
+    n_folds: int,
+    group_of: "callable[[Item], Hashable]",
+    stratum_of: "callable[[Item], Hashable]",
+    seed: int = 0,
+) -> list[list[Item]]:
+    """Split items into folds keeping groups intact and strata balanced.
+
+    Groups are assigned greedily, largest first, to the fold where they
+    least worsen the per-stratum imbalance; a seeded shuffle breaks ties
+    deterministically but without order bias.
+    """
+    if n_folds < 2:
+        raise ValueError("need at least two folds")
+    groups: dict[Hashable, list[Item]] = defaultdict(list)
+    for item in items:
+        groups[group_of(item)].append(item)
+    group_list = list(groups.items())
+    rng = random.Random(seed)
+    rng.shuffle(group_list)
+    group_list.sort(key=lambda entry: -len(entry[1]))
+    fold_items: list[list[Item]] = [[] for __ in range(n_folds)]
+    fold_strata: list[defaultdict[Hashable, int]] = [
+        defaultdict(int) for __ in range(n_folds)
+    ]
+    fold_sizes = [0] * n_folds
+    for __, members in group_list:
+        stratum_counts: defaultdict[Hashable, int] = defaultdict(int)
+        for item in members:
+            stratum_counts[stratum_of(item)] += 1
+        best_fold = 0
+        best_cost = None
+        for fold in range(n_folds):
+            # Cost: resulting per-stratum maximum plus a size-balance term.
+            cost = 0.0
+            for stratum, count in stratum_counts.items():
+                cost += fold_strata[fold][stratum] + count
+            cost += 0.5 * (fold_sizes[fold] + len(members))
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_fold = fold
+        fold_items[best_fold].extend(members)
+        fold_sizes[best_fold] += len(members)
+        for stratum, count in stratum_counts.items():
+            fold_strata[best_fold][stratum] += count
+    return fold_items
+
+
+def upsample_balanced(
+    positives: Sequence[Item], negatives: Sequence[Item], seed: int = 0
+) -> tuple[list[Item], list[Item]]:
+    """Upsample the minority side by repetition until both sides match.
+
+    Returns ``(positives, negatives)`` with equal lengths; sampling with
+    replacement is seeded and deterministic.  Empty inputs pass through
+    unchanged (nothing to balance against).
+    """
+    if not positives or not negatives:
+        return list(positives), list(negatives)
+    rng = random.Random(seed)
+    positives = list(positives)
+    negatives = list(negatives)
+    if len(positives) < len(negatives):
+        deficit = len(negatives) - len(positives)
+        positives.extend(rng.choices(positives, k=deficit))
+    elif len(negatives) < len(positives):
+        deficit = len(positives) - len(negatives)
+        negatives.extend(rng.choices(negatives, k=deficit))
+    return positives, negatives

@@ -1,0 +1,173 @@
+"""Genetic algorithm for learning metric weights and a decision threshold.
+
+Section 3.2: "When learning weights we utilize a genetic algorithm that
+attempts to maximize the matching performance on the learning set."  A
+chromosome is a non-negative weight vector (normalized to sum 1) plus a
+threshold; fitness is the F1 of classifying a pair as matching when the
+weighted average of its metric scores reaches the threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def f1_score(predicted: np.ndarray, actual: np.ndarray) -> float:
+    """F1 of boolean predictions against boolean ground truth."""
+    true_positive = int(np.sum(predicted & actual))
+    predicted_positive = int(predicted.sum())
+    actual_positive = int(actual.sum())
+    if predicted_positive == 0 or actual_positive == 0 or true_positive == 0:
+        return 0.0
+    precision = true_positive / predicted_positive
+    recall = true_positive / actual_positive
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class LearnedWeights:
+    """Result of a GA run: normalized weights and decision threshold."""
+
+    weights: np.ndarray
+    threshold: float
+    fitness: float
+
+
+class GeneticWeightLearner:
+    """Learns weights + threshold maximizing matching F1.
+
+    Standard real-coded GA: tournament selection, blend (BLX-alpha)
+    crossover, Gaussian mutation, elitism of one, early stop after
+    ``patience`` stale generations.  Fully deterministic given ``seed``.
+    """
+
+    def __init__(
+        self,
+        population_size: int = 48,
+        generations: int = 60,
+        tournament_size: int = 3,
+        crossover_rate: float = 0.9,
+        mutation_rate: float = 0.25,
+        mutation_sigma: float = 0.15,
+        patience: int = 15,
+        seed: int = 0,
+    ) -> None:
+        self.population_size = population_size
+        self.generations = generations
+        self.tournament_size = tournament_size
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self.mutation_sigma = mutation_sigma
+        self.patience = patience
+        self.seed = seed
+
+    def learn(self, scores: np.ndarray, labels: np.ndarray) -> LearnedWeights:
+        """Learn from a (n_pairs, n_metrics) score matrix and boolean labels."""
+        scores = np.asarray(scores, dtype=float)
+        labels = np.asarray(labels, dtype=bool)
+        if scores.ndim != 2:
+            raise ValueError("scores must be a 2D array")
+        if len(scores) != len(labels):
+            raise ValueError("scores and labels disagree in length")
+        n_metrics = scores.shape[1]
+        rng = np.random.default_rng(self.seed)
+        population = self._initial_population(rng, n_metrics)
+        fitness = np.array(
+            [self._fitness(individual, scores, labels) for individual in population]
+        )
+        best_index = int(np.argmax(fitness))
+        best = population[best_index].copy()
+        best_fitness = float(fitness[best_index])
+        stale = 0
+        for _generation in range(self.generations):
+            population = self._next_generation(rng, population, fitness, best)
+            fitness = np.array(
+                [self._fitness(individual, scores, labels) for individual in population]
+            )
+            generation_best = int(np.argmax(fitness))
+            if fitness[generation_best] > best_fitness:
+                best_fitness = float(fitness[generation_best])
+                best = population[generation_best].copy()
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        weights, threshold = self._decode(best)
+        return LearnedWeights(weights=weights, threshold=threshold, fitness=best_fitness)
+
+    # ------------------------------------------------------------------
+    # GA internals
+    # ------------------------------------------------------------------
+    def _initial_population(
+        self, rng: np.random.Generator, n_metrics: int
+    ) -> list[np.ndarray]:
+        population = [
+            np.concatenate([rng.random(n_metrics), rng.uniform(0.1, 0.9, 1)])
+            for __ in range(self.population_size - 1)
+        ]
+        # Seed one uniform-weights individual; a strong, common baseline.
+        uniform = np.concatenate([np.full(n_metrics, 1.0 / n_metrics), [0.5]])
+        population.append(uniform)
+        return population
+
+    @staticmethod
+    def _decode(chromosome: np.ndarray) -> tuple[np.ndarray, float]:
+        raw_weights = np.clip(chromosome[:-1], 0.0, None)
+        total = raw_weights.sum()
+        if total == 0.0:
+            weights = np.full(len(raw_weights), 1.0 / len(raw_weights))
+        else:
+            weights = raw_weights / total
+        threshold = float(np.clip(chromosome[-1], 0.02, 0.98))
+        return weights, threshold
+
+    def _fitness(
+        self, chromosome: np.ndarray, scores: np.ndarray, labels: np.ndarray
+    ) -> float:
+        weights, threshold = self._decode(chromosome)
+        aggregated = scores @ weights
+        return f1_score(aggregated >= threshold, labels)
+
+    def _tournament(
+        self, rng: np.random.Generator, population: list[np.ndarray], fitness: np.ndarray
+    ) -> np.ndarray:
+        contenders = rng.integers(0, len(population), size=self.tournament_size)
+        winner = contenders[int(np.argmax(fitness[contenders]))]
+        return population[winner]
+
+    def _next_generation(
+        self,
+        rng: np.random.Generator,
+        population: list[np.ndarray],
+        fitness: np.ndarray,
+        elite: np.ndarray,
+    ) -> list[np.ndarray]:
+        next_population = [elite.copy()]
+        while len(next_population) < self.population_size:
+            parent_a = self._tournament(rng, population, fitness)
+            parent_b = self._tournament(rng, population, fitness)
+            if rng.random() < self.crossover_rate:
+                child = self._blend_crossover(rng, parent_a, parent_b)
+            else:
+                child = parent_a.copy()
+            self._mutate(rng, child)
+            next_population.append(child)
+        return next_population
+
+    @staticmethod
+    def _blend_crossover(
+        rng: np.random.Generator, parent_a: np.ndarray, parent_b: np.ndarray
+    ) -> np.ndarray:
+        alpha = 0.3
+        low = np.minimum(parent_a, parent_b)
+        high = np.maximum(parent_a, parent_b)
+        span = high - low
+        return rng.uniform(low - alpha * span, high + alpha * span + 1e-12)
+
+    def _mutate(self, rng: np.random.Generator, chromosome: np.ndarray) -> None:
+        mask = rng.random(len(chromosome)) < self.mutation_rate
+        chromosome[mask] += rng.normal(0.0, self.mutation_sigma, int(mask.sum()))
+        np.clip(chromosome, -0.2, 1.2, out=chromosome)

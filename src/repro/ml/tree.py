@@ -1,0 +1,182 @@
+"""CART regression trees with variance-reduction splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Node:
+    """One tree node; leaves carry a value, internal nodes a split."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self) -> None:
+        self.feature: int = -1
+        self.threshold: float = 0.0
+        self.left: _Node | None = None
+        self.right: _Node | None = None
+        self.value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split(x: np.ndarray, y: np.ndarray) -> tuple[float, float] | None:
+    """Best threshold for one feature column, by variance reduction.
+
+    Returns ``(threshold, impurity_decrease)`` or ``None`` when the column
+    is constant.  Uses the classic cumulative-sum scan over sorted values.
+    """
+    order = np.argsort(x, kind="stable")
+    x_sorted = x[order]
+    y_sorted = y[order]
+    n = len(y_sorted)
+    if x_sorted[0] == x_sorted[-1]:
+        return None
+    cum_sum = np.cumsum(y_sorted)
+    cum_sq = np.cumsum(y_sorted * y_sorted)
+    total_sum = cum_sum[-1]
+    total_sq = cum_sq[-1]
+    # Candidate split positions: between distinct consecutive values.
+    boundaries = np.nonzero(x_sorted[:-1] < x_sorted[1:])[0]
+    if boundaries.size == 0:
+        return None
+    left_n = boundaries + 1
+    right_n = n - left_n
+    left_sum = cum_sum[boundaries]
+    left_sq = cum_sq[boundaries]
+    right_sum = total_sum - left_sum
+    right_sq = total_sq - left_sq
+    # Sum of squared errors on each side; minimizing their sum maximizes
+    # variance reduction.
+    left_sse = left_sq - left_sum * left_sum / left_n
+    right_sse = right_sq - right_sum * right_sum / right_n
+    sse = left_sse + right_sse
+    best = int(np.argmin(sse))
+    parent_sse = total_sq - total_sum * total_sum / n
+    decrease = float(parent_sse - sse[best])
+    position = boundaries[best]
+    threshold = float((x_sorted[position] + x_sorted[position + 1]) / 2.0)
+    return threshold, decrease
+
+
+class RegressionTree:
+    """A single CART regression tree.
+
+    ``max_features`` bounds the number of features examined per split (the
+    forest's decorrelation mechanism); ``None`` means all features.  The
+    tree records per-feature impurity decreases for feature importances.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_leaf: int = 1,
+        min_samples_split: int = 2,
+        max_features: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._root: _Node | None = None
+        self._importances: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        """Fit the tree on a (n_samples, n_features) matrix."""
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2D array")
+        if len(features) != len(targets):
+            raise ValueError("features and targets disagree in length")
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self._importances = np.zeros(features.shape[1])
+        self._root = self._grow(features, targets, depth=0)
+        return self
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray, depth: int) -> _Node:
+        node = _Node()
+        node.value = float(targets.mean())
+        n_samples, n_features = features.shape
+        if (
+            n_samples < self.min_samples_split
+            or n_samples < 2 * self.min_samples_leaf
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.all(targets == targets[0])
+        ):
+            return node
+        if self.max_features is not None and self.max_features < n_features:
+            columns = self._rng.choice(n_features, self.max_features, replace=False)
+        else:
+            columns = np.arange(n_features)
+        best_feature = -1
+        best_threshold = 0.0
+        best_decrease = 0.0
+        for column in columns:
+            found = _best_split(features[:, column], targets)
+            if found is None:
+                continue
+            threshold, decrease = found
+            if decrease > best_decrease:
+                best_feature = int(column)
+                best_threshold = threshold
+                best_decrease = decrease
+        if best_feature < 0:
+            return node
+        mask = features[:, best_feature] <= best_threshold
+        left_count = int(mask.sum())
+        if left_count < self.min_samples_leaf or (n_samples - left_count) < self.min_samples_leaf:
+            return node
+        self._importances[best_feature] += best_decrease
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = self._grow(features[mask], targets[mask], depth + 1)
+        node.right = self._grow(features[~mask], targets[~mask], depth + 1)
+        return node
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a (n_samples, n_features) matrix."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2D array")
+        return np.array([self._predict_one(row) for row in features])
+
+    def _predict_one(self, row) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def predict_one(self, row) -> float:
+        """Fast path: predict a single sample (sequence of feature values)."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return self._predict_one(row)
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Impurity-decrease importances, normalized to sum to 1."""
+        if self._importances is None:
+            raise RuntimeError("tree is not fitted")
+        total = self._importances.sum()
+        if total == 0.0:
+            return np.zeros_like(self._importances)
+        return self._importances / total
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (0 for a single leaf)."""
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return walk(self._root)

@@ -1,0 +1,56 @@
+"""New detection (Section 3.4).
+
+Decides for each created entity whether it describes a new instance or an
+existing one.  Three steps: label-index candidate selection (restricted to
+class-compatible instances), similarity scoring with six aggregated
+entity-to-instance metrics, and two-threshold classification.  Entities
+classified as existing receive a correspondence to the matched instance,
+which iteration 2 of the pipeline feeds back into schema matching.
+"""
+
+from repro.newdetect.candidates import CandidateSelector
+from repro.newdetect.metrics import (
+    ENTITY_METRIC_NAMES,
+    AttributeEIMetric,
+    BowEIMetric,
+    EntityInstanceMetric,
+    ImplicitEIMetric,
+    LabelEIMetric,
+    PopularityEIMetric,
+    TypeEIMetric,
+    make_entity_metrics,
+)
+from repro.newdetect.detector import (
+    Classification,
+    DetectionResult,
+    EntityInstanceSimilarity,
+    NewDetector,
+)
+from repro.newdetect.training import (
+    build_entity_training_pairs,
+    learn_thresholds,
+    train_entity_similarity,
+)
+from repro.newdetect.evaluation import DetectionScores, evaluate_detection
+
+__all__ = [
+    "CandidateSelector",
+    "ENTITY_METRIC_NAMES",
+    "EntityInstanceMetric",
+    "LabelEIMetric",
+    "TypeEIMetric",
+    "BowEIMetric",
+    "AttributeEIMetric",
+    "ImplicitEIMetric",
+    "PopularityEIMetric",
+    "make_entity_metrics",
+    "Classification",
+    "DetectionResult",
+    "EntityInstanceSimilarity",
+    "NewDetector",
+    "build_entity_training_pairs",
+    "learn_thresholds",
+    "train_entity_similarity",
+    "DetectionScores",
+    "evaluate_detection",
+]

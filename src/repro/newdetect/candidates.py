@@ -1,0 +1,50 @@
+"""Candidate instance selection for new detection (Section 3.4).
+
+Candidates are retrieved from the knowledge base label index using the
+entity's labels, and must be of the entity's class or share one parent
+class with it.
+"""
+
+from __future__ import annotations
+
+from repro.fusion.entity import Entity
+from repro.kb.instance import KBInstance
+from repro.kb.knowledge_base import KnowledgeBase
+
+
+class CandidateSelector:
+    """Label-index candidate retrieval with class compatibility filtering."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        candidate_limit: int = 10,
+        max_labels: int = 3,
+    ) -> None:
+        self.kb = kb
+        self.candidate_limit = candidate_limit
+        self.max_labels = max_labels
+        self._compatible_cache: dict[str, bool] = {}
+
+    def candidates(self, entity: Entity) -> list[KBInstance]:
+        """Class-compatible candidate instances, deduplicated, best first."""
+        seen: set[str] = set()
+        result: list[KBInstance] = []
+        for label in entity.labels[: self.max_labels]:
+            for match in self.kb.label_matches(label, self.candidate_limit):
+                for uri in match.payloads:
+                    if uri in seen:
+                        continue
+                    seen.add(uri)
+                    instance = self.kb.get(uri)
+                    if self._compatible(instance.class_name, entity.class_name):
+                        result.append(instance)
+        return result
+
+    def _compatible(self, instance_class: str, entity_class: str) -> bool:
+        key = f"{instance_class}|{entity_class}"
+        if key not in self._compatible_cache:
+            self._compatible_cache[key] = self.kb.schema.share_parent(
+                instance_class, entity_class
+            )
+        return self._compatible_cache[key]

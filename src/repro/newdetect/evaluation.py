@@ -1,0 +1,73 @@
+"""New detection evaluation (Section 3.4, Table 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.newdetect.detector import Classification, DetectionResult
+
+
+@dataclass(frozen=True)
+class DetectionScores:
+    """Accuracy plus the two per-category F1 scores."""
+
+    accuracy: float
+    f1_existing: float
+    f1_new: float
+    n_entities: int
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def evaluate_detection(
+    result: DetectionResult,
+    truth_is_new: Mapping[str, bool],
+    truth_uri: Mapping[str, str],
+) -> DetectionScores:
+    """Score classifications against gold truth.
+
+    ``truth_is_new`` maps entity ids to their gold new/existing state;
+    ``truth_uri`` the gold instance for existing entities.  An existing
+    entity counts as correct only when matched to the correct instance.
+    """
+    correct = 0
+    returned_new = 0
+    correct_new = 0
+    returned_existing = 0
+    correct_existing = 0
+    total = 0
+    total_new = sum(1 for is_new in truth_is_new.values() if is_new)
+    total_existing = sum(1 for is_new in truth_is_new.values() if not is_new)
+    for entity_id, is_new in truth_is_new.items():
+        total += 1
+        classification = result.classifications.get(entity_id)
+        if classification is Classification.NEW:
+            returned_new += 1
+            if is_new:
+                correct += 1
+                correct_new += 1
+        elif classification is Classification.EXISTING:
+            returned_existing += 1
+            matched = result.correspondences.get(entity_id)
+            if not is_new and matched == truth_uri.get(entity_id):
+                correct += 1
+                correct_existing += 1
+        # AMBIGUOUS (or missing) is never correct.
+    accuracy = correct / total if total else 0.0
+    precision_new = correct_new / returned_new if returned_new else 0.0
+    recall_new = correct_new / total_new if total_new else 0.0
+    precision_existing = (
+        correct_existing / returned_existing if returned_existing else 0.0
+    )
+    recall_existing = correct_existing / total_existing if total_existing else 0.0
+    return DetectionScores(
+        accuracy=accuracy,
+        f1_existing=_f1(precision_existing, recall_existing),
+        f1_new=_f1(precision_new, recall_new),
+        n_entities=total,
+    )

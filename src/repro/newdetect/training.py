@@ -1,0 +1,117 @@
+"""Training for new detection: pair building, aggregator fit, thresholds."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.fusion.entity import Entity
+from repro.kb.instance import KBInstance
+from repro.ml.aggregation import CombinedAggregator, MetricVector, ScoreAggregator
+from repro.ml.crossval import upsample_balanced
+from repro.newdetect.candidates import CandidateSelector
+from repro.newdetect.detector import EntityInstanceSimilarity
+from repro.newdetect.metrics import EntityInstanceMetric
+
+#: One training pair: (entity, candidate, full candidate list, is-match).
+EntityPair = tuple[Entity, KBInstance, Sequence[KBInstance], bool]
+
+
+def build_entity_training_pairs(
+    entities: Sequence[Entity],
+    truth_uri: Mapping[str, str],
+    selector: CandidateSelector,
+    seed: int = 0,
+) -> list[EntityPair]:
+    """Label (entity, candidate) pairs from gold correspondences.
+
+    Candidates equal to the gold instance are positive; every other
+    candidate (including all candidates of gold-new entities) is negative.
+    Balanced by upsampling.
+    """
+    positives: list[EntityPair] = []
+    negatives: list[EntityPair] = []
+    for entity in entities:
+        candidates = selector.candidates(entity)
+        gold = truth_uri.get(entity.entity_id)
+        for candidate in candidates:
+            pair = (entity, candidate, candidates, candidate.uri == gold)
+            (positives if pair[3] else negatives).append(pair)
+    positives, negatives = upsample_balanced(positives, negatives, seed=seed)
+    return positives + negatives
+
+
+def train_entity_similarity(
+    metrics: Sequence[EntityInstanceMetric],
+    pairs: Sequence[EntityPair],
+    aggregator: ScoreAggregator | None = None,
+    seed: int = 0,
+) -> EntityInstanceSimilarity:
+    """Fit the aggregator on labelled entity-instance pairs."""
+    metric_names = [metric.name for metric in metrics]
+    if aggregator is None:
+        aggregator = CombinedAggregator(metric_names, seed=seed)
+    similarity = EntityInstanceSimilarity(metrics, aggregator)
+    vectors: list[MetricVector] = []
+    labels: list[bool] = []
+    for entity, candidate, candidates, is_match in pairs:
+        vectors.append(similarity.metric_vector(entity, candidate, candidates))
+        labels.append(is_match)
+    aggregator.fit(vectors, labels)
+    return similarity
+
+
+def learn_thresholds(
+    similarity: EntityInstanceSimilarity,
+    selector: CandidateSelector,
+    entities: Sequence[Entity],
+    truth_is_new: Mapping[str, bool],
+    truth_uri: Mapping[str, str],
+    grid: Sequence[float] = tuple(np.linspace(-0.6, 0.6, 13)),
+) -> tuple[float, float]:
+    """Grid-search the (new, existing) threshold pair maximizing accuracy.
+
+    Candidate scores are computed once per entity; the grid sweep is then
+    a pure function of the two thresholds.  The grid is small by design —
+    the aggregated score already centres the decision boundary near zero.
+    """
+    # entity_id → (best_score, best_uri); None when no candidates at all.
+    precomputed: dict[str, tuple[float, str] | None] = {}
+    for entity in entities:
+        candidates = selector.candidates(entity)
+        if not candidates:
+            precomputed[entity.entity_id] = None
+            continue
+        scored = [
+            (similarity.score(entity, candidate, candidates), candidate.uri)
+            for candidate in candidates
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        precomputed[entity.entity_id] = scored[0]
+
+    def accuracy_at(new_threshold: float, existing_threshold: float) -> float:
+        correct = 0
+        total = 0
+        for entity_id, is_new in truth_is_new.items():
+            if entity_id not in precomputed:
+                continue
+            total += 1
+            best = precomputed[entity_id]
+            if best is None or best[0] < new_threshold:
+                correct += int(is_new)
+            elif best[0] >= existing_threshold:
+                correct += int(not is_new and best[1] == truth_uri.get(entity_id))
+        return correct / total if total else 0.0
+
+    best = (0.0, 0.0)
+    best_accuracy = -1.0
+    for new_threshold, existing_threshold in itertools.product(grid, grid):
+        if new_threshold > existing_threshold:
+            continue
+        accuracy = accuracy_at(float(new_threshold), float(existing_threshold))
+        if accuracy > best_accuracy:
+            best_accuracy = accuracy
+            best = (float(new_threshold), float(existing_threshold))
+    return best

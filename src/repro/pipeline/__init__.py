@@ -1,0 +1,57 @@
+"""Pipeline orchestration and the paper's evaluation protocols.
+
+:class:`~repro.pipeline.pipeline.LongTailPipeline` wires the four
+components — schema matching, row clustering, entity creation, new
+detection — into the two-iteration process of Figure 1.  The evaluation
+modules implement Section 4 (new-instances-found and facts-found on the
+gold standard), Section 5 (large-scale profiling) and Section 6 (ranked
+set-expansion-style evaluation).
+"""
+
+from repro.pipeline.pipeline import LongTailPipeline, PipelineConfig
+from repro.pipeline.result import IterationArtifacts, PipelineResult
+from repro.pipeline.training import TrainedModels, train_models
+from repro.pipeline.gold_utils import (
+    evidence_from_gold,
+    gold_clusters_to_row_clusters,
+    mapping_from_gold,
+    records_from_gold,
+)
+from repro.pipeline.evaluation import (
+    FactScores,
+    NewInstanceScores,
+    evaluate_facts_found,
+    evaluate_new_instances_found,
+    map_entities_to_gold,
+)
+from repro.pipeline.profiling import ClassProfilingResult, profile_class_run
+from repro.pipeline.ranking import RankedScores, rank_new_entities, ranked_evaluation
+from repro.pipeline.dedup import DedupResult, deduplicate_entities
+from repro.pipeline.slotfill import SlotFillingReport, slot_filling_report
+
+__all__ = [
+    "LongTailPipeline",
+    "PipelineConfig",
+    "IterationArtifacts",
+    "PipelineResult",
+    "TrainedModels",
+    "train_models",
+    "mapping_from_gold",
+    "records_from_gold",
+    "evidence_from_gold",
+    "gold_clusters_to_row_clusters",
+    "NewInstanceScores",
+    "FactScores",
+    "evaluate_new_instances_found",
+    "evaluate_facts_found",
+    "map_entities_to_gold",
+    "ClassProfilingResult",
+    "profile_class_run",
+    "RankedScores",
+    "rank_new_entities",
+    "ranked_evaluation",
+    "DedupResult",
+    "deduplicate_entities",
+    "SlotFillingReport",
+    "slot_filling_report",
+]

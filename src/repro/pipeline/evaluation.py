@@ -1,0 +1,169 @@
+"""Gold standard evaluations of the full pipeline (Section 4).
+
+* **New instances found** (Table 9): precision/recall over entities the
+  system returned as new, with the paper's three correctness conditions.
+* **Facts found** (Table 10): precision/recall/F1 of the facts generated
+  for new entities, compared to gold facts with data-type similarity and
+  the property tolerance.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datatypes.similarity import TypedSimilarity
+from repro.fusion.entity import Entity
+from repro.goldstandard.annotations import GoldStandard
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.newdetect.detector import Classification, DetectionResult
+
+
+@dataclass(frozen=True)
+class NewInstanceScores:
+    """Table 9 row: new-instances-found precision/recall/F1."""
+
+    precision: float
+    recall: float
+    f1: float
+    returned_new: int
+    gold_new: int
+
+
+@dataclass(frozen=True)
+class FactScores:
+    """Table 10 cell: facts-found precision/recall/F1."""
+
+    precision: float
+    recall: float
+    f1: float
+    returned_facts: int
+    gold_facts: int
+
+
+def _f1(precision: float, recall: float) -> float:
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def map_entities_to_gold(
+    entities: Sequence[Entity], gold: GoldStandard
+) -> dict[str, str | None]:
+    """Map entities to gold clusters under the paper's majority conditions.
+
+    An entity maps to a gold cluster when (a) the majority of the entity's
+    rows belong to that cluster and (b) the entity contains the majority
+    of the cluster's rows.  Entities failing either condition map to
+    ``None``.
+    """
+    row_to_cluster = gold.cluster_of_row()
+    cluster_sizes = {
+        cluster.cluster_id: len(cluster.row_ids) for cluster in gold.clusters
+    }
+    mapping: dict[str, str | None] = {}
+    for entity in entities:
+        votes: Counter[str] = Counter()
+        for row_id in entity.row_ids():
+            cluster_id = row_to_cluster.get(row_id)
+            if cluster_id is not None:
+                votes[cluster_id] += 1
+        if not votes:
+            mapping[entity.entity_id] = None
+            continue
+        best_cluster, best_votes = votes.most_common(1)[0]
+        majority_of_entity = best_votes * 2 > len(entity.rows)
+        majority_of_cluster = best_votes * 2 > cluster_sizes[best_cluster]
+        mapping[entity.entity_id] = (
+            best_cluster if (majority_of_entity and majority_of_cluster) else None
+        )
+    return mapping
+
+
+def evaluate_new_instances_found(
+    entities: Sequence[Entity],
+    detection: DetectionResult,
+    gold: GoldStandard,
+) -> NewInstanceScores:
+    """Score the system's new entities against the gold new clusters."""
+    entity_to_cluster = map_entities_to_gold(entities, gold)
+    new_cluster_ids = {cluster.cluster_id for cluster in gold.new_clusters()}
+    returned_new = [
+        entity
+        for entity in entities
+        if detection.classifications.get(entity.entity_id) is Classification.NEW
+    ]
+    correctly_found: set[str] = set()
+    correct_entities = 0
+    for entity in returned_new:
+        cluster_id = entity_to_cluster.get(entity.entity_id)
+        if cluster_id is not None and cluster_id in new_cluster_ids:
+            correct_entities += 1
+            correctly_found.add(cluster_id)
+    precision = correct_entities / len(returned_new) if returned_new else 0.0
+    recall = len(correctly_found) / len(new_cluster_ids) if new_cluster_ids else 0.0
+    return NewInstanceScores(
+        precision=precision,
+        recall=recall,
+        f1=_f1(precision, recall),
+        returned_new=len(returned_new),
+        gold_new=len(new_cluster_ids),
+    )
+
+
+def evaluate_facts_found(
+    entities: Sequence[Entity],
+    detection: DetectionResult,
+    gold: GoldStandard,
+    kb: KnowledgeBase,
+) -> FactScores:
+    """Score the facts of returned-new entities against gold facts.
+
+    Facts of entities that cannot be mapped to a new gold cluster count as
+    wrong; recall's denominator is the number of gold value groups (of new
+    clusters) whose correct value is present in the tables.
+    """
+    properties = kb.schema.properties_of(gold.class_name)
+    entity_to_cluster = map_entities_to_gold(entities, gold)
+    new_cluster_ids = {cluster.cluster_id for cluster in gold.new_clusters()}
+    gold_facts = {
+        (fact.cluster_id, fact.property_name): fact
+        for fact in gold.facts
+        if fact.cluster_id in new_cluster_ids
+    }
+    returned = 0
+    correct = 0
+    matched_groups: set[tuple[str, str]] = set()
+    for entity in entities:
+        if detection.classifications.get(entity.entity_id) is not Classification.NEW:
+            continue
+        cluster_id = entity_to_cluster.get(entity.entity_id)
+        for property_name, value in entity.facts.items():
+            returned += 1
+            if cluster_id is None or cluster_id not in new_cluster_ids:
+                continue
+            fact = gold_facts.get((cluster_id, property_name))
+            if fact is None:
+                continue
+            prop = properties.get(property_name)
+            if prop is None:
+                continue
+            similarity = TypedSimilarity(prop.data_type, prop.tolerance)
+            if similarity.equal(value, fact.value):
+                correct += 1
+                matched_groups.add((cluster_id, property_name))
+    recall_denominator = sum(
+        1 for fact in gold_facts.values() if fact.value_present
+    )
+    precision = correct / returned if returned else 0.0
+    recall = (
+        len(matched_groups) / recall_denominator if recall_denominator else 0.0
+    )
+    return FactScores(
+        precision=precision,
+        recall=recall,
+        f1=_f1(precision, recall),
+        returned_facts=returned,
+        gold_facts=recall_denominator,
+    )

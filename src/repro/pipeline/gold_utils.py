@@ -1,0 +1,105 @@
+"""Bridging gold standard annotations into pipeline structures.
+
+Used by training (the learned components consume gold annotations) and by
+the "GS" configurations of Tables 9/10, which replace a component's output
+with the gold annotation to isolate the other components' error
+contributions.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.greedy import Cluster
+from repro.goldstandard.annotations import LABEL_COLUMN, GoldStandard
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.correspondences import (
+    AttributeCorrespondence,
+    SchemaMapping,
+    TableMapping,
+)
+from repro.matching.matchers import DuplicateEvidence
+from repro.matching.records import RowRecord, build_row_records
+from repro.webtables.corpus import TableCorpus
+
+
+def mapping_from_gold(
+    gold: GoldStandard, kb: KnowledgeBase, score: float = 1.0
+) -> SchemaMapping:
+    """A schema mapping equivalent to the gold attribute annotations."""
+    properties = kb.schema.properties_of(gold.class_name)
+    mapping = SchemaMapping()
+    for table_id in gold.table_ids:
+        mapping.add(TableMapping(table_id=table_id, class_name=gold.class_name))
+    for (table_id, column), property_name in gold.attribute_correspondences.items():
+        table_mapping = mapping.table(table_id)
+        if table_mapping is None:
+            continue
+        if property_name == LABEL_COLUMN:
+            table_mapping.label_column = column
+            continue
+        prop = properties.get(property_name)
+        if prop is None:
+            continue
+        table_mapping.attributes[column] = AttributeCorrespondence(
+            table_id=table_id,
+            column=column,
+            property_name=property_name,
+            score=score,
+            data_type=prop.data_type,
+        )
+    return mapping
+
+
+def records_from_gold(
+    corpus: TableCorpus, gold: GoldStandard, kb: KnowledgeBase
+) -> list[RowRecord]:
+    """Row records of the annotated rows, under the gold schema mapping."""
+    mapping = mapping_from_gold(gold, kb)
+    return build_row_records(
+        corpus,
+        mapping,
+        gold.class_name,
+        table_ids=list(gold.table_ids),
+        row_ids=set(gold.annotated_rows()),
+    )
+
+
+def gold_clusters_to_row_clusters(
+    gold: GoldStandard, records: list[RowRecord]
+) -> list[Cluster]:
+    """The gold clustering expressed over row records (the "GS" setting)."""
+    by_row = {record.row_id: record for record in records}
+    clusters = []
+    for gs_cluster in gold.clusters:
+        members = [
+            by_row[row_id] for row_id in gs_cluster.row_ids if row_id in by_row
+        ]
+        if members:
+            clusters.append(
+                Cluster(cluster_id=gs_cluster.cluster_id, members=members)
+            )
+    return clusters
+
+
+def evidence_from_gold(
+    gold: GoldStandard, records: list[RowRecord]
+) -> DuplicateEvidence:
+    """Duplicate-matcher evidence as the gold annotations state it.
+
+    Row→instance correspondences come from existing clusters; cluster
+    values are collected from the records' matched values.
+    """
+    evidence = DuplicateEvidence()
+    by_row = {record.row_id: record for record in records}
+    for cluster in gold.clusters:
+        for row_id in cluster.row_ids:
+            evidence.cluster_of_row[row_id] = cluster.cluster_id
+            if cluster.kb_uri is not None:
+                evidence.row_instance[row_id] = cluster.kb_uri
+            record = by_row.get(row_id)
+            if record is None:
+                continue
+            for property_name, value in record.values.items():
+                evidence.cluster_values.setdefault(
+                    (cluster.cluster_id, property_name), []
+                ).append((value, record.table_id))
+    return evidence

@@ -1,0 +1,275 @@
+"""The two-iteration long-tail extraction pipeline (Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.clustering.clusterer import RowClusterer
+from repro.clustering.context import RowMetricContext, make_row_metrics
+from repro.clustering.metrics import ROW_METRIC_NAMES
+from repro.clustering.similarity import RowSimilarity
+from repro.fusion.fuser import EntityCreator
+from repro.fusion.scoring import exact_row_instances, make_scorer
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.correspondences import SchemaMapping
+from repro.matching.matchers import DuplicateEvidence
+from repro.matching.records import build_row_records
+from repro.matching.schema_matcher import SchemaMatcher, SchemaMatcherModels
+from repro.ml.aggregation import ScoreAggregator, StaticWeightedAggregator
+from repro.newdetect.candidates import CandidateSelector
+from repro.newdetect.detector import (
+    DetectionResult,
+    EntityInstanceSimilarity,
+    NewDetector,
+)
+from repro.newdetect.metrics import ENTITY_METRIC_NAMES, make_entity_metrics
+from repro.pipeline.result import IterationArtifacts, PipelineResult
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import RowId
+
+#: Fallback metric weights when the pipeline runs untrained.
+_DEFAULT_ROW_WEIGHTS = {
+    "LABEL": 0.40, "BOW": 0.18, "PHI": 0.05, "ATTRIBUTE": 0.20,
+    "IMPLICIT_ATT": 0.12, "SAME_TABLE": 0.05,
+}
+_DEFAULT_ENTITY_WEIGHTS = {
+    "LABEL": 0.35, "TYPE": 0.15, "BOW": 0.15, "ATTRIBUTE": 0.20,
+    "IMPLICIT_ATT": 0.10, "POPULARITY": 0.05,
+}
+
+
+@dataclass
+class PipelineConfig:
+    """Knobs of the pipeline (defaults follow the paper's best setup)."""
+
+    iterations: int = 2
+    row_metric_names: tuple[str, ...] = ROW_METRIC_NAMES
+    entity_metric_names: tuple[str, ...] = ENTITY_METRIC_NAMES
+    fusion_scoring: str = "voting"
+    batch_size: int = 32
+    use_klj: bool = True
+    use_blocking: bool = True
+    candidate_limit: int = 10
+    seed: int = 0
+    #: Post-clustering deduplication of new entities — the extension the
+    #: paper suggests in Section 5 against over-segmentation (off by
+    #: default, matching the published system).
+    dedup_new_entities: bool = False
+
+
+@dataclass
+class PipelineModels:
+    """Fitted models the pipeline runs with (see pipeline.training)."""
+
+    schema_models: SchemaMatcherModels = field(default_factory=SchemaMatcherModels)
+    row_aggregator: ScoreAggregator | None = None
+    entity_aggregator: ScoreAggregator | None = None
+    new_threshold: float = 0.0
+    existing_threshold: float = 0.0
+
+
+class LongTailPipeline:
+    """Schema matching → row clustering → entity creation → new detection,
+    iterated twice with feedback into the schema mapping."""
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        config: PipelineConfig | None = None,
+        models: PipelineModels | None = None,
+    ) -> None:
+        self.kb = kb
+        self.config = config or PipelineConfig()
+        self.models = models or PipelineModels()
+
+    @classmethod
+    def default(
+        cls, kb: KnowledgeBase, config: PipelineConfig | None = None
+    ) -> "LongTailPipeline":
+        """An untrained pipeline with sensible static metric weights."""
+        config = config or PipelineConfig()
+        models = PipelineModels(
+            row_aggregator=StaticWeightedAggregator(
+                {
+                    name: _DEFAULT_ROW_WEIGHTS[name]
+                    for name in config.row_metric_names
+                },
+                threshold=0.60,
+            ),
+            entity_aggregator=StaticWeightedAggregator(
+                {
+                    name: _DEFAULT_ENTITY_WEIGHTS[name]
+                    for name in config.entity_metric_names
+                },
+                threshold=0.60,
+            ),
+        )
+        return cls(kb, config, models)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        corpus: TableCorpus,
+        class_name: str,
+        table_ids: list[str] | None = None,
+        row_ids: set[RowId] | None = None,
+        known_classes: dict[str, str] | None = None,
+    ) -> PipelineResult:
+        """Run the full pipeline for one class.
+
+        ``table_ids`` restricts schema matching to a table subset;
+        ``row_ids`` restricts clustering to specific rows (gold standard
+        experiments); ``known_classes`` bypasses table-to-class matching.
+        """
+        if self.models.row_aggregator is None or self.models.entity_aggregator is None:
+            raise RuntimeError(
+                "pipeline has no fitted aggregators; use LongTailPipeline.default "
+                "or train models via repro.pipeline.training.train_models"
+            )
+        matcher = SchemaMatcher(self.kb, self.models.schema_models)
+        result = PipelineResult(class_name=class_name)
+        evidence: DuplicateEvidence | None = None
+        for iteration in range(1, self.config.iterations + 1):
+            mapping = matcher.match_corpus(
+                corpus,
+                evidence=evidence,
+                table_ids=table_ids,
+                known_classes=known_classes,
+            )
+            artifacts = self._run_iteration(
+                iteration, corpus, class_name, mapping, row_ids
+            )
+            result.iterations.append(artifacts)
+            evidence = self._build_evidence(artifacts)
+        if self.config.dedup_new_entities:
+            self._dedup_final(result)
+        return result
+
+    def _dedup_final(self, result: PipelineResult) -> None:
+        """Merge near-duplicate new entities in the final iteration."""
+        from repro.newdetect.detector import Classification
+        from repro.pipeline.dedup import deduplicate_entities
+
+        final = result.final
+        detection = final.detection
+        new_ids = {
+            entity_id
+            for entity_id, classification in detection.classifications.items()
+            if classification is Classification.NEW
+        }
+        new_entities = [
+            entity for entity in final.entities if entity.entity_id in new_ids
+        ]
+        others = [
+            entity for entity in final.entities if entity.entity_id not in new_ids
+        ]
+        merged = deduplicate_entities(new_entities, self.kb, result.class_name)
+        final.entities = others + merged.entities
+        kept = {entity.entity_id for entity in merged.entities}
+        for entity_id in new_ids - kept:
+            detection.classifications.pop(entity_id, None)
+            detection.best_scores.pop(entity_id, None)
+
+    # ------------------------------------------------------------------
+    def _target_tables(self, mapping: SchemaMapping, class_name: str) -> list[str]:
+        """Tables mapped to the class or any subclass (Single ⊂ Song)."""
+        names = self.kb.schema.descendants(class_name)
+        return sorted(
+            table_id
+            for name in names
+            for table_id in mapping.tables_of_class(name)
+        )
+
+    def _run_iteration(
+        self,
+        iteration: int,
+        corpus: TableCorpus,
+        class_name: str,
+        mapping: SchemaMapping,
+        row_ids: set[RowId] | None,
+    ) -> IterationArtifacts:
+        config = self.config
+        target_tables = self._target_tables(mapping, class_name)
+        records = build_row_records(
+            corpus, mapping, class_name, table_ids=target_tables, row_ids=row_ids
+        )
+        context = RowMetricContext.build(self.kb, class_name, records)
+        row_similarity = RowSimilarity(
+            make_row_metrics(config.row_metric_names, context),
+            self.models.row_aggregator,
+        )
+        clusterer = RowClusterer(
+            row_similarity,
+            batch_size=config.batch_size,
+            seed=config.seed + iteration,
+            use_klj=config.use_klj,
+            use_blocking=config.use_blocking,
+        )
+        clusters = clusterer.cluster(records)
+
+        scorer = self._make_scorer(corpus, mapping, class_name, target_tables)
+        creator = EntityCreator(self.kb, class_name, scorer)
+        entities = creator.create(clusters)
+
+        selector = CandidateSelector(self.kb, config.candidate_limit)
+        entity_similarity = EntityInstanceSimilarity(
+            make_entity_metrics(
+                config.entity_metric_names,
+                self.kb,
+                class_name,
+                context.implicit_by_table,
+            ),
+            self.models.entity_aggregator,
+        )
+        detector = NewDetector(
+            selector,
+            entity_similarity,
+            self.models.new_threshold,
+            self.models.existing_threshold,
+        )
+        detection = detector.detect(entities)
+        return IterationArtifacts(
+            iteration=iteration,
+            mapping=mapping,
+            records=records,
+            clusters=clusters,
+            entities=entities,
+            detection=detection,
+        )
+
+    def _make_scorer(
+        self,
+        corpus: TableCorpus,
+        mapping: SchemaMapping,
+        class_name: str,
+        target_tables: list[str],
+    ):
+        if self.config.fusion_scoring.lower() == "kbt":
+            row_instance = exact_row_instances(
+                corpus, mapping, self.kb, class_name, target_tables
+            )
+            return make_scorer(
+                "kbt", corpus=corpus, mapping=mapping, kb=self.kb,
+                row_instance=row_instance,
+            )
+        return make_scorer(self.config.fusion_scoring, mapping=mapping)
+
+    @staticmethod
+    def _build_evidence(artifacts: IterationArtifacts) -> DuplicateEvidence:
+        """Feedback for the next iteration's duplicate-based matchers."""
+        return build_duplicate_evidence(artifacts.entities, artifacts.detection)
+
+
+def build_duplicate_evidence(entities, detection: DetectionResult) -> DuplicateEvidence:
+    """Duplicate-matcher evidence from entity-creation + detection output."""
+    evidence = DuplicateEvidence()
+    for entity in entities:
+        uri = detection.correspondences.get(entity.entity_id)
+        for record in entity.rows:
+            evidence.cluster_of_row[record.row_id] = entity.entity_id
+            if uri is not None:
+                evidence.row_instance[record.row_id] = uri
+            for property_name, value in record.values.items():
+                evidence.cluster_values.setdefault(
+                    (entity.entity_id, property_name), []
+                ).append((value, record.table_id))
+    return evidence

@@ -1,0 +1,79 @@
+"""Ranked (set-expansion style) evaluation (Section 6).
+
+To compare against set expansion systems the paper ranks the returned new
+entities by their distance to the closest existing instance — the further
+from anything known, the more confidently new — and reports MAP with a
+cut-off at 256, plus precision at 5 and at 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.fusion.entity import Entity
+from repro.newdetect.detector import Classification, DetectionResult
+
+
+@dataclass(frozen=True)
+class RankedScores:
+    """The Section 6 comparison numbers."""
+
+    map_at_cutoff: float
+    precision_at_5: float
+    precision_at_20: float
+    cutoff: int
+    n_ranked: int
+
+
+def rank_new_entities(
+    entities: Sequence[Entity], detection: DetectionResult
+) -> list[str]:
+    """Entity ids returned as new, most-confidently-new first.
+
+    Confidence is the distance to the closest existing instance: entities
+    without any candidate rank highest, then ascending best-candidate
+    similarity.
+    """
+    new_ids = [
+        entity.entity_id
+        for entity in entities
+        if detection.classifications.get(entity.entity_id) is Classification.NEW
+    ]
+
+    def sort_key(entity_id: str):
+        best = detection.best_scores.get(entity_id)
+        # None (no candidate at all) sorts before any real score.
+        return (0, 0.0, entity_id) if best is None else (1, best, entity_id)
+
+    return sorted(new_ids, key=sort_key)
+
+
+def ranked_evaluation(
+    ranking: Sequence[str],
+    is_relevant: Mapping[str, bool],
+    cutoff: int = 256,
+) -> RankedScores:
+    """Average precision at ``cutoff`` plus P@5 and P@20."""
+    considered = list(ranking[:cutoff])
+    hits = 0
+    precision_sum = 0.0
+    for position, entity_id in enumerate(considered, start=1):
+        if is_relevant.get(entity_id, False):
+            hits += 1
+            precision_sum += hits / position
+    average_precision = precision_sum / hits if hits else 0.0
+
+    def precision_at(k: int) -> float:
+        top = considered[:k]
+        if not top:
+            return 0.0
+        return sum(1 for entity_id in top if is_relevant.get(entity_id, False)) / len(top)
+
+    return RankedScores(
+        map_at_cutoff=average_precision,
+        precision_at_5=precision_at(5),
+        precision_at_20=precision_at(20),
+        cutoff=cutoff,
+        n_ranked=len(considered),
+    )

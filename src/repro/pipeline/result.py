@@ -1,0 +1,74 @@
+"""Pipeline result artifacts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clustering.greedy import Cluster
+from repro.fusion.entity import Entity
+from repro.matching.correspondences import SchemaMapping
+from repro.matching.records import RowRecord
+from repro.newdetect.detector import Classification, DetectionResult
+
+
+@dataclass
+class IterationArtifacts:
+    """Everything one pipeline iteration produced."""
+
+    iteration: int
+    mapping: SchemaMapping
+    records: list[RowRecord] = field(default_factory=list)
+    clusters: list[Cluster] = field(default_factory=list)
+    entities: list[Entity] = field(default_factory=list)
+    detection: DetectionResult = field(default_factory=DetectionResult)
+
+
+@dataclass
+class PipelineResult:
+    """Output of a full (two-iteration) pipeline run for one class."""
+
+    class_name: str
+    iterations: list[IterationArtifacts] = field(default_factory=list)
+
+    @property
+    def final(self) -> IterationArtifacts:
+        if not self.iterations:
+            raise RuntimeError("pipeline produced no iterations")
+        return self.iterations[-1]
+
+    def new_entities(self) -> list[Entity]:
+        """Entities the final iteration classified as new."""
+        detection = self.final.detection
+        return [
+            entity
+            for entity in self.final.entities
+            if detection.classifications.get(entity.entity_id)
+            is Classification.NEW
+        ]
+
+    def existing_entities(self) -> list[Entity]:
+        detection = self.final.detection
+        return [
+            entity
+            for entity in self.final.entities
+            if detection.classifications.get(entity.entity_id)
+            is Classification.EXISTING
+        ]
+
+    def new_fact_count(self) -> int:
+        return sum(entity.fact_count() for entity in self.new_entities())
+
+    def summary(self) -> str:
+        """A short human-readable report."""
+        final = self.final
+        lines = [
+            f"class: {self.class_name}",
+            f"iterations: {len(self.iterations)}",
+            f"rows considered: {len(final.records)}",
+            f"clusters: {len(final.clusters)}",
+            f"entities: {len(final.entities)}",
+            f"  new: {len(self.new_entities())} "
+            f"({self.new_fact_count()} facts)",
+            f"  existing: {len(self.existing_entities())}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Slot filling as a by-product (Section 6, related-work comparison).
+
+The paper compares against slot-filling systems that add missing facts to
+*existing* instances.  Our pipeline produces this for free: entities
+matched to existing instances carry fused facts, some of which fill empty
+KB slots.  This module counts and extracts them, mirroring the numbers the
+paper cites from its predecessor work (378,892 facts found, 64,237 new).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.datatypes.similarity import TypedSimilarity
+from repro.fusion.entity import Entity
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.newdetect.detector import DetectionResult
+
+
+@dataclass
+class SlotFillingReport:
+    """Facts the run produced for existing instances.
+
+    ``confirming`` facts agree with a fact the KB already holds,
+    ``conflicting`` disagree with it, and ``new_facts`` fill empty slots —
+    the slot-filling payload.
+    """
+
+    total_facts: int = 0
+    confirming: int = 0
+    conflicting: int = 0
+    new_facts: int = 0
+    #: (instance uri, property, fused value) for every filled empty slot.
+    filled_slots: list[tuple[str, str, object]] = field(default_factory=list)
+
+    @property
+    def consistency(self) -> float:
+        """Agreement rate on slots the KB can check (a KBT-style signal)."""
+        checked = self.confirming + self.conflicting
+        return self.confirming / checked if checked else 0.0
+
+
+def slot_filling_report(
+    entities: Sequence[Entity],
+    detection: DetectionResult,
+    kb: KnowledgeBase,
+    class_name: str,
+) -> SlotFillingReport:
+    """Extract slot-filling facts from entities matched to instances."""
+    similarities = {
+        name: TypedSimilarity(prop.data_type, prop.tolerance)
+        for name, prop in kb.schema.properties_of(class_name).items()
+    }
+    report = SlotFillingReport()
+    for entity in entities:
+        uri = detection.correspondences.get(entity.entity_id)
+        if uri is None or uri not in kb:
+            continue
+        instance = kb.get(uri)
+        for property_name, value in entity.facts.items():
+            similarity = similarities.get(property_name)
+            if similarity is None:
+                continue
+            report.total_facts += 1
+            existing = instance.fact(property_name)
+            if existing is None:
+                report.new_facts += 1
+                report.filled_slots.append((uri, property_name, value))
+            elif similarity.equal(value, existing):
+                report.confirming += 1
+            else:
+                report.conflicting += 1
+    return report

@@ -1,0 +1,314 @@
+"""Training the pipeline's learned components from a gold standard.
+
+Learned pieces (all per class, Section 3):
+
+1. attribute-to-property weights + thresholds for the preliminary,
+   first-iteration and second-iteration matcher configurations,
+2. the row similarity aggregator (combined GA weighted average + random
+   forest) on labelled row pairs,
+3. the entity-to-instance aggregator and the two classification
+   thresholds of new detection.
+
+The second-iteration schema model is trained against evidence produced by
+actually *running* the trained clustering + new detection on the training
+rows — the same distribution the model sees at inference time, matching
+the paper's iterative design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clustering.clusterer import RowClusterer
+from repro.clustering.context import RowMetricContext
+from repro.clustering.similarity import RowSimilarity
+from repro.clustering.training import (
+    build_pair_training_data,
+    calibrate_clustering_offset,
+    train_row_similarity,
+)
+from repro.ml.aggregation import ShiftedAggregator
+from repro.fusion.fuser import EntityCreator
+from repro.fusion.scoring import make_scorer
+from repro.goldstandard.annotations import LABEL_COLUMN, GoldStandard
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.attribute_property import AttributePropertyMatcher, MatcherFeedback
+from repro.matching.correspondences import SchemaMapping, TableMapping
+from repro.matching.learning import (
+    AttributeMatchingModel,
+    AttributeSample,
+    learn_attribute_model,
+)
+from repro.matching.matchers import (
+    HeaderStatistics,
+    MATCHER_NAMES_FIRST_ITERATION,
+    MATCHER_NAMES_SECOND_ITERATION,
+)
+from repro.matching.records import build_row_records
+from repro.matching.schema_matcher import SchemaMatcher, SchemaMatcherModels
+from repro.ml.aggregation import ScoreAggregator
+from repro.newdetect.candidates import CandidateSelector
+from repro.newdetect.detector import NewDetector
+from repro.newdetect.metrics import make_entity_metrics
+from repro.pipeline.gold_utils import gold_clusters_to_row_clusters
+from repro.pipeline.pipeline import PipelineConfig, PipelineModels, build_duplicate_evidence
+from repro.webtables.corpus import TableCorpus
+
+
+@dataclass
+class TrainedModels:
+    """All learned models for one class, wrapped as pipeline models."""
+
+    class_name: str
+    schema_models: SchemaMatcherModels
+    row_aggregator: ScoreAggregator
+    entity_aggregator: ScoreAggregator
+    new_threshold: float
+    existing_threshold: float
+    #: Diagnostics kept for the experiments (metric importances etc.).
+    diagnostics: dict = field(default_factory=dict)
+
+    def as_pipeline_models(self) -> PipelineModels:
+        return PipelineModels(
+            schema_models=self.schema_models,
+            row_aggregator=self.row_aggregator,
+            entity_aggregator=self.entity_aggregator,
+            new_threshold=self.new_threshold,
+            existing_threshold=self.existing_threshold,
+        )
+
+
+def collect_attribute_samples(
+    kb: KnowledgeBase,
+    corpus: TableCorpus,
+    gold: GoldStandard,
+    feedback: MatcherFeedback | None,
+) -> list[AttributeSample]:
+    """Score all candidate properties of every annotated column.
+
+    A sample is positive when the candidate property equals the gold
+    annotation of the column; unannotated columns contribute negatives for
+    all their candidates (their correct assignment is "no property").
+    """
+    dummy_model = AttributeMatchingModel.uniform(
+        gold.class_name, MATCHER_NAMES_SECOND_ITERATION
+    )
+    matcher = AttributePropertyMatcher(kb, gold.class_name, dummy_model, feedback)
+    schema_matcher = SchemaMatcher(kb)
+    samples: list[AttributeSample] = []
+    for table_id in gold.table_ids:
+        table = corpus.get(table_id)
+        column_types, label_column = schema_matcher.analyze_table(corpus, table_id)
+        gold_label_column = None
+        for column in range(table.n_columns):
+            if gold.attribute_correspondences.get((table_id, column)) == LABEL_COLUMN:
+                gold_label_column = column
+                break
+        for column in range(table.n_columns):
+            if column == label_column or column == gold_label_column:
+                continue
+            detected = column_types.get(column)
+            if detected is None:
+                continue
+            annotated = gold.attribute_correspondences.get((table_id, column))
+            scores = matcher.column_scores(table, column, detected)
+            for property_name, matcher_scores in scores.scores_by_property.items():
+                samples.append(
+                    AttributeSample(
+                        table_id=table_id,
+                        column=column,
+                        property_name=property_name,
+                        scores=matcher_scores,
+                        is_correct=(annotated == property_name),
+                    )
+                )
+    return samples
+
+
+def _mapping_with_model(
+    kb: KnowledgeBase,
+    corpus: TableCorpus,
+    gold: GoldStandard,
+    model: AttributeMatchingModel,
+    feedback: MatcherFeedback | None,
+) -> SchemaMapping:
+    """Apply one attribute model over the gold tables (class known)."""
+    matcher = AttributePropertyMatcher(kb, gold.class_name, model, feedback)
+    schema_matcher = SchemaMatcher(kb)
+    mapping = SchemaMapping()
+    for table_id in gold.table_ids:
+        table = corpus.get(table_id)
+        column_types, label_column = schema_matcher.analyze_table(corpus, table_id)
+        table_mapping = TableMapping(
+            table_id=table_id,
+            class_name=gold.class_name,
+            class_score=1.0,
+            label_column=label_column,
+            column_types=column_types,
+        )
+        table_mapping.attributes = matcher.match_table(
+            table, column_types, label_column
+        )
+        mapping.add(table_mapping)
+    return mapping
+
+
+def train_models(
+    kb: KnowledgeBase,
+    corpus: TableCorpus,
+    gold: GoldStandard,
+    config: PipelineConfig | None = None,
+    seed: int = 0,
+) -> TrainedModels:
+    """Train all learned components of the pipeline for one class."""
+    config = config or PipelineConfig()
+    class_name = gold.class_name
+
+    # ---- Stage 1: preliminary + iteration-1 schema models ------------
+    preliminary_samples = collect_attribute_samples(kb, corpus, gold, feedback=None)
+    preliminary_model = learn_attribute_model(
+        class_name, preliminary_samples, ("kb_overlap", "kb_label"), seed=seed
+    )
+    preliminary_mapping = _mapping_with_model(
+        kb, corpus, gold, preliminary_model, feedback=None
+    )
+    header_stats = HeaderStatistics.from_correspondences(
+        preliminary_mapping.all_correspondences(), corpus
+    )
+    feedback_one = MatcherFeedback(header_stats=header_stats)
+    samples_one = collect_attribute_samples(kb, corpus, gold, feedback_one)
+    model_one = learn_attribute_model(
+        class_name, samples_one, MATCHER_NAMES_FIRST_ITERATION, seed=seed
+    )
+    schema_models = SchemaMatcherModels()
+    schema_models.preliminary[class_name] = preliminary_model
+    schema_models.first_iteration[class_name] = model_one
+
+    # ---- Stage 2: iteration-1 mapping → row + entity aggregators -----
+    matcher = SchemaMatcher(kb, schema_models)
+    known = {table_id: class_name for table_id in gold.table_ids}
+    mapping_one = matcher.match_corpus(
+        corpus, table_ids=list(gold.table_ids), known_classes=known
+    )
+    records = build_row_records(
+        corpus,
+        mapping_one,
+        class_name,
+        table_ids=list(gold.table_ids),
+        row_ids=set(gold.annotated_rows()),
+    )
+    context = RowMetricContext.build(kb, class_name, records)
+    pairs = build_pair_training_data(records, gold.cluster_of_row(), seed=seed)
+    row_similarity = train_row_similarity(
+        context, pairs, metric_names=config.row_metric_names, seed=seed
+    )
+    # Calibrate the merge boundary on the training rows (per-class
+    # operating point; see calibrate_clustering_offset).
+    gold_row_clusters = {
+        cluster.cluster_id: list(cluster.row_ids) for cluster in gold.clusters
+    }
+    offset = calibrate_clustering_offset(
+        row_similarity, records, gold_row_clusters, seed=seed
+    )
+    row_similarity = RowSimilarity(
+        row_similarity.metrics,
+        ShiftedAggregator(row_similarity.aggregator, offset),
+    )
+
+    # ---- Stage 3: entity aggregator on gold + system entities ---------
+    # Entities from the system's own clustering (fragments, mixtures) are
+    # added to the training set, labelled by majority vote against the
+    # gold clusters — otherwise the detector only ever sees clean gold
+    # entities and misclassifies cluster fragments as new at test time.
+    gold_clusters = gold_clusters_to_row_clusters(gold, records)
+    creator = EntityCreator(kb, class_name, make_scorer("voting"))
+    gold_entities = creator.create(gold_clusters)
+    truth_is_new: dict[str, bool] = {}
+    truth_uri: dict[str, str] = {}
+    for gs_cluster in gold.clusters:
+        entity_id = f"e:{gs_cluster.cluster_id}"
+        truth_is_new[entity_id] = gs_cluster.is_new
+        if gs_cluster.kb_uri is not None:
+            truth_uri[entity_id] = gs_cluster.kb_uri
+
+    clusterer = RowClusterer(
+        row_similarity,
+        batch_size=config.batch_size,
+        seed=seed,
+        use_klj=config.use_klj,
+        use_blocking=config.use_blocking,
+    )
+    system_clusters = clusterer.cluster(records)
+    system_entities = creator.create(system_clusters)
+    row_to_gold = gold.cluster_of_row()
+    gold_by_id = {cluster.cluster_id: cluster for cluster in gold.clusters}
+    training_entities = list(gold_entities)
+    for entity in system_entities:
+        votes: dict[str, int] = {}
+        for row_id in entity.row_ids():
+            cluster_id = row_to_gold.get(row_id)
+            if cluster_id is not None:
+                votes[cluster_id] = votes.get(cluster_id, 0) + 1
+        if not votes:
+            continue
+        best_cluster, best_votes = max(votes.items(), key=lambda item: item[1])
+        if best_votes * 2 <= len(entity.rows):
+            continue
+        gs_cluster = gold_by_id[best_cluster]
+        training_entities.append(entity)
+        truth_is_new[entity.entity_id] = gs_cluster.is_new
+        if gs_cluster.kb_uri is not None:
+            truth_uri[entity.entity_id] = gs_cluster.kb_uri
+
+    selector = CandidateSelector(kb, config.candidate_limit)
+    entity_metrics = make_entity_metrics(
+        config.entity_metric_names, kb, class_name, context.implicit_by_table
+    )
+    from repro.newdetect.training import (
+        build_entity_training_pairs,
+        learn_thresholds,
+        train_entity_similarity,
+    )
+
+    entity_pairs = build_entity_training_pairs(
+        training_entities, truth_uri, selector, seed=seed
+    )
+    entity_similarity = train_entity_similarity(
+        entity_metrics, entity_pairs, seed=seed
+    )
+    new_threshold, existing_threshold = learn_thresholds(
+        entity_similarity, selector, training_entities, truth_is_new, truth_uri
+    )
+
+    detector = NewDetector(
+        selector, entity_similarity, new_threshold, existing_threshold
+    )
+    system_detection = detector.detect(system_entities)
+    evidence = build_duplicate_evidence(system_entities, system_detection)
+
+    # ---- Stage 4: iteration-2 schema model on system evidence --------
+    feedback_two = MatcherFeedback(header_stats=header_stats, evidence=evidence)
+    samples_two = collect_attribute_samples(kb, corpus, gold, feedback_two)
+    model_two = learn_attribute_model(
+        class_name, samples_two, MATCHER_NAMES_SECOND_ITERATION, seed=seed
+    )
+    schema_models.second_iteration[class_name] = model_two
+
+    diagnostics = {
+        "clustering_offset": offset,
+        "row_metric_importances": row_similarity.aggregator.metric_importances(),
+        "entity_metric_importances": (
+            entity_similarity.aggregator.metric_importances()
+        ),
+        "n_row_pairs": len(pairs),
+        "n_entity_pairs": len(entity_pairs),
+    }
+    return TrainedModels(
+        class_name=class_name,
+        schema_models=schema_models,
+        row_aggregator=row_similarity.aggregator,
+        entity_aggregator=entity_similarity.aggregator,
+        new_threshold=new_threshold,
+        existing_threshold=existing_threshold,
+        diagnostics=diagnostics,
+    )

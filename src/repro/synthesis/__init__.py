@@ -1,0 +1,36 @@
+"""Seeded synthetic substitute for DBpedia 2014 and the WDC 2012 corpus.
+
+Neither the DBpedia 2014 release nor the 91.8M-table WDC 2012 corpus is
+available offline, so this package generates a *ground-truth world* whose
+statistical profile follows the paper's Tables 1-4 (scaled), projects it
+into a knowledge base (with per-property densities from Table 2) and into a
+web table corpus (with the noise channels that make the task hard:
+heterogeneous headers, format variation, typos, wrong and outdated values,
+homonyms, distractor tables of sibling classes), and derives a gold
+standard with Table 5-like shape.  Because the generator knows ground
+truth, every evaluation of the paper can be computed exactly.
+
+See DESIGN.md §2 for the substitution argument.
+"""
+
+from repro.synthesis.api import build_world, build_gold_standard
+from repro.synthesis.profiles import (
+    ClassSpec,
+    PropertyProfile,
+    WorldScale,
+    CLASS_SPECS,
+    class_spec,
+)
+from repro.synthesis.world import World, WorldEntity
+
+__all__ = [
+    "build_world",
+    "build_gold_standard",
+    "ClassSpec",
+    "PropertyProfile",
+    "WorldScale",
+    "CLASS_SPECS",
+    "class_spec",
+    "World",
+    "WorldEntity",
+]

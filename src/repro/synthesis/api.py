@@ -1,0 +1,89 @@
+"""Top-level synthesis entry points."""
+
+from __future__ import annotations
+
+import random
+
+from repro.goldstandard.annotations import GoldStandard
+from repro.synthesis.generators import EntityGenerator, generate_distractors
+from repro.synthesis.gold_builder import build_gold_standard_for_class
+from repro.synthesis.kb_builder import build_knowledge_base
+from repro.synthesis.names import NamePools
+from repro.synthesis.profiles import CLASS_SPECS, WorldScale, class_spec
+from repro.synthesis.schema_factory import make_schema
+from repro.synthesis.table_builder import BuiltTables, TableBuilder
+from repro.synthesis.world import World
+from repro.webtables.corpus import TableCorpus
+
+
+def build_world(
+    seed: int = 7,
+    scale: WorldScale | None = None,
+    classes: list[str] | None = None,
+) -> World:
+    """Build the full synthetic world: entities, KB, corpus, truth maps.
+
+    ``classes`` restricts generation to a subset of the three target
+    classes (handy for focused tests); distractor entities are always
+    generated so table-to-class matching stays non-trivial.
+    Deterministic in ``seed``.
+    """
+    scale = scale if scale is not None else WorldScale.default()
+    class_names = classes if classes is not None else list(CLASS_SPECS)
+    specs = [scale.apply(class_spec(name)) for name in class_names]
+
+    names = NamePools(random.Random(seed * 31 + 1))
+    entities = []
+    for offset, spec in enumerate(specs):
+        generator = EntityGenerator(
+            spec, random.Random(seed * 31 + 100 + offset), names
+        )
+        entities.extend(generator.generate())
+    distractors = generate_distractors(
+        random.Random(seed * 31 + 7), names, scale.factor
+    )
+    entities.extend(distractors)
+
+    schema = make_schema()
+    kb, kb_uri_of, gt_of_uri = build_knowledge_base(
+        schema, entities, seed * 31 + 17
+    )
+
+    entity_map = {entity.gt_id: entity for entity in entities}
+    built = BuiltTables()
+    for offset, spec in enumerate(specs):
+        class_pool = [
+            entity for entity in entities if entity.class_name == spec.name
+        ]
+        distractor_pool = [
+            entity
+            for entity in distractors
+            if entity.class_name == spec.distractor_class
+        ]
+        builder = TableBuilder(
+            spec,
+            class_pool,
+            distractor_pool,
+            random.Random(seed * 31 + 500 + offset),
+        )
+        built.merge(builder.build())
+
+    return World(
+        seed=seed,
+        knowledge_base=kb,
+        corpus=TableCorpus(built.tables),
+        entities=entity_map,
+        kb_uri_of=kb_uri_of,
+        gt_of_uri=gt_of_uri,
+        row_truth=built.row_truth,
+        column_truth=built.column_truth,
+        table_class_truth=built.table_class_truth,
+    )
+
+
+def build_gold_standard(
+    world: World, class_name: str, seed: int = 13
+) -> GoldStandard:
+    """Derive the gold standard for one class of a built world."""
+    spec = class_spec(class_name)
+    return build_gold_standard_for_class(world, spec, seed=seed)

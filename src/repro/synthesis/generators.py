@@ -1,0 +1,356 @@
+"""Ground-truth entity generation for the three target classes.
+
+Design notes tied to the paper's observations:
+
+* **Songs** are generated from an artist roster (artist → albums → songs),
+  and homonyms are *covers*: a reused title gets a different artist, album
+  and label but keeps the original writer and a near-identical runtime —
+  exactly the "highly similar in their descriptions, e.g. in runtime or
+  writer" homonym problem of Section 4.1.
+* **Settlements** may carry an alternative ``isPartOf`` value (county vs.
+  province, both correct), the conflict source behind the paper's 36% of
+  settlement errors.
+* A small fraction of in-KB entities is registered under a parent class
+  only ("misclassified"), reproducing the "football athlete was not
+  assigned the correct class in DBpedia" error source.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datatypes.values import DateValue
+from repro.synthesis.names import (
+    COLLEGES,
+    COUNTRIES,
+    GENRES,
+    NamePools,
+    POSITIONS,
+    RECORD_LABELS,
+    TEAMS,
+)
+from repro.synthesis.profiles import ClassSpec
+from repro.synthesis.world import WorldEntity
+from repro.text.tokenize import normalize_label
+
+#: Fraction of in-KB entities registered under their parent class only.
+MISCLASSIFIED_RATE = {
+    "GridironFootballPlayer": 0.05,
+    "Song": 0.02,
+    "Settlement": 0.03,
+}
+
+_PARENT_CLASS = {
+    "GridironFootballPlayer": "Athlete",
+    "Song": "MusicalWork",
+    "Settlement": "PopulatedPlace",
+}
+
+
+def _popularity(rank: int, rng: random.Random) -> int:
+    """Zipf-like page-link counts: head entities dominate."""
+    base = int(2_000_000 / (rank + 4) ** 1.05)
+    return max(1, base + rng.randrange(0, 50))
+
+
+@dataclass
+class _Artist:
+    """Roster entry shared by the songs of one artist."""
+
+    name: str
+    genre: str
+    label: str
+    albums: tuple[str, ...]
+
+
+class EntityGenerator:
+    """Generates the entities of one class, honouring the class profile."""
+
+    def __init__(self, spec: ClassSpec, rng: random.Random, names: NamePools) -> None:
+        self.spec = spec
+        self.rng = rng
+        self.names = names
+        self._artists: list[_Artist] = []
+        self._regions_by_country: dict[str, list[str]] = {}
+        self._songs_by_title: dict[str, WorldEntity] = {}
+        self._counter = 0
+        # Long-tail entities carry long-tail attribute *values*: extended
+        # value pools whose tails the knowledge base barely covers.  This
+        # is what keeps the KB-Overlap matcher from trivially resolving
+        # every column (its paper weight is only 0.10).
+        self._colleges = list(COLLEGES) + [
+            f"{self.names.settlement_name()} State" for __ in range(60)
+        ] + [
+            f"University of {self.names.settlement_name()}" for __ in range(60)
+        ]
+        self._cities = [self.names.settlement_name() for __ in range(150)]
+
+    def _pick_skewed(self, pool: list, in_kb: bool, head_fraction: float = 0.35):
+        """Head entities draw from the pool's head; tail entities anywhere."""
+        if in_kb:
+            head_size = max(1, int(len(pool) * head_fraction))
+            return pool[int(self.rng.random() ** 2 * head_size)]
+        return self.rng.choice(pool)
+
+    def generate(self) -> list[WorldEntity]:
+        """All entities of the class: ``kb_count`` head + ``tail_count`` tail.
+
+        Entities are generated head-first so that the Zipf popularity
+        assignment by rank makes KB entities the popular ones.
+        """
+        total = self.spec.kb_count + self.spec.tail_count
+        if self.spec.name == "Song":
+            self._build_artist_roster(total)
+        entities = []
+        for rank in range(total):
+            in_kb = rank < self.spec.kb_count
+            entity = self._generate_one(rank, in_kb)
+            entities.append(entity)
+        return entities
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"gt:{self.spec.name}/{self._counter:05d}"
+
+    def _generate_one(self, rank: int, in_kb: bool) -> WorldEntity:
+        maker = {
+            "GridironFootballPlayer": self._make_player,
+            "Song": self._make_song,
+            "Settlement": self._make_settlement,
+        }[self.spec.name]
+        entity = maker(rank, in_kb)
+        if in_kb and self.rng.random() < MISCLASSIFIED_RATE[self.spec.name]:
+            entity.kb_class_name = _PARENT_CLASS[self.spec.name]
+        return entity
+
+    # ------------------------------------------------------------------
+    # GridironFootballPlayer
+    # ------------------------------------------------------------------
+    def _make_player(self, rank: int, in_kb: bool) -> WorldEntity:
+        rng = self.rng
+        name = self.names.person_name(reuse_probability=self.spec.homonym_rate)
+        birth_year = rng.randrange(1955, 1995)
+        draft_year = birth_year + rng.randrange(21, 24)
+        facts: dict[str, object] = {
+            "birthDate": DateValue(
+                birth_year, rng.randrange(1, 13), rng.randrange(1, 29)
+            ),
+            "college": self._pick_skewed(self._colleges, in_kb),
+            "birthPlace": self._pick_skewed(self._cities, in_kb),
+            "team": rng.choice(TEAMS),
+            "number": rng.randrange(1, 100),
+            "position": rng.choice(POSITIONS),
+            "height": round(min(2.11, max(1.65, rng.gauss(1.88, 0.07))), 2),
+            "weight": round(min(160.0, max(70.0, rng.gauss(110.0, 15.0))), 1),
+            "draftYear": DateValue(draft_year),
+            "draftRound": rng.randrange(1, 8),
+            "draftPick": rng.randrange(1, 33),
+        }
+        alt_names = tuple(
+            self.names.person_alt_names(name)[: rng.randrange(1, 3)]
+        )
+        return WorldEntity(
+            gt_id=self._next_id(),
+            class_name=self.spec.name,
+            name=name,
+            alt_names=alt_names,
+            facts=facts,
+            in_kb=in_kb,
+            popularity=_popularity(rank, rng),
+            homonym_group=f"{self.spec.name}:{normalize_label(name)}",
+        )
+
+    # ------------------------------------------------------------------
+    # Song
+    # ------------------------------------------------------------------
+    def _build_artist_roster(self, total_songs: int) -> None:
+        n_artists = max(8, total_songs // 6)
+        for __ in range(n_artists):
+            if self.rng.random() < 0.3:
+                artist_name = f"The {self.names.song_title().split()[-1]}s"
+            else:
+                artist_name = self.names.person_name()
+            albums = tuple(
+                self.names.album_title()
+                for __ in range(self.rng.randrange(1, 4))
+            )
+            self._artists.append(
+                _Artist(
+                    name=artist_name,
+                    genre=self.rng.choice(GENRES),
+                    label=self.rng.choice(RECORD_LABELS),
+                    albums=albums,
+                )
+            )
+
+    def _make_song(self, rank: int, in_kb: bool) -> WorldEntity:
+        rng = self.rng
+        title = self.names.song_title(reuse_probability=self.spec.homonym_rate)
+        original = self._songs_by_title.get(normalize_label(title))
+        artist = self._pick_skewed(self._artists, in_kb, head_fraction=0.45)
+        if original is not None:
+            # A cover: new artist/album/label/date, same writer, near-equal
+            # runtime — the hard homonym case of Section 4.1.
+            while artist.name == original.facts["musicalArtist"] and len(self._artists) > 1:
+                artist = rng.choice(self._artists)
+            writer = original.facts["writer"]
+            runtime = float(original.facts["runtime"]) * rng.uniform(0.97, 1.03)
+        else:
+            writer = (
+                artist.name if rng.random() < 0.6 else self.names.person_name()
+            )
+            runtime = float(rng.randrange(120, 421))
+        release_year = rng.randrange(1955, 2014)
+        if rng.random() < 0.35:
+            release: DateValue = DateValue(
+                release_year, rng.randrange(1, 13), rng.randrange(1, 29)
+            )
+        else:
+            release = DateValue(release_year)
+        facts: dict[str, object] = {
+            "genre": artist.genre,
+            "musicalArtist": artist.name,
+            "recordLabel": artist.label,
+            "runtime": round(runtime, 0),
+            "album": rng.choice(artist.albums),
+            "writer": writer,
+            "releaseDate": release,
+        }
+        alt_facts: dict[str, object] = {}
+        if rng.random() < 0.2:
+            # Labels differ by country; both are correct.
+            alt_facts["recordLabel"] = rng.choice(RECORD_LABELS)
+        entity = WorldEntity(
+            gt_id=self._next_id(),
+            class_name=self.spec.name,
+            name=title,
+            alt_names=tuple(self.names.song_alt_names(title)[:1]),
+            facts=facts,
+            in_kb=in_kb,
+            popularity=_popularity(rank, rng),
+            homonym_group=f"{self.spec.name}:{normalize_label(title)}",
+            alt_facts=alt_facts,
+        )
+        self._songs_by_title.setdefault(normalize_label(title), entity)
+        return entity
+
+    # ------------------------------------------------------------------
+    # Settlement
+    # ------------------------------------------------------------------
+    def _regions_of(self, country: str) -> list[str]:
+        if country not in self._regions_by_country:
+            self._regions_by_country[country] = [
+                self.names.region_name() for __ in range(self.rng.randrange(10, 15))
+            ]
+        return self._regions_by_country[country]
+
+    def _make_settlement(self, rank: int, in_kb: bool) -> WorldEntity:
+        rng = self.rng
+        name = self.names.settlement_name(reuse_probability=self.spec.homonym_rate)
+        country = rng.choice(COUNTRIES)
+        regions = self._regions_of(country)
+        population = int(10 ** rng.uniform(2.3, 6.3))
+        facts: dict[str, object] = {
+            "country": country,
+            "isPartOf": self._pick_skewed(regions, in_kb, head_fraction=0.4),
+            "populationTotal": float(population),
+            "postalCode": int(self.names.postal_code()),
+            "elevation": float(rng.randrange(0, 2500)),
+        }
+        alt_facts: dict[str, object] = {}
+        if rng.random() < 0.25:
+            # County vs. province: both correct, but they conflict — the
+            # paper's main settlement error source.
+            alternatives = [region for region in regions if region != facts["isPartOf"]]
+            if alternatives:
+                alt_facts["isPartOf"] = rng.choice(alternatives)
+        return WorldEntity(
+            gt_id=self._next_id(),
+            class_name=self.spec.name,
+            name=name,
+            alt_names=(f"{name}, {country}",),
+            facts=facts,
+            in_kb=in_kb,
+            popularity=_popularity(rank, rng),
+            homonym_group=f"{self.spec.name}:{normalize_label(name)}",
+            alt_facts=alt_facts,
+        )
+
+
+def generate_distractors(
+    rng: random.Random, names: NamePools, scale_factor: float = 1.0
+) -> list[WorldEntity]:
+    """Entities of the sibling classes that pollute table-to-class matching.
+
+    Roughly half are in the KB (so they are plausible candidates); regions
+    and mountains deliberately reuse settlement-like names, which is what
+    produces the paper's "new entity does not describe a settlement, but a
+    different place" errors.
+    """
+    entities: list[WorldEntity] = []
+    counts = {
+        "BasketballPlayer": max(10, int(70 * scale_factor)),
+        "Album": max(10, int(110 * scale_factor)),
+        "Region": max(8, int(50 * scale_factor)),
+        "Mountain": max(6, int(35 * scale_factor)),
+    }
+    counter = 0
+    for class_name, count in counts.items():
+        for rank in range(count):
+            counter += 1
+            gt_id = f"gt:{class_name}/{counter:05d}"
+            in_kb = rank < count // 2
+            if class_name == "BasketballPlayer":
+                name = names.person_name()
+                facts: dict[str, object] = {
+                    "team": f"{names.settlement_name()} {rng.choice(('Hawks', 'Bulls', 'Kings', 'Suns'))}",
+                    "height": round(rng.uniform(1.80, 2.20), 2),
+                    "weight": round(rng.uniform(80.0, 130.0), 1),
+                    "position": rng.choice(("Guard", "Forward", "Center")),
+                    "birthDate": DateValue(
+                        rng.randrange(1955, 1995), rng.randrange(1, 13), rng.randrange(1, 29)
+                    ),
+                }
+            elif class_name == "Album":
+                name = names.album_title()
+                facts = {
+                    "musicalArtist": names.person_name(),
+                    "releaseDate": DateValue(rng.randrange(1960, 2014)),
+                    "genre": rng.choice(GENRES),
+                    "recordLabel": rng.choice(RECORD_LABELS),
+                    "runtime": float(rng.randrange(1800, 4500)),
+                }
+            elif class_name == "Region":
+                name = (
+                    names.settlement_name() if rng.random() < 0.5
+                    else names.region_name()
+                )
+                facts = {
+                    "country": rng.choice(COUNTRIES),
+                    "populationTotal": float(int(10 ** rng.uniform(4.0, 7.0))),
+                    "areaTotal": float(rng.randrange(100, 20000)),
+                }
+            else:  # Mountain
+                name = (
+                    names.settlement_name() if rng.random() < 0.35
+                    else names.mountain_name()
+                )
+                facts = {
+                    "country": rng.choice(COUNTRIES),
+                    "elevation": float(rng.randrange(800, 4800)),
+                }
+            entities.append(
+                WorldEntity(
+                    gt_id=gt_id,
+                    class_name=class_name,
+                    name=name,
+                    alt_names=(),
+                    facts=facts,
+                    in_kb=in_kb,
+                    popularity=_popularity(rank + 50, rng),
+                    homonym_group=f"{class_name}:{normalize_label(name)}",
+                )
+            )
+    return entities

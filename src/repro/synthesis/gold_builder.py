@@ -1,0 +1,173 @@
+"""Derives a gold standard from the ground-truth world.
+
+Reproduces the annotation protocol of Section 2.3: clusters of rows that
+describe the same instance, new/existing classification with instance
+correspondences, attribute-to-property correspondences, and facts for every
+cluster × property value group.  The paper's sampling preferences are
+honoured: clusters of varying popularity, a bias toward rows unlikely to be
+in the KB, some labels with at least five rows, and homonym groups kept
+complete (they must land in a single CV fold later).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.datatypes.normalization import NormalizationError, normalize_value
+from repro.datatypes.similarity import TypedSimilarity
+from repro.goldstandard.annotations import (
+    GoldStandard,
+    GSCluster,
+    GSFact,
+    LABEL_COLUMN,
+)
+from repro.synthesis.profiles import ClassSpec
+from repro.synthesis.world import World
+from repro.webtables.table import RowId
+
+#: Annotators cap the rows they attach to one cluster.
+MAX_ROWS_PER_CLUSTER = 8
+
+
+def build_gold_standard_for_class(
+    world: World,
+    spec: ClassSpec,
+    seed: int = 13,
+) -> GoldStandard:
+    """Sample and annotate a gold standard for one class."""
+    rng = random.Random(seed)
+    class_tables = set(world.tables_of_class(spec.name))
+
+    rows_by_entity: dict[str, list[RowId]] = defaultdict(list)
+    for row_id, gt_id in sorted(world.row_truth.items()):
+        if row_id[0] not in class_tables:
+            continue
+        entity = world.entity(gt_id)
+        if entity.class_name != spec.name:
+            continue
+        rows_by_entity[gt_id].append(row_id)
+
+    new_pool = [
+        gt_id for gt_id in rows_by_entity if not world.entity(gt_id).in_kb
+    ]
+    existing_pool = [
+        gt_id for gt_id in rows_by_entity if world.entity(gt_id).in_kb
+    ]
+    target_new = min(len(new_pool), round(spec.gs_clusters * spec.gs_new_fraction))
+    target_existing = min(len(existing_pool), spec.gs_clusters - target_new)
+
+    selected = _sample_with_row_bias(new_pool, rows_by_entity, target_new, rng)
+    selected |= _sample_with_row_bias(
+        existing_pool, rows_by_entity, target_existing, rng
+    )
+    selected = _close_homonym_groups(world, rows_by_entity, selected)
+
+    clusters: list[GSCluster] = []
+    for gt_id in sorted(selected):
+        entity = world.entity(gt_id)
+        rows = rows_by_entity[gt_id][:MAX_ROWS_PER_CLUSTER]
+        clusters.append(
+            GSCluster(
+                cluster_id=f"gs:{gt_id}",
+                row_ids=tuple(rows),
+                is_new=not entity.in_kb,
+                kb_uri=world.kb_uri_of.get(gt_id),
+                homonym_group=entity.homonym_group,
+            )
+        )
+
+    table_ids = sorted(
+        {row_id[0] for cluster in clusters for row_id in cluster.row_ids}
+    )
+    correspondences = {
+        (table_id, column): property_name
+        for (table_id, column), property_name in world.column_truth.items()
+        if table_id in set(table_ids)
+    }
+    facts = _annotate_facts(world, spec, clusters, correspondences)
+    return GoldStandard(
+        class_name=spec.name,
+        table_ids=tuple(table_ids),
+        clusters=clusters,
+        attribute_correspondences=correspondences,
+        facts=facts,
+    )
+
+
+def _sample_with_row_bias(
+    pool: list[str],
+    rows_by_entity: dict[str, list[RowId]],
+    target: int,
+    rng: random.Random,
+) -> set[str]:
+    """Half the sample prefers entities with many rows (≥5-row clusters)."""
+    if target <= 0 or not pool:
+        return set()
+    by_rows = sorted(pool, key=lambda gt_id: (-len(rows_by_entity[gt_id]), gt_id))
+    preferred = by_rows[: max(1, target // 2)]
+    remainder = [gt_id for gt_id in pool if gt_id not in set(preferred)]
+    rest_count = min(len(remainder), target - len(preferred))
+    sampled = rng.sample(remainder, rest_count) if rest_count > 0 else []
+    return set(preferred) | set(sampled)
+
+
+def _close_homonym_groups(
+    world: World,
+    rows_by_entity: dict[str, list[RowId]],
+    selected: set[str],
+) -> set[str]:
+    """Add every co-homonym (with rows) of each selected entity."""
+    by_group: dict[str, list[str]] = defaultdict(list)
+    for gt_id in rows_by_entity:
+        by_group[world.entity(gt_id).homonym_group].append(gt_id)
+    closed = set(selected)
+    for gt_id in selected:
+        closed.update(by_group[world.entity(gt_id).homonym_group])
+    return closed
+
+
+def _annotate_facts(
+    world: World,
+    spec: ClassSpec,
+    clusters: list[GSCluster],
+    correspondences: dict[tuple[str, int], str],
+) -> list[GSFact]:
+    """One fact per cluster × property with at least one candidate value."""
+    facts: list[GSFact] = []
+    for cluster in clusters:
+        entity = world.entity(cluster.cluster_id.removeprefix("gs:"))
+        candidate_cells: dict[str, list[str]] = defaultdict(list)
+        for row_id in cluster.row_ids:
+            table = world.corpus.get(row_id[0])
+            for column in range(table.n_columns):
+                property_name = correspondences.get((row_id[0], column))
+                if property_name is None or property_name == LABEL_COLUMN:
+                    continue
+                cell = table.rows[row_id[1]][column]
+                if cell is not None:
+                    candidate_cells[property_name].append(cell)
+        for property_name, cells in sorted(candidate_cells.items()):
+            truth = entity.facts.get(property_name)
+            if truth is None:
+                continue
+            profile = spec.property(property_name)
+            similarity = TypedSimilarity(profile.data_type, profile.tolerance)
+            present = False
+            for cell in cells:
+                try:
+                    parsed = normalize_value(cell, profile.data_type)
+                except NormalizationError:
+                    continue
+                if similarity.equal(parsed, truth):
+                    present = True
+                    break
+            facts.append(
+                GSFact(
+                    cluster_id=cluster.cluster_id,
+                    property_name=property_name,
+                    value=truth,
+                    value_present=present,
+                )
+            )
+    return facts

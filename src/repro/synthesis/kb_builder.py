@@ -1,0 +1,79 @@
+"""Projects the ground-truth world into a knowledge base.
+
+The projection applies the per-property densities of the paper's Table 2:
+an in-KB instance keeps a fact with probability equal to the property's KB
+density, so the resulting knowledge base profiles like DBpedia 2014
+(scaled).  Abstracts are composed from the kept facts, giving the BOW
+entity-to-instance metric realistic material.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.kb.instance import KBInstance
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.schema import KBSchema
+from repro.synthesis.profiles import CLASS_SPECS
+from repro.synthesis.world import WorldEntity
+from repro.text.tokenize import normalize_label
+
+
+def _slug(name: str) -> str:
+    return normalize_label(name).replace(" ", "_") or "entity"
+
+
+def _abstract(entity: WorldEntity, kept_facts: dict[str, object]) -> str:
+    parts = [f"{entity.name} is a {entity.class_name}."]
+    for property_name, value in kept_facts.items():
+        parts.append(f"Its {property_name} is {value}.")
+    return " ".join(parts)
+
+
+def build_knowledge_base(
+    schema: KBSchema,
+    entities: Iterable[WorldEntity],
+    seed: int,
+) -> tuple[KnowledgeBase, dict[str, str], dict[str, str]]:
+    """Build the KB from all in-KB entities.
+
+    Returns ``(knowledge_base, kb_uri_of, gt_of_uri)``, the bijection
+    between gt ids and instance URIs.
+    """
+    rng = random.Random(seed)
+    kb = KnowledgeBase(schema)
+    kb_uri_of: dict[str, str] = {}
+    gt_of_uri: dict[str, str] = {}
+    used_uris: set[str] = set()
+    for entity in entities:
+        if not entity.in_kb:
+            continue
+        uri = f"kb:{entity.effective_kb_class}/{_slug(entity.name)}"
+        suffix = 1
+        while uri in used_uris:
+            suffix += 1
+            uri = f"kb:{entity.effective_kb_class}/{_slug(entity.name)}_{suffix}"
+        used_uris.add(uri)
+        spec = CLASS_SPECS.get(entity.class_name)
+        kept: dict[str, object] = {}
+        for property_name, value in entity.facts.items():
+            density = 1.0
+            if spec is not None:
+                density = spec.property(property_name).kb_density
+            if rng.random() < density:
+                kept[property_name] = value
+        labels = (entity.name, *entity.alt_names)
+        kb.add_instance(
+            KBInstance(
+                uri=uri,
+                class_name=entity.effective_kb_class,
+                labels=labels,
+                facts=kept,
+                abstract=_abstract(entity, kept),
+                page_links=entity.popularity,
+            )
+        )
+        kb_uri_of[entity.gt_id] = uri
+        gt_of_uri[uri] = entity.gt_id
+    return kb, kb_uri_of, gt_of_uri

@@ -1,0 +1,234 @@
+"""Deterministic name pools and generators for the synthetic world.
+
+All generators draw from a seeded :class:`random.Random`, so the same seed
+reproduces the same world.  Pools are deliberately sized so that name
+collisions (homonyms) can be *injected* at controlled per-class rates
+rather than occurring accidentally.
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = (
+    "James", "Michael", "Robert", "John", "David", "William", "Richard",
+    "Joseph", "Thomas", "Marcus", "Charles", "Anthony", "Donald", "Mark",
+    "Darius", "Steven", "Andrew", "Kenneth", "Joshua", "Kevin", "Brian",
+    "George", "Timothy", "Ronald", "Jason", "Edward", "Jeff", "Ryan",
+    "Jacob", "Gary", "Nicholas", "Eric", "Jonathan", "Stephen", "Larry",
+    "Justin", "Scott", "Brandon", "Benjamin", "Samuel", "Greg", "Alex",
+    "Patrick", "Jack", "Dennis", "Jerry", "Tyler", "Aaron", "Jose", "Adam",
+    "Nathan", "Henry", "Douglas", "Zachary", "Peter", "Kyle", "Ethan",
+    "Walter", "Noah", "Jeremy", "Christian", "Keith", "Roger", "Terry",
+    "Austin", "Sean", "Gerald", "Carl", "Dylan", "Harold", "Jordan",
+    "Jesse", "Bryan", "Lawrence", "Arthur", "Gabriel", "Bruce", "Logan",
+    "Billy", "Joe", "Alan", "Juan", "Elijah", "Willie", "Albert", "Wayne",
+    "Randy", "Mason", "Vincent", "Liam", "Roy", "Bobby", "Caleb", "Bradley",
+    "Russell", "Lucas", "Trevor", "Dominique", "Isaiah", "Malik", "Andre",
+)
+
+LAST_NAMES = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzales",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+    "Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+)
+
+COLLEGES = (
+    "Alabama", "Ohio State", "Clemson", "Georgia", "Oklahoma", "LSU",
+    "Notre Dame", "Michigan", "Texas A&M", "Florida", "Penn State", "Oregon",
+    "Auburn", "Wisconsin", "Iowa", "USC", "Miami", "Washington", "Texas",
+    "Stanford", "Michigan State", "Tennessee", "Nebraska", "UCLA",
+    "North Carolina", "Ole Miss", "Utah", "Baylor", "TCU", "Pittsburgh",
+    "Louisville", "West Virginia", "Arizona State", "California", "Purdue",
+    "Virginia Tech", "Kentucky", "Missouri", "Syracuse", "Boston College",
+)
+
+TEAMS = (
+    "Arizona Cardinals", "Atlanta Falcons", "Baltimore Ravens",
+    "Buffalo Bills", "Carolina Panthers", "Chicago Bears",
+    "Cincinnati Bengals", "Cleveland Browns", "Dallas Cowboys",
+    "Denver Broncos", "Detroit Lions", "Green Bay Packers",
+    "Houston Texans", "Indianapolis Colts", "Jacksonville Jaguars",
+    "Kansas City Chiefs", "Miami Dolphins", "Minnesota Vikings",
+    "New England Patriots", "New Orleans Saints", "New York Giants",
+    "New York Jets", "Oakland Raiders", "Philadelphia Eagles",
+    "Pittsburgh Steelers", "San Diego Chargers", "San Francisco 49ers",
+    "Seattle Seahawks", "St. Louis Rams", "Tampa Bay Buccaneers",
+    "Tennessee Titans", "Washington Redskins",
+)
+
+POSITIONS = (
+    "Quarterback", "Running back", "Wide receiver", "Tight end",
+    "Offensive tackle", "Guard", "Center", "Defensive end",
+    "Defensive tackle", "Linebacker", "Cornerback", "Safety", "Kicker",
+    "Punter",
+)
+
+POSITION_ABBREVIATIONS = {
+    "Quarterback": "QB", "Running back": "RB", "Wide receiver": "WR",
+    "Tight end": "TE", "Offensive tackle": "OT", "Guard": "G",
+    "Center": "C", "Defensive end": "DE", "Defensive tackle": "DT",
+    "Linebacker": "LB", "Cornerback": "CB", "Safety": "S", "Kicker": "K",
+    "Punter": "P",
+}
+
+GENRES = (
+    "Rock", "Pop", "Hip hop", "Country", "Jazz", "Blues", "Folk",
+    "Electronic", "R&B", "Soul", "Punk rock", "Heavy metal", "Reggae",
+    "Indie rock", "Alternative rock", "Gospel", "Disco", "Funk",
+)
+
+RECORD_LABELS = (
+    "Columbia Records", "Atlantic Records", "Capitol Records", "RCA Records",
+    "Warner Bros. Records", "Island Records", "Epic Records", "Motown",
+    "Def Jam", "Interscope", "Geffen Records", "Elektra Records",
+    "Mercury Records", "Parlophone", "Sub Pop", "Decca", "Chess Records",
+    "Stax Records", "A&M Records", "Virgin Records", "Rough Trade",
+    "Matador Records", "Domino", "4AD", "XL Recordings", "Fueled by Ramen",
+    "Roadrunner Records", "Nuclear Blast", "Verve Records", "Blue Note",
+)
+
+_TITLE_ADJECTIVES = (
+    "Broken", "Silent", "Golden", "Crimson", "Endless", "Burning", "Frozen",
+    "Lonely", "Midnight", "Electric", "Hollow", "Wicked", "Velvet",
+    "Shattered", "Restless", "Fading", "Neon", "Silver", "Savage", "Gentle",
+    "Hidden", "Crystal", "Wild", "Paper", "Distant", "Quiet", "Bitter",
+)
+
+_TITLE_NOUNS = (
+    "Heart", "Road", "River", "Dream", "Night", "Fire", "Rain", "Shadow",
+    "Light", "Love", "City", "Sky", "Ocean", "Stone", "Wind", "Star",
+    "Ghost", "Summer", "Winter", "Echo", "Mirror", "Storm", "Garden",
+    "Moon", "Sun", "Train", "Highway", "Letter", "Promise", "Memory",
+    "Horizon", "Thunder", "Whisper", "Dance", "Song", "Angel", "Devil",
+)
+
+_TITLE_VERBS = (
+    "Running", "Falling", "Dancing", "Waiting", "Dreaming", "Burning",
+    "Crying", "Flying", "Drowning", "Singing", "Chasing", "Breaking",
+    "Holding", "Fading", "Shining", "Drifting", "Wandering",
+)
+
+COUNTRIES = (
+    "Germany", "France", "Italy", "Spain", "Poland", "Austria",
+    "Switzerland", "Netherlands", "Belgium", "Sweden", "Norway", "Denmark",
+    "Portugal", "Greece", "Hungary", "Czech Republic", "Romania", "Ireland",
+    "Finland", "Croatia",
+)
+
+_REGION_SUFFIXES = ("shire", " County", " Province", " District", " Valley", " Region")
+
+_SETTLEMENT_PREFIXES = (
+    "Green", "Stone", "River", "Oak", "Mill", "Spring", "Bridge", "Ash",
+    "Clear", "Fair", "Glen", "Haven", "King", "Lake", "Maple", "North",
+    "South", "East", "West", "Pine", "Rock", "Sand", "Wood", "Elm",
+    "Birch", "Cedar", "Willow", "Iron", "Silver", "Gold", "Salt", "Marsh",
+    "Fox", "Deer", "Eagle", "Bear", "Wolf", "Crane", "Heron", "Falcon",
+)
+
+_SETTLEMENT_SUFFIXES = (
+    "ville", "ton", "burg", "field", "ford", "wood", "dale", "port",
+    "bury", "ham", "stead", "mouth", "bridge", "haven", "crest", "view",
+    "brook", "cliff", "gate", "moor",
+)
+
+_MOUNTAIN_PREFIXES = ("Mount ", "Peak ", "")
+_MOUNTAIN_SUFFIXES = (" Peak", " Ridge", " Summit", " Mountain")
+
+
+class NamePools:
+    """Stateful deterministic name generation.
+
+    Tracks which names were handed out so callers can deliberately create
+    homonyms (by re-requesting a used name) or avoid them.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used_person: list[str] = []
+        self._used_song: list[str] = []
+        self._used_settlement: list[str] = []
+
+    # -- people ---------------------------------------------------------
+    def person_name(self, reuse_probability: float = 0.0) -> str:
+        if self._used_person and self._rng.random() < reuse_probability:
+            return self._rng.choice(self._used_person)
+        name = f"{self._rng.choice(FIRST_NAMES)} {self._rng.choice(LAST_NAMES)}"
+        self._used_person.append(name)
+        return name
+
+    def person_alt_names(self, name: str) -> list[str]:
+        """Surface variants of a person name (last-first, initial)."""
+        first, __, last = name.partition(" ")
+        variants = [f"{last}, {first}", f"{first[0]}. {last}"]
+        return variants
+
+    # -- songs ----------------------------------------------------------
+    def song_title(self, reuse_probability: float = 0.0) -> str:
+        if self._used_song and self._rng.random() < reuse_probability:
+            return self._rng.choice(self._used_song)
+        pattern = self._rng.randrange(5)
+        rng = self._rng
+        if pattern == 0:
+            title = f"{rng.choice(_TITLE_ADJECTIVES)} {rng.choice(_TITLE_NOUNS)}"
+        elif pattern == 1:
+            title = f"The {rng.choice(_TITLE_ADJECTIVES)} {rng.choice(_TITLE_NOUNS)}"
+        elif pattern == 2:
+            title = f"{rng.choice(_TITLE_VERBS)} {rng.choice(_TITLE_NOUNS)}"
+        elif pattern == 3:
+            title = (
+                f"{rng.choice(_TITLE_NOUNS)} of "
+                f"{rng.choice(_TITLE_NOUNS)}s"
+            )
+        else:
+            title = f"{rng.choice(_TITLE_NOUNS)} {rng.choice(_TITLE_NOUNS)}"
+        self._used_song.append(title)
+        return title
+
+    def song_alt_names(self, title: str) -> list[str]:
+        return [f"{title} (song)", title.lower()]
+
+    def album_title(self) -> str:
+        rng = self._rng
+        if rng.random() < 0.5:
+            return f"{rng.choice(_TITLE_ADJECTIVES)} {rng.choice(_TITLE_NOUNS)}s"
+        return f"{rng.choice(_TITLE_NOUNS)}s & {rng.choice(_TITLE_NOUNS)}s"
+
+    # -- places ---------------------------------------------------------
+    def settlement_name(self, reuse_probability: float = 0.0) -> str:
+        if self._used_settlement and self._rng.random() < reuse_probability:
+            return self._rng.choice(self._used_settlement)
+        name = (
+            self._rng.choice(_SETTLEMENT_PREFIXES)
+            + self._rng.choice(_SETTLEMENT_SUFFIXES)
+        )
+        self._used_settlement.append(name)
+        return name
+
+    def region_name(self) -> str:
+        return (
+            self._rng.choice(_SETTLEMENT_PREFIXES)
+            + self._rng.choice(_REGION_SUFFIXES)
+        )
+
+    def mountain_name(self) -> str:
+        base = self._rng.choice(_SETTLEMENT_PREFIXES)
+        if self._rng.random() < 0.5:
+            return f"{self._rng.choice(_MOUNTAIN_PREFIXES)}{base}"
+        return f"{base}{self._rng.choice(_MOUNTAIN_SUFFIXES)}"
+
+    def postal_code(self) -> str:
+        return f"{self._rng.randrange(10000, 99999)}"

@@ -1,0 +1,137 @@
+"""Cell rendering and noise channels for table generation.
+
+Web tables present the *same* fact in many surface forms: dates in four
+formats, heights in feet/inches or meters, runtimes as ``m:ss``, positions
+abbreviated.  Rendering variety is what makes schema matching and value
+normalization non-trivial, so each property's ``render_hint`` selects a
+format distribution here.  On top of format variety three error channels
+corrupt values: typos, wrong values (another entity's value), and outdated
+values (older population numbers, previous teams).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datatypes.values import DateValue
+from repro.synthesis.names import POSITION_ABBREVIATIONS
+
+
+def inject_typo(text: str, rng: random.Random) -> str:
+    """One character-level typo: swap, drop, or duplicate."""
+    if len(text) < 3:
+        return text
+    position = rng.randrange(1, len(text) - 1)
+    kind = rng.randrange(3)
+    if kind == 0:  # swap adjacent
+        chars = list(text)
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        return "".join(chars)
+    if kind == 1:  # drop
+        return text[:position] + text[position + 1 :]
+    return text[:position] + text[position] + text[position:]  # duplicate
+
+
+def _render_date_day(value: DateValue, rng: random.Random) -> str:
+    months = (
+        "January", "February", "March", "April", "May", "June", "July",
+        "August", "September", "October", "November", "December",
+    )
+    style = rng.randrange(4)
+    if style == 0:
+        return f"{value.year:04d}-{value.month:02d}-{value.day:02d}"
+    if style == 1:
+        return f"{value.month}/{value.day}/{value.year}"
+    if style == 2:
+        return f"{months[value.month - 1]} {value.day}, {value.year}"
+    return f"{value.day} {months[value.month - 1]} {value.year}"
+
+
+def _render_height(meters: float, rng: random.Random) -> str:
+    style = rng.random()
+    if style < 0.5:
+        total_inches = round(meters / 0.0254)
+        feet, inches = divmod(total_inches, 12)
+        return f"{feet}'{inches}\""
+    if style < 0.8:
+        return f"{meters:.2f} m"
+    return f"{round(meters * 100)} cm"
+
+
+def _render_weight(kilograms: float, rng: random.Random) -> str:
+    if rng.random() < 0.7:
+        return f"{round(kilograms / 0.45359237)} lbs"
+    return f"{round(kilograms)} kg"
+
+
+def _render_runtime(seconds: float, rng: random.Random) -> str:
+    if rng.random() < 0.7:
+        minutes, rest = divmod(int(round(seconds)), 60)
+        return f"{minutes}:{rest:02d}"
+    return f"{int(round(seconds))}"
+
+
+def _render_population(count: float, rng: random.Random) -> str:
+    number = int(round(count))
+    if rng.random() < 0.6:
+        return f"{number:,}"
+    return str(number)
+
+
+def _render_elevation(meters: float, rng: random.Random) -> str:
+    if rng.random() < 0.5:
+        return f"{int(round(meters))} m"
+    return str(int(round(meters)))
+
+
+def _render_jersey(number: int, rng: random.Random) -> str:
+    if rng.random() < 0.15:
+        return f"#{number}"
+    return str(number)
+
+
+def _render_ordinal(number: int, rng: random.Random) -> str:
+    if rng.random() < 0.3:
+        suffix = {1: "st", 2: "nd", 3: "rd"}.get(number if number < 20 else number % 10, "th")
+        return f"{number}{suffix}"
+    return str(number)
+
+
+def _render_plain(value: object, rng: random.Random) -> str:
+    text = str(value)
+    # Position abbreviations: "Quarterback" sometimes appears as "QB".
+    if text in POSITION_ABBREVIATIONS and rng.random() < 0.25:
+        return POSITION_ABBREVIATIONS[text]
+    return text
+
+
+def render_value(value: object, render_hint: str, rng: random.Random) -> str:
+    """Render a normalized ground-truth value as a raw table cell string."""
+    if isinstance(value, DateValue):
+        if render_hint == "date_year" or not value.is_day_granular:
+            return str(value.year)
+        return _render_date_day(value, rng)
+    renderers = {
+        "height": _render_height,
+        "weight": _render_weight,
+        "runtime": _render_runtime,
+        "population": _render_population,
+        "elevation": _render_elevation,
+        "jersey": _render_jersey,
+        "ordinal": _render_ordinal,
+    }
+    renderer = renderers.get(render_hint)
+    if renderer is not None:
+        return renderer(value, rng)
+    return _render_plain(value, rng)
+
+
+def outdated_value(property_name: str, value: object, rng: random.Random) -> object:
+    """An older (now wrong relative to the KB) version of a value."""
+    if property_name == "populationTotal":
+        return float(int(float(value) * rng.uniform(0.70, 0.93)))
+    if isinstance(value, float):
+        return value * rng.uniform(0.85, 0.97)
+    if isinstance(value, DateValue):
+        return DateValue(max(1900, value.year - rng.randrange(1, 4)))
+    return value

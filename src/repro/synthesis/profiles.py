@@ -1,0 +1,316 @@
+"""Per-class statistical profiles (scaled from the paper's Tables 1-4).
+
+Each :class:`ClassSpec` captures what the paper reports about a class:
+
+* the DBpedia property schema with data types and knowledge base densities
+  (Table 2),
+* how often each property appears as a column in web tables — this is what
+  shifts Table 12 away from Table 2 (web tables care about positions and
+  teams, not birth places),
+* noise channel rates, tuned to reproduce the per-class difficulty ordering
+  the paper observes (songs suffer most from homonyms, settlements from
+  outdated/conflicting values),
+* scaled entity counts controlling the KB size and the long-tail population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.datatypes import DataType
+
+
+@dataclass(frozen=True)
+class PropertyProfile:
+    """How one property behaves in the KB and in web tables.
+
+    ``kb_density`` is the fraction of KB instances with a fact (Table 2);
+    ``table_frequency`` the chance a generated table of the class includes
+    the property as a column (drives the Table 12 density shape);
+    ``header_variants`` the surface header labels tables use;
+    ``labels`` the property's KB surface labels (KB-Label matcher input);
+    ``render_hint`` selects format/unit variation when rendering cells;
+    ``themeable`` marks properties that can act as a table's implicit theme
+    (all rows share the value, and the column is omitted — IMPLICIT_ATT).
+    """
+
+    name: str
+    data_type: DataType
+    kb_density: float
+    table_frequency: float
+    header_variants: tuple[str, ...]
+    labels: tuple[str, ...]
+    render_hint: str = "plain"
+    themeable: bool = False
+    tolerance: float = 0.05
+
+
+@dataclass(frozen=True)
+class ClassSpec:
+    """Full generation profile of one target class."""
+
+    name: str
+    ancestry: tuple[str, ...]
+    properties: tuple[PropertyProfile, ...]
+    kb_count: int
+    tail_count: int
+    n_tables: int
+    rows_mean: float
+    homonym_rate: float
+    typo_rate: float
+    wrong_value_rate: float
+    outdated_rate: float
+    missing_cell_rate: float
+    alt_label_rate: float
+    distractor_class: str
+    distractor_rate: float
+    themed_table_rate: float
+    gs_clusters: int = 90
+    gs_new_fraction: float = 0.39
+    #: Probability that a property column gets a cryptic/generic header
+    #: ("info", "value", bare "year") that the label-based matchers cannot
+    #: resolve — the paper's iteration-1 recall gap (Table 6) comes from
+    #: such columns, which only the duplicate-based matchers recover.
+    cryptic_header_rate: float = 0.35
+
+    def property(self, name: str) -> PropertyProfile:
+        for profile in self.properties:
+            if profile.name == name:
+                return profile
+        raise KeyError(name)
+
+
+@dataclass(frozen=True)
+class WorldScale:
+    """Global multiplier over entity/table counts.
+
+    ``1.0`` is the library default, sized so the full large-scale profiling
+    run (Table 11) completes in minutes on a laptop while preserving the
+    paper's per-class ratios; tests use :meth:`tiny`.
+    """
+
+    factor: float = 1.0
+
+    @classmethod
+    def tiny(cls) -> "WorldScale":
+        return cls(0.25)
+
+    @classmethod
+    def default(cls) -> "WorldScale":
+        return cls(1.0)
+
+    def apply(self, spec: ClassSpec) -> ClassSpec:
+        if self.factor == 1.0:
+            return spec
+        return replace(
+            spec,
+            kb_count=max(30, int(round(spec.kb_count * self.factor))),
+            tail_count=max(10, int(round(spec.tail_count * self.factor))),
+            n_tables=max(20, int(round(spec.n_tables * self.factor))),
+        )
+
+
+_GF_PLAYER = ClassSpec(
+    name="GridironFootballPlayer",
+    ancestry=("GridironFootballPlayer", "Athlete", "Person", "Agent", "Thing"),
+    properties=(
+        PropertyProfile(
+            "birthDate", DataType.DATE, 0.974, 0.10,
+            ("birth date", "born", "dob", "date of birth"),
+            ("birth date", "born"), "date_day",
+        ),
+        PropertyProfile(
+            "college", DataType.INSTANCE_REFERENCE, 0.929, 0.45,
+            ("college", "school", "university", "alma mater"),
+            ("college",), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "birthPlace", DataType.INSTANCE_REFERENCE, 0.863, 0.06,
+            ("birth place", "birthplace", "hometown", "from"),
+            ("birth place",),
+        ),
+        PropertyProfile(
+            "team", DataType.INSTANCE_REFERENCE, 0.643, 0.50,
+            ("team", "club", "nfl team", "current team"),
+            ("team",), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "number", DataType.NOMINAL_INTEGER, 0.551, 0.25,
+            ("number", "no", "jersey", "#"),
+            ("number",), "jersey",
+        ),
+        PropertyProfile(
+            "position", DataType.NOMINAL_STRING, 0.542, 0.60,
+            ("position", "pos", "role"),
+            ("position",), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "height", DataType.QUANTITY, 0.485, 0.30,
+            ("height", "ht"),
+            ("height",), "height", tolerance=0.03,
+        ),
+        PropertyProfile(
+            "weight", DataType.QUANTITY, 0.483, 0.38,
+            ("weight", "wt"),
+            ("weight",), "weight", tolerance=0.04,
+        ),
+        PropertyProfile(
+            "draftYear", DataType.DATE, 0.383, 0.12,
+            ("draft year", "year drafted", "draft"),
+            ("draft year",), "date_year", themeable=True,
+        ),
+        PropertyProfile(
+            "draftRound", DataType.NOMINAL_INTEGER, 0.382, 0.15,
+            ("draft round", "round", "rd"),
+            ("draft round",), "ordinal",
+        ),
+        PropertyProfile(
+            "draftPick", DataType.NOMINAL_INTEGER, 0.382, 0.18,
+            ("draft pick", "pick", "overall"),
+            ("draft pick",), "jersey",
+        ),
+    ),
+    kb_count=520,
+    tail_count=360,
+    n_tables=190,
+    rows_mean=10.0,
+    homonym_rate=0.04,
+    typo_rate=0.02,
+    wrong_value_rate=0.05,
+    outdated_rate=0.05,
+    missing_cell_rate=0.06,
+    alt_label_rate=0.25,
+    distractor_class="BasketballPlayer",
+    distractor_rate=0.06,
+    themed_table_rate=0.45,
+    gs_clusters=100,
+    gs_new_fraction=0.19,
+    cryptic_header_rate=0.40,
+)
+
+_SONG = ClassSpec(
+    name="Song",
+    ancestry=("Song", "MusicalWork", "Work", "Thing"),
+    properties=(
+        PropertyProfile(
+            "genre", DataType.NOMINAL_STRING, 0.895, 0.14,
+            ("genre", "style", "music genre"),
+            ("genre",), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "musicalArtist", DataType.INSTANCE_REFERENCE, 0.859, 0.70,
+            ("artist", "performer", "musical artist", "by"),
+            ("musical artist", "artist"), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "recordLabel", DataType.INSTANCE_REFERENCE, 0.820, 0.07,
+            ("label", "record label"),
+            ("record label",),
+        ),
+        PropertyProfile(
+            "runtime", DataType.QUANTITY, 0.800, 0.55,
+            ("length", "duration", "time", "runtime"),
+            ("runtime",), "runtime", tolerance=0.03,
+        ),
+        PropertyProfile(
+            "album", DataType.INSTANCE_REFERENCE, 0.774, 0.32,
+            ("album", "from album", "appears on"),
+            ("album",), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "writer", DataType.INSTANCE_REFERENCE, 0.646, 0.03,
+            ("writer", "written by", "songwriter"),
+            ("writer",),
+        ),
+        PropertyProfile(
+            "releaseDate", DataType.DATE, 0.603, 0.30,
+            ("released", "release date", "year", "date"),
+            ("release date",), "date_mixed", themeable=True,
+        ),
+    ),
+    kb_count=500,
+    tail_count=1750,
+    n_tables=420,
+    rows_mean=11.0,
+    homonym_rate=0.14,
+    typo_rate=0.02,
+    wrong_value_rate=0.06,
+    outdated_rate=0.02,
+    missing_cell_rate=0.07,
+    alt_label_rate=0.30,
+    distractor_class="Album",
+    distractor_rate=0.07,
+    themed_table_rate=0.55,
+    gs_clusters=97,
+    gs_new_fraction=0.65,
+    cryptic_header_rate=0.45,
+)
+
+_SETTLEMENT = ClassSpec(
+    name="Settlement",
+    ancestry=("Settlement", "PopulatedPlace", "Place", "Thing"),
+    properties=(
+        PropertyProfile(
+            "country", DataType.INSTANCE_REFERENCE, 0.925, 0.30,
+            ("country", "nation", "state"),
+            ("country",), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "isPartOf", DataType.INSTANCE_REFERENCE, 0.888, 0.55,
+            ("region", "district", "part of", "county", "province"),
+            ("is part of", "region"), "plain", themeable=True,
+        ),
+        PropertyProfile(
+            "populationTotal", DataType.QUANTITY, 0.624, 0.45,
+            ("population", "pop", "inhabitants", "residents"),
+            ("population total", "population"), "population", tolerance=0.08,
+        ),
+        PropertyProfile(
+            "postalCode", DataType.NOMINAL_INTEGER, 0.330, 0.28,
+            ("postal code", "zip", "zip code", "plz"),
+            ("postal code",),
+        ),
+        PropertyProfile(
+            "elevation", DataType.QUANTITY, 0.313, 0.10,
+            ("elevation", "altitude", "height above sea level"),
+            ("elevation",), "elevation", tolerance=0.05,
+        ),
+    ),
+    kb_count=850,
+    tail_count=40,
+    n_tables=200,
+    rows_mean=9.0,
+    homonym_rate=0.08,
+    typo_rate=0.02,
+    wrong_value_rate=0.05,
+    outdated_rate=0.16,
+    missing_cell_rate=0.08,
+    alt_label_rate=0.15,
+    distractor_class="Region",
+    distractor_rate=0.10,
+    themed_table_rate=0.50,
+    gs_clusters=74,
+    gs_new_fraction=0.34,
+    cryptic_header_rate=0.40,
+)
+
+#: The three evaluated classes, keyed by name.  ``GF-Player`` is accepted as
+#: an alias matching the paper's abbreviation.
+CLASS_SPECS: dict[str, ClassSpec] = {
+    _GF_PLAYER.name: _GF_PLAYER,
+    _SONG.name: _SONG,
+    _SETTLEMENT.name: _SETTLEMENT,
+}
+
+_ALIASES = {"GF-Player": _GF_PLAYER.name}
+
+
+def class_spec(name: str) -> ClassSpec:
+    """Look up a class profile by name (accepts the GF-Player alias)."""
+    resolved = _ALIASES.get(name, name)
+    try:
+        return CLASS_SPECS[resolved]
+    except KeyError:
+        raise KeyError(
+            f"unknown class {name!r}; expected one of {sorted(CLASS_SPECS)}"
+        ) from None

@@ -1,0 +1,100 @@
+"""Builds the synthetic knowledge base schema.
+
+Mirrors the slice of the DBpedia ontology the paper touches: the three
+target classes under their first-level classes (Agent, Work, Place), the
+Single subclass of Song, and the sibling distractor classes whose tables
+pollute table-to-class matching (BasketballPlayer, Album, Region,
+Mountain).
+"""
+
+from __future__ import annotations
+
+from repro.datatypes import DataType
+from repro.kb.schema import KBClass, KBProperty, KBSchema
+from repro.synthesis.profiles import CLASS_SPECS
+
+
+def _property(profile) -> KBProperty:
+    return KBProperty(
+        name=profile.name,
+        data_type=profile.data_type,
+        labels=profile.labels,
+        tolerance=profile.tolerance,
+    )
+
+
+#: Properties of the distractor classes — small but realistic schemata so
+#: their tables produce plausible confusion with the target classes.
+_DISTRACTOR_PROPERTIES: dict[str, tuple[KBProperty, ...]] = {
+    "BasketballPlayer": (
+        KBProperty("team", DataType.INSTANCE_REFERENCE, ("team",)),
+        KBProperty("height", DataType.QUANTITY, ("height",), tolerance=0.03),
+        KBProperty("weight", DataType.QUANTITY, ("weight",), tolerance=0.04),
+        KBProperty("position", DataType.NOMINAL_STRING, ("position",)),
+        KBProperty("birthDate", DataType.DATE, ("birth date",)),
+    ),
+    "Album": (
+        KBProperty("musicalArtist", DataType.INSTANCE_REFERENCE, ("artist",)),
+        KBProperty("releaseDate", DataType.DATE, ("release date",)),
+        KBProperty("genre", DataType.NOMINAL_STRING, ("genre",)),
+        KBProperty("recordLabel", DataType.INSTANCE_REFERENCE, ("record label",)),
+        KBProperty("runtime", DataType.QUANTITY, ("runtime",), tolerance=0.03),
+    ),
+    "Region": (
+        KBProperty("country", DataType.INSTANCE_REFERENCE, ("country",)),
+        KBProperty("populationTotal", DataType.QUANTITY, ("population",), tolerance=0.08),
+        KBProperty("areaTotal", DataType.QUANTITY, ("area",), tolerance=0.08),
+    ),
+    "Mountain": (
+        KBProperty("country", DataType.INSTANCE_REFERENCE, ("country",)),
+        KBProperty("elevation", DataType.QUANTITY, ("elevation",), tolerance=0.05),
+    ),
+}
+
+
+def make_schema() -> KBSchema:
+    """The full synthetic ontology."""
+    schema = KBSchema()
+    schema.add_class(KBClass("Thing"))
+    # Agent branch
+    schema.add_class(KBClass("Agent", parent="Thing"))
+    schema.add_class(KBClass("Person", parent="Agent"))
+    schema.add_class(KBClass("Athlete", parent="Person"))
+    # Work branch
+    schema.add_class(KBClass("Work", parent="Thing"))
+    schema.add_class(KBClass("MusicalWork", parent="Work"))
+    # Place branch
+    schema.add_class(KBClass("Place", parent="Thing"))
+    schema.add_class(KBClass("PopulatedPlace", parent="Place"))
+    schema.add_class(KBClass("NaturalPlace", parent="Place"))
+
+    parent_of_target = {
+        "GridironFootballPlayer": "Athlete",
+        "Song": "MusicalWork",
+        "Settlement": "PopulatedPlace",
+    }
+    for spec in CLASS_SPECS.values():
+        properties = {
+            profile.name: _property(profile) for profile in spec.properties
+        }
+        schema.add_class(
+            KBClass(spec.name, parent=parent_of_target[spec.name], properties=properties)
+        )
+    # The paper folds Single into Song.
+    schema.add_class(KBClass("Single", parent="Song"))
+
+    parent_of_distractor = {
+        "BasketballPlayer": "Athlete",
+        "Album": "Work",
+        "Region": "PopulatedPlace",
+        "Mountain": "NaturalPlace",
+    }
+    for name, properties in _DISTRACTOR_PROPERTIES.items():
+        schema.add_class(
+            KBClass(
+                name,
+                parent=parent_of_distractor[name],
+                properties={prop.name: prop for prop in properties},
+            )
+        )
+    return schema

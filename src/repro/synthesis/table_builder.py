@@ -1,0 +1,411 @@
+"""Generates the web table corpus from the ground-truth world.
+
+Three table populations per target class (mirroring what the WDC corpus
+throws at the pipeline):
+
+* **class tables** — rows describe entities of the class; roughly half are
+  *themed* (all rows share a value of a themeable property, and that
+  property is omitted from the columns — IMPLICIT_ATT's signal),
+* **distractor tables** — same construction over the sibling class
+  (albums next to songs, regions next to settlements), the source of
+  table-to-class confusion,
+* **junk tables** — no recognisable class at all.
+
+Every generated cell may be hit by the noise channels (typo, wrong value,
+outdated value, alternative-correct value, missing) at the class's rates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.datatypes.similarity import TypedSimilarity
+from repro.goldstandard.annotations import LABEL_COLUMN
+from repro.synthesis.noise import inject_typo, outdated_value, render_value
+from repro.synthesis.profiles import ClassSpec, PropertyProfile
+from repro.synthesis.world import WorldEntity
+from repro.webtables.table import RowId, WebTable
+
+#: Header variants for the label attribute, per class.
+_LABEL_HEADERS = {
+    "GridironFootballPlayer": ("player", "name", "player name"),
+    "Song": ("song", "title", "track", "song title"),
+    "Settlement": ("city", "town", "name", "settlement"),
+    "BasketballPlayer": ("player", "name"),
+    "Album": ("album", "title"),
+    "Region": ("region", "name"),
+    "Mountain": ("mountain", "peak", "name"),
+}
+
+#: Render hints for distractor-class properties (target classes carry their
+#: hints in the class profile).
+_FALLBACK_HINTS = {
+    "height": "height",
+    "weight": "weight",
+    "runtime": "runtime",
+    "populationTotal": "population",
+    "elevation": "elevation",
+    "areaTotal": "plain",
+    "birthDate": "date_day",
+    "releaseDate": "date_mixed",
+}
+
+#: Mini table-column profiles for distractor classes: (property, header
+#: variants, frequency).
+_DISTRACTOR_COLUMNS = {
+    "BasketballPlayer": (
+        ("team", ("team", "club"), 0.6),
+        ("height", ("height", "ht"), 0.5),
+        ("weight", ("weight", "wt"), 0.4),
+        ("position", ("position", "pos"), 0.5),
+        ("birthDate", ("born", "birth date"), 0.15),
+    ),
+    "Album": (
+        ("musicalArtist", ("artist", "by"), 0.8),
+        ("releaseDate", ("released", "year"), 0.5),
+        ("genre", ("genre",), 0.25),
+        ("recordLabel", ("label",), 0.2),
+        ("runtime", ("length", "duration"), 0.4),
+    ),
+    "Region": (
+        ("country", ("country",), 0.6),
+        ("populationTotal", ("population", "pop"), 0.6),
+        ("areaTotal", ("area",), 0.4),
+    ),
+    "Mountain": (
+        ("country", ("country",), 0.5),
+        ("elevation", ("elevation", "height"), 0.8),
+    ),
+}
+
+_JUNK_WORDS = (
+    "info", "details", "misc", "various", "general", "entry", "data",
+    "item", "value", "record", "note", "text", "content", "other",
+)
+
+#: Properties whose values change over time — the only ones hit by the
+#: outdated-value channel (an old population count, a previous team).
+_OUTDATABLE_PROPERTIES = frozenset({"populationTotal", "team"})
+
+#: Headers that carry no usable signal for the label-based matchers:
+#: generic words plus type-ambiguous words that fit several properties.
+_CRYPTIC_HEADERS = (
+    "info", "value", "data", "details", "field", "col", "entry",
+    "year", "date", "total", "length", "no", "type", "stat",
+)
+
+
+@dataclass
+class BuiltTables:
+    """Tables plus the truth maps recorded while generating them."""
+
+    tables: list[WebTable] = field(default_factory=list)
+    row_truth: dict[RowId, str] = field(default_factory=dict)
+    column_truth: dict[tuple[str, int], str] = field(default_factory=dict)
+    table_class_truth: dict[str, str | None] = field(default_factory=dict)
+
+    def merge(self, other: "BuiltTables") -> None:
+        self.tables.extend(other.tables)
+        self.row_truth.update(other.row_truth)
+        self.column_truth.update(other.column_truth)
+        self.table_class_truth.update(other.table_class_truth)
+
+
+class TableBuilder:
+    """Generates all tables for one target class (plus its pollution)."""
+
+    #: Fraction of tables with no recognisable class at all.
+    JUNK_RATE = 0.06
+
+    def __init__(
+        self,
+        spec: ClassSpec,
+        class_entities: list[WorldEntity],
+        distractor_entities: list[WorldEntity],
+        rng: random.Random,
+    ) -> None:
+        self.spec = spec
+        self.class_entities = class_entities
+        self.distractor_entities = distractor_entities
+        self.rng = rng
+        self._counter = 0
+
+    def build(self) -> BuiltTables:
+        result = BuiltTables()
+        for __ in range(self.spec.n_tables):
+            draw = self.rng.random()
+            if draw < self.JUNK_RATE:
+                built = self._build_junk_table()
+            elif draw < self.JUNK_RATE + self.spec.distractor_rate and self.distractor_entities:
+                built = self._build_distractor_table()
+            else:
+                built = self._build_class_table()
+            result.merge(built)
+        return result
+
+    # ------------------------------------------------------------------
+    def _next_table_id(self, kind: str) -> str:
+        self._counter += 1
+        return f"wt:{self.spec.name}:{kind}:{self._counter:04d}"
+
+    def _n_rows(self) -> int:
+        """Skewed row count: median well below mean, as in Table 3."""
+        scale = self.spec.rows_mean / 10.0
+        draw = self.rng.random()
+        if draw < 0.50:
+            count = self.rng.randrange(2, 7)
+        elif draw < 0.85:
+            count = self.rng.randrange(7, 18)
+        else:
+            count = self.rng.randrange(18, 41)
+        return max(2, int(round(count * scale)))
+
+    # ------------------------------------------------------------------
+    def _build_class_table(self) -> BuiltTables:
+        spec = self.spec
+        rng = self.rng
+        pool = self.class_entities
+        theme_property: PropertyProfile | None = None
+        if rng.random() < spec.themed_table_rate:
+            themed_pool, theme_property = self._themed_pool(pool)
+            if theme_property is not None:
+                pool = themed_pool
+        n_rows = min(self._n_rows(), len(pool))
+        if n_rows < 2:
+            pool = self.class_entities
+            theme_property = None
+            n_rows = min(self._n_rows(), len(pool))
+        chosen = rng.sample(pool, n_rows)
+        # A small chance of an in-table duplicate keeps SAME_TABLE honest.
+        if len(chosen) >= 3 and rng.random() < 0.02:
+            chosen[-1] = chosen[0]
+        columns = self._choose_property_columns(theme_property)
+        return self._render_table(
+            kind="class",
+            class_name=spec.name,
+            entities=chosen,
+            property_columns=columns,
+            label_headers=_LABEL_HEADERS[spec.name],
+        )
+
+    def _themed_pool(
+        self, pool: list[WorldEntity]
+    ) -> tuple[list[WorldEntity], PropertyProfile | None]:
+        """Entities sharing one themeable property value."""
+        rng = self.rng
+        themeable = [profile for profile in self.spec.properties if profile.themeable]
+        if not themeable:
+            return pool, None
+        theme = rng.choice(themeable)
+        anchor = rng.choice(pool)
+        anchor_value = anchor.facts.get(theme.name)
+        if anchor_value is None:
+            return pool, None
+        similarity = TypedSimilarity(theme.data_type, theme.tolerance)
+        themed = [
+            entity
+            for entity in pool
+            if theme.name in entity.facts
+            and similarity.equal(entity.facts[theme.name], anchor_value)
+        ]
+        if len(themed) < 4:
+            return pool, None
+        return themed, theme
+
+    def _choose_property_columns(
+        self, theme_property: PropertyProfile | None
+    ) -> list[PropertyProfile]:
+        rng = self.rng
+        columns = [
+            profile
+            for profile in self.spec.properties
+            if (theme_property is None or profile.name != theme_property.name)
+            and rng.random() < profile.table_frequency
+        ]
+        if not columns:
+            eligible = [
+                profile
+                for profile in self.spec.properties
+                if theme_property is None or profile.name != theme_property.name
+            ]
+            weights = [profile.table_frequency for profile in eligible]
+            columns = rng.choices(eligible, weights=weights, k=1)
+        return columns
+
+    # ------------------------------------------------------------------
+    def _build_distractor_table(self) -> BuiltTables:
+        rng = self.rng
+        class_name = self.spec.distractor_class
+        pool = self.distractor_entities
+        n_rows = min(self._n_rows(), len(pool))
+        chosen = rng.sample(pool, max(2, n_rows))
+        column_specs = [
+            (name, variants)
+            for name, variants, frequency in _DISTRACTOR_COLUMNS[class_name]
+            if rng.random() < frequency
+        ]
+        if not column_specs:
+            name, variants, __ = _DISTRACTOR_COLUMNS[class_name][0]
+            column_specs = [(name, variants)]
+        profiles = [
+            PropertyProfile(
+                name=name,
+                data_type=None,  # unused by rendering
+                kb_density=1.0,
+                table_frequency=1.0,
+                header_variants=variants,
+                labels=variants,
+                render_hint=_FALLBACK_HINTS.get(name, "plain"),
+            )
+            for name, variants in column_specs
+        ]
+        return self._render_table(
+            kind="distractor",
+            class_name=class_name,
+            entities=chosen,
+            property_columns=profiles,
+            label_headers=_LABEL_HEADERS[class_name],
+        )
+
+    def _build_junk_table(self) -> BuiltTables:
+        rng = self.rng
+        table_id = self._next_table_id("junk")
+        n_rows = max(2, self._n_rows() // 2)
+        n_columns = rng.randrange(2, 5)
+        header = tuple(rng.choice(_JUNK_WORDS) for __ in range(n_columns))
+        rows = []
+        for __ in range(n_rows):
+            rows.append(
+                tuple(
+                    f"{rng.choice(_JUNK_WORDS)} {rng.randrange(1000)}"
+                    for __ in range(n_columns)
+                )
+            )
+        result = BuiltTables()
+        result.tables.append(
+            WebTable(table_id, header, rows, url=f"http://example.org/{table_id}")
+        )
+        result.table_class_truth[table_id] = None
+        return result
+
+    # ------------------------------------------------------------------
+    def _render_table(
+        self,
+        kind: str,
+        class_name: str,
+        entities: list[WorldEntity],
+        property_columns: list[PropertyProfile],
+        label_headers: tuple[str, ...],
+    ) -> BuiltTables:
+        rng = self.rng
+        spec = self.spec
+        table_id = self._next_table_id(kind)
+        result = BuiltTables()
+
+        # Column layout: label usually first; junk columns appended.
+        junk_columns = []
+        if rng.random() < 0.30:
+            junk_columns.append("rank")
+        if rng.random() < 0.10:
+            junk_columns.append("notes")
+        label_position = 0 if rng.random() < 0.75 else rng.randrange(
+            0, len(property_columns) + 1
+        )
+
+        header: list[str] = []
+        layout: list[object] = []  # LABEL_COLUMN | PropertyProfile | junk kind
+        property_queue = list(property_columns)
+        position = 0
+        while property_queue or (LABEL_COLUMN not in layout):
+            if position == label_position and LABEL_COLUMN not in layout:
+                layout.append(LABEL_COLUMN)
+                header.append(rng.choice(label_headers))
+            elif property_queue:
+                profile = property_queue.pop(0)
+                layout.append(profile)
+                if rng.random() < spec.cryptic_header_rate:
+                    if rng.random() < 0.5:
+                        # High-entropy headers ("col3") starve WT-Label of
+                        # statistics entirely.
+                        header.append(f"col{rng.randrange(1, 10)}")
+                    else:
+                        header.append(rng.choice(_CRYPTIC_HEADERS))
+                else:
+                    header.append(rng.choice(profile.header_variants))
+            position += 1
+        for junk in junk_columns:
+            layout.append(junk)
+            header.append(junk)
+
+        rows: list[tuple[str | None, ...]] = []
+        for row_index, entity in enumerate(entities):
+            cells: list[str | None] = []
+            for column_index, slot in enumerate(layout):
+                if slot == LABEL_COLUMN:
+                    cells.append(self._render_label(entity))
+                elif isinstance(slot, PropertyProfile):
+                    cells.append(self._render_fact(entity, slot, entities))
+                elif slot == "rank":
+                    cells.append(str(row_index + 1))
+                else:
+                    cells.append(rng.choice(_JUNK_WORDS))
+            rows.append(tuple(cells))
+            result.row_truth[(table_id, row_index)] = entity.gt_id
+
+        for column_index, slot in enumerate(layout):
+            if slot == LABEL_COLUMN:
+                result.column_truth[(table_id, column_index)] = LABEL_COLUMN
+            elif isinstance(slot, PropertyProfile):
+                result.column_truth[(table_id, column_index)] = slot.name
+
+        result.tables.append(
+            WebTable(
+                table_id, tuple(header), rows, url=f"http://example.org/{table_id}"
+            )
+        )
+        result.table_class_truth[table_id] = class_name
+        return result
+
+    def _render_label(self, entity: WorldEntity) -> str:
+        rng = self.rng
+        if entity.alt_names and rng.random() < self.spec.alt_label_rate:
+            # Later alternatives (initials, parenthesised forms) are rare
+            # in tables; the first alternative dominates.
+            if len(entity.alt_names) == 1 or rng.random() < 0.8:
+                label = entity.alt_names[0]
+            else:
+                label = rng.choice(entity.alt_names[1:])
+        else:
+            label = entity.name
+        if rng.random() < self.spec.typo_rate:
+            label = inject_typo(label, rng)
+        return label
+
+    def _render_fact(
+        self,
+        entity: WorldEntity,
+        profile: PropertyProfile,
+        table_pool: list[WorldEntity],
+    ) -> str | None:
+        rng = self.rng
+        spec = self.spec
+        if rng.random() < spec.missing_cell_rate:
+            return None
+        value = entity.facts.get(profile.name)
+        if value is None:
+            return None
+        if profile.name in entity.alt_facts and rng.random() < 0.4:
+            value = entity.alt_facts[profile.name]
+        elif rng.random() < spec.wrong_value_rate:
+            donor = rng.choice(table_pool)
+            value = donor.facts.get(profile.name, value)
+        elif (
+            profile.name in _OUTDATABLE_PROPERTIES
+            and rng.random() < spec.outdated_rate
+        ):
+            value = outdated_value(profile.name, value, rng)
+        rendered = render_value(value, profile.render_hint, rng)
+        if rng.random() < spec.typo_rate / 2 and not rendered.isdigit():
+            rendered = inject_typo(rendered, rng)
+        return rendered

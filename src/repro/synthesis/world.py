@@ -1,0 +1,118 @@
+"""Ground-truth world model.
+
+The synthetic world is the *oracle*: it knows every entity, its complete
+description, whether it is covered by the knowledge base, and which table
+row/column describes what.  The pipeline never sees this module's truth
+maps — they exist solely to build the gold standard and to score pipeline
+output in the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import RowId
+
+
+@dataclass
+class WorldEntity:
+    """One real-world entity with its complete ground-truth description.
+
+    ``alt_facts`` holds *alternative correct* values (a settlement's county
+    vs. its province for ``isPartOf``) that tables may use instead of the
+    canonical fact — the conflict channel behind the paper's settlement
+    accuracy errors.  ``kb_class_name`` is the class under which the entity
+    appears in the KB; it differs from ``class_name`` for the misclassified
+    minority (a football player typed only as Athlete), reproducing the
+    paper's "incomplete information in DBpedia" error source.
+    """
+
+    gt_id: str
+    class_name: str
+    name: str
+    alt_names: tuple[str, ...]
+    facts: dict[str, object]
+    in_kb: bool
+    popularity: int
+    homonym_group: str
+    alt_facts: dict[str, object] = field(default_factory=dict)
+    kb_class_name: str | None = None
+
+    @property
+    def effective_kb_class(self) -> str:
+        """Class under which the entity is registered in the KB."""
+        return self.kb_class_name or self.class_name
+
+
+@dataclass
+class World:
+    """The complete synthetic world: truth, KB projection, corpus projection.
+
+    Truth maps:
+
+    * ``row_truth`` — row id → gt id of the entity the row describes.
+    * ``column_truth`` — (table id, column index) → property name, or the
+      :data:`~repro.goldstandard.annotations.LABEL_COLUMN` sentinel for the
+      label attribute; columns absent from the map are unmatched junk.
+    * ``table_class_truth`` — table id → true class name (``None`` for
+      junk tables that describe no known class).
+    * ``kb_uri_of`` / ``gt_of_uri`` — bijection between in-KB entities and
+      their instance URIs.
+    """
+
+    seed: int
+    knowledge_base: KnowledgeBase
+    corpus: TableCorpus
+    entities: dict[str, WorldEntity]
+    kb_uri_of: dict[str, str]
+    gt_of_uri: dict[str, str]
+    row_truth: dict[RowId, str]
+    column_truth: dict[tuple[str, int], str]
+    table_class_truth: dict[str, str | None]
+
+    def entity(self, gt_id: str) -> WorldEntity:
+        return self.entities[gt_id]
+
+    def entities_of_class(
+        self, class_name: str, in_kb: bool | None = None
+    ) -> list[WorldEntity]:
+        """Entities whose *true* class is ``class_name``."""
+        result = [
+            entity
+            for entity in self.entities.values()
+            if entity.class_name == class_name
+            and (in_kb is None or entity.in_kb == in_kb)
+        ]
+        return result
+
+    def tables_of_class(self, class_name: str) -> list[str]:
+        """Table ids whose true class is ``class_name``."""
+        return [
+            table_id
+            for table_id, true_class in self.table_class_truth.items()
+            if true_class == class_name
+        ]
+
+    def rows_of_entity(self, gt_id: str) -> list[RowId]:
+        """All corpus rows describing one entity (truth view)."""
+        grouped = self._rows_by_entity()
+        return grouped.get(gt_id, [])
+
+    def _rows_by_entity(self) -> dict[str, list[RowId]]:
+        if not hasattr(self, "_rows_by_entity_cache"):
+            grouped: dict[str, list[RowId]] = defaultdict(list)
+            for row_id, gt_id in sorted(self.row_truth.items()):
+                grouped[gt_id].append(row_id)
+            self._rows_by_entity_cache = dict(grouped)
+        return self._rows_by_entity_cache
+
+    def true_new_entities(self, class_name: str) -> set[str]:
+        """GT ids of class entities absent from the KB entirely."""
+        return {
+            entity.gt_id
+            for entity in self.entities_of_class(class_name)
+            if not entity.in_kb
+        }

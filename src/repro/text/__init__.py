@@ -1,0 +1,27 @@
+"""String processing substrate.
+
+The paper's matchers and similarity metrics rely on a small set of string
+primitives: cell cleaning and tokenization, Levenshtein distance, the
+Monge-Elkan hybrid similarity (with Levenshtein as inner function, used for
+both row labels and entity labels), and binary bag-of-words term vectors
+compared by cosine similarity.
+"""
+
+from repro.text.tokenize import clean_cell, normalize_label, tokenize
+from repro.text.levenshtein import levenshtein, levenshtein_similarity
+from repro.text.monge_elkan import monge_elkan, monge_elkan_symmetric, label_similarity
+from repro.text.vectors import binary_cosine, jaccard, term_vector
+
+__all__ = [
+    "clean_cell",
+    "normalize_label",
+    "tokenize",
+    "levenshtein",
+    "levenshtein_similarity",
+    "monge_elkan",
+    "monge_elkan_symmetric",
+    "label_similarity",
+    "binary_cosine",
+    "jaccard",
+    "term_vector",
+]

@@ -1,0 +1,44 @@
+"""Levenshtein edit distance and its normalized similarity.
+
+Implemented with the classic two-row dynamic program; no third-party string
+library is available offline, and the pipeline calls this in tight loops, so
+the implementation keeps allocations minimal.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Return the edit distance (insert/delete/substitute, unit cost)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    current = [0] * (len(b) + 1)
+    for i, char_a in enumerate(a, start=1):
+        current[0] = i
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current[j] = min(
+                previous[j] + 1,        # deletion
+                current[j - 1] + 1,     # insertion
+                previous[j - 1] + cost, # substitution
+            )
+        previous, current = current, previous
+    return previous[len(b)]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Normalized Levenshtein similarity in [0, 1].
+
+    ``1 - distance / max(len)``; two empty strings are maximally similar.
+    """
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest

@@ -1,0 +1,62 @@
+"""Monge-Elkan hybrid string similarity.
+
+The paper uses Monge-Elkan with Levenshtein as the inner similarity for both
+the row-level LABEL metric (Section 3.2) and the entity-to-instance LABEL
+metric (Section 3.4).  Monge-Elkan aligns each token of one string with its
+best-matching token of the other and averages those best scores, which makes
+it robust to token reordering ("John Smith" vs "Smith, John") and to extra
+qualifier tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.text.levenshtein import levenshtein_similarity
+from repro.text.tokenize import tokenize
+
+InnerSimilarity = Callable[[str, str], float]
+
+
+def monge_elkan(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    inner: InnerSimilarity = levenshtein_similarity,
+) -> float:
+    """One-directional Monge-Elkan score from ``tokens_a`` to ``tokens_b``.
+
+    For every token in ``tokens_a`` the best inner similarity against any
+    token of ``tokens_b`` is taken; the result is the mean of those maxima.
+    Empty token lists yield 0.0 (nothing to align).
+    """
+    if not tokens_a or not tokens_b:
+        return 0.0
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(inner(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)
+
+
+def monge_elkan_symmetric(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    inner: InnerSimilarity = levenshtein_similarity,
+) -> float:
+    """Symmetrized Monge-Elkan: mean of both directions.
+
+    The raw measure is asymmetric (a subset of tokens scores 1.0 against a
+    superset); averaging both directions restores symmetry, which the
+    clustering fitness function requires.
+    """
+    forward = monge_elkan(tokens_a, tokens_b, inner)
+    backward = monge_elkan(tokens_b, tokens_a, inner)
+    return (forward + backward) / 2.0
+
+
+def label_similarity(label_a: str, label_b: str) -> float:
+    """Similarity of two natural-language labels in [0, 1].
+
+    Tokenizes both labels and applies symmetric Monge-Elkan with Levenshtein
+    inner similarity — the exact configuration named in the paper.
+    """
+    return monge_elkan_symmetric(tokenize(label_a), tokenize(label_b))

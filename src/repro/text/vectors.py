@@ -1,0 +1,43 @@
+"""Binary bag-of-words term vectors.
+
+The BOW metrics of the paper build *binary* term vectors (a term is either
+present or absent) from row cells or knowledge base descriptions, then
+compare them with cosine similarity.  Binary vectors are represented as
+frozen sets of tokens, for which cosine reduces to
+``|A ∩ B| / sqrt(|A| * |B|)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.text.tokenize import tokenize
+
+
+def term_vector(texts: Iterable[str | None]) -> frozenset[str]:
+    """Build a binary term vector from any number of text fragments."""
+    terms: set[str] = set()
+    for text in texts:
+        terms.update(tokenize(text))
+    return frozenset(terms)
+
+
+def binary_cosine(vector_a: frozenset[str], vector_b: frozenset[str]) -> float:
+    """Cosine similarity of two binary term vectors, in [0, 1]."""
+    if not vector_a or not vector_b:
+        return 0.0
+    overlap = len(vector_a & vector_b)
+    if overlap == 0:
+        return 0.0
+    return overlap / math.sqrt(len(vector_a) * len(vector_b))
+
+
+def jaccard(vector_a: frozenset[str], vector_b: frozenset[str]) -> float:
+    """Jaccard similarity of two binary term vectors, in [0, 1]."""
+    if not vector_a and not vector_b:
+        return 1.0
+    union = len(vector_a | vector_b)
+    if union == 0:
+        return 0.0
+    return len(vector_a & vector_b) / union

@@ -1,0 +1,12 @@
+"""Relational web table substrate (WDC corpus stand-in).
+
+Models the input of the pipeline: HTML-extracted relational tables with a
+header row, string cells, and (assumed) one label attribute containing the
+names of the entities the rows describe.
+"""
+
+from repro.webtables.table import Row, RowId, WebTable
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.stats import CorpusStats, corpus_stats
+
+__all__ = ["Row", "RowId", "WebTable", "TableCorpus", "CorpusStats", "corpus_stats"]

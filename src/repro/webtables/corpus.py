@@ -1,0 +1,48 @@
+"""Table corpus container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.webtables.table import Row, RowId, WebTable
+
+
+class TableCorpus:
+    """An indexed collection of web tables.
+
+    Provides id-based access (row ids reference tables by id throughout the
+    pipeline) and simple aggregate iteration.
+    """
+
+    def __init__(self, tables: Iterable[WebTable] = ()) -> None:
+        self._tables: dict[str, WebTable] = {}
+        for table in tables:
+            self.add(table)
+
+    def add(self, table: WebTable) -> None:
+        if table.table_id in self._tables:
+            raise ValueError(f"duplicate table id: {table.table_id}")
+        self._tables[table.table_id] = table
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[WebTable]:
+        return iter(self._tables.values())
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self._tables
+
+    def get(self, table_id: str) -> WebTable:
+        return self._tables[table_id]
+
+    def row(self, row_id: RowId) -> Row:
+        """Resolve a global row id to its row view."""
+        table_id, row_index = row_id
+        return self._tables[table_id].row(row_index)
+
+    def total_rows(self) -> int:
+        return sum(table.n_rows for table in self._tables.values())
+
+    def table_ids(self) -> list[str]:
+        return list(self._tables)

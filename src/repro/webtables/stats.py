@@ -1,0 +1,42 @@
+"""Corpus shape statistics (the paper's Table 3)."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.webtables.corpus import TableCorpus
+
+
+@dataclass(frozen=True)
+class CorpusStats:
+    """Average / median / min / max of rows and columns over a corpus."""
+
+    n_tables: int
+    rows_avg: float
+    rows_median: float
+    rows_min: int
+    rows_max: int
+    cols_avg: float
+    cols_median: float
+    cols_min: int
+    cols_max: int
+
+
+def corpus_stats(corpus: TableCorpus) -> CorpusStats:
+    """Compute Table 3-style shape statistics for a corpus."""
+    row_counts = [table.n_rows for table in corpus]
+    col_counts = [table.n_columns for table in corpus]
+    if not row_counts:
+        raise ValueError("empty corpus")
+    return CorpusStats(
+        n_tables=len(corpus),
+        rows_avg=statistics.fmean(row_counts),
+        rows_median=statistics.median(row_counts),
+        rows_min=min(row_counts),
+        rows_max=max(row_counts),
+        cols_avg=statistics.fmean(col_counts),
+        cols_median=statistics.median(col_counts),
+        cols_min=min(col_counts),
+        cols_max=max(col_counts),
+    )

@@ -1,0 +1,72 @@
+"""Web table data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: A row is globally identified by ``(table_id, row_index)``.
+RowId = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class Row:
+    """A lightweight view of one table row."""
+
+    row_id: RowId
+    cells: tuple[str | None, ...]
+
+    @property
+    def table_id(self) -> str:
+        return self.row_id[0]
+
+    @property
+    def index(self) -> int:
+        return self.row_id[1]
+
+    def cell(self, column: int) -> str | None:
+        return self.cells[column]
+
+
+@dataclass
+class WebTable:
+    """A relational web table: a header plus rows of raw string cells.
+
+    ``header`` holds the column header labels as extracted from HTML;
+    ``rows`` are the body rows.  All cells are raw strings (or ``None`` for
+    empty cells) — typing and normalization happen downstream in schema
+    matching.  ``url`` preserves provenance.
+    """
+
+    table_id: str
+    header: tuple[str, ...]
+    rows: list[tuple[str | None, ...]]
+    url: str = ""
+
+    def __post_init__(self) -> None:
+        width = len(self.header)
+        for index, row in enumerate(self.rows):
+            if len(row) != width:
+                raise ValueError(
+                    f"table {self.table_id}: row {index} has {len(row)} cells, "
+                    f"header has {width}"
+                )
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.header)
+
+    def column(self, index: int) -> list[str | None]:
+        """All cells of one column, top to bottom."""
+        return [row[index] for row in self.rows]
+
+    def row(self, index: int) -> Row:
+        return Row((self.table_id, index), self.rows[index])
+
+    def iter_rows(self) -> Iterator[Row]:
+        for index in range(len(self.rows)):
+            yield self.row(index)

@@ -1,0 +1,98 @@
+"""Smoke tests for the experiment harnesses (cheap ones only).
+
+The fold-based and full-corpus experiments are exercised by the benchmark
+suite; here we verify the fast profiling harnesses end to end and the
+shared environment's caching / fold mechanics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentEnv, get_env
+from repro.experiments import table01, table02, table03, table05
+from repro.experiments.env import subset_gold
+from repro.experiments.report import ExperimentTable, format_table
+
+
+@pytest.fixture(scope="module")
+def env():
+    return get_env(seed=7, scale_factor=0.25)
+
+
+class TestReport:
+    def test_format_alignment(self):
+        text = format_table("T", ("A", "Blong"), [(1, 2.5), ("x", "y")])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Blong" in lines[2]
+
+    def test_experiment_table_format(self):
+        table = ExperimentTable("Table X", "demo", ("a",), rows=[(1,)])
+        assert "Table X: demo" in table.format()
+
+
+class TestEnvironment:
+    def test_world_cached(self, env):
+        assert env.world is env.world
+
+    def test_gold_cached(self, env):
+        assert env.gold("Song") is env.gold("Song")
+
+    def test_get_env_singleton(self):
+        assert get_env(seed=7, scale_factor=0.25) is get_env(7, 0.25)
+
+    def test_folds_partition_clusters(self, env):
+        gold = env.gold("Song")
+        folds = env.folds("Song")
+        assert len(folds) == 3
+        all_ids = sorted(
+            cluster.cluster_id for fold in folds for cluster in fold
+        )
+        assert all_ids == sorted(cluster.cluster_id for cluster in gold.clusters)
+
+    def test_folds_keep_homonym_groups_together(self, env):
+        folds = env.folds("Song")
+        group_to_folds = {}
+        for index, fold in enumerate(folds):
+            for cluster in fold:
+                group_to_folds.setdefault(cluster.homonym_group, set()).add(index)
+        assert all(len(indices) == 1 for indices in group_to_folds.values())
+
+    def test_fold_golds_disjoint(self, env):
+        train_gold, test_gold = env.fold_golds("Song", 0)
+        train_ids = {cluster.cluster_id for cluster in train_gold.clusters}
+        test_ids = {cluster.cluster_id for cluster in test_gold.clusters}
+        assert not (train_ids & test_ids)
+
+    def test_subset_gold_restricts_facts(self, env):
+        gold = env.gold("Song")
+        subset = subset_gold(gold, gold.clusters[:5])
+        cluster_ids = {cluster.cluster_id for cluster in subset.clusters}
+        assert all(fact.cluster_id in cluster_ids for fact in subset.facts)
+
+
+class TestProfilingHarnesses:
+    def test_table01_rows(self, env):
+        result = table01.run(env)
+        assert len(result.rows) == 3
+        # Song KB smaller than Settlement KB, as in the paper's ordering.
+        by_class = {row[0]: row[1] for row in result.rows}
+        assert by_class["Settlement"] > by_class["Song"]
+
+    def test_table02_densities_filtered(self, env):
+        result = table02.run(env)
+        for row in result.rows:
+            density = float(row[3].rstrip("%")) / 100
+            assert density >= 0.30
+
+    def test_table03_shape(self, env):
+        result = table03.run(env)
+        assert {row[0] for row in result.rows} == {"Rows", "Columns"}
+
+    def test_table05_counts_consistent(self, env):
+        result = table05.run(env)
+        for row in result.rows:
+            __, tables, attributes, rows, existing, new, *_ = row
+            assert tables > 0
+            assert existing + new > 0

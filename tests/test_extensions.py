@@ -1,0 +1,161 @@
+"""Tests for the extension features: dedup, slot filling, set expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SeedBasedExpander
+from repro.datatypes import DataType
+from repro.fusion.entity import Entity
+from repro.kb import KBClass, KBInstance, KBProperty, KBSchema, KnowledgeBase
+from repro.matching.records import RowRecord
+from repro.newdetect.detector import Classification, DetectionResult
+from repro.pipeline.dedup import deduplicate_entities
+from repro.pipeline.slotfill import slot_filling_report
+from repro.text.vectors import term_vector
+from repro.webtables import TableCorpus, WebTable
+
+
+def dedup_kb() -> KnowledgeBase:
+    schema = KBSchema()
+    schema.add_class(KBClass("Thing"))
+    schema.add_class(
+        KBClass(
+            "Song",
+            parent="Thing",
+            properties={
+                "musicalArtist": KBProperty(
+                    "musicalArtist", DataType.INSTANCE_REFERENCE
+                ),
+                "runtime": KBProperty("runtime", DataType.QUANTITY, tolerance=0.03),
+            },
+        )
+    )
+    return KnowledgeBase(schema)
+
+
+def entity(entity_id, label, facts, n_rows=1, table="t"):
+    rows = [
+        RowRecord((f"{table}{entity_id}", i), f"{table}{entity_id}", label,
+                  label.lower(), term_vector([label]))
+        for i in range(n_rows)
+    ]
+    return Entity(entity_id, "Song", (label,), rows=rows, facts=dict(facts))
+
+
+class TestDedup:
+    def test_same_label_compatible_facts_merge(self):
+        kb = dedup_kb()
+        entities = [
+            entity("e1", "Silent Heart", {"musicalArtist": "X", "runtime": 200.0}, 3),
+            entity("e2", "Silent Heart", {"runtime": 201.0}, 1),
+        ]
+        result = deduplicate_entities(entities, kb, "Song")
+        assert len(result.entities) == 1
+        assert result.merged_away == 1
+        assert len(result.entities[0].rows) == 4
+
+    def test_conflicting_facts_do_not_merge(self):
+        kb = dedup_kb()
+        entities = [
+            entity("e1", "Silent Heart", {"musicalArtist": "X"}, 2),
+            entity("e2", "Silent Heart", {"musicalArtist": "Y"}, 1),
+        ]
+        result = deduplicate_entities(entities, kb, "Song")
+        assert len(result.entities) == 2
+        assert result.merged_away == 0
+
+    def test_different_labels_do_not_merge(self):
+        kb = dedup_kb()
+        entities = [
+            entity("e1", "Silent Heart", {}), entity("e2", "Golden Echo", {}),
+        ]
+        result = deduplicate_entities(entities, kb, "Song")
+        assert len(result.entities) == 2
+
+    def test_larger_entity_keeps_its_facts(self):
+        kb = dedup_kb()
+        entities = [
+            entity("small", "Silent Heart", {"runtime": 300.0}, 1),
+            entity("big", "Silent Heart", {"runtime": 302.0}, 5),
+        ]
+        result = deduplicate_entities(entities, kb, "Song")
+        assert len(result.entities) == 1
+        assert result.entities[0].facts["runtime"] == 302.0
+
+    def test_input_entities_not_mutated(self):
+        kb = dedup_kb()
+        first = entity("e1", "Silent Heart", {"runtime": 200.0}, 2)
+        second = entity("e2", "Silent Heart", {"runtime": 200.0}, 1)
+        deduplicate_entities([first, second], kb, "Song")
+        assert len(first.rows) == 2
+        assert len(second.rows) == 1
+
+
+class TestSlotFilling:
+    def test_counts_new_confirming_conflicting(self):
+        kb = dedup_kb()
+        kb.add_instance(
+            KBInstance(
+                "kb:s1", "Song", ("Silent Heart",),
+                facts={"runtime": 200.0},
+            )
+        )
+        matched = entity(
+            "e1", "Silent Heart",
+            {"runtime": 201.0, "musicalArtist": "The Citys"},
+        )
+        detection = DetectionResult(
+            classifications={"e1": Classification.EXISTING},
+            correspondences={"e1": "kb:s1"},
+        )
+        report = slot_filling_report([matched], detection, kb, "Song")
+        assert report.total_facts == 2
+        assert report.confirming == 1  # runtime within tolerance
+        assert report.new_facts == 1  # artist slot was empty
+        assert report.filled_slots == [("kb:s1", "musicalArtist", "The Citys")]
+        assert report.consistency == 1.0
+
+    def test_unmatched_entities_ignored(self):
+        kb = dedup_kb()
+        unmatched = entity("e1", "Silent Heart", {"runtime": 200.0})
+        report = slot_filling_report([unmatched], DetectionResult(), kb, "Song")
+        assert report.total_facts == 0
+
+
+class TestSetExpansion:
+    def make_corpus(self):
+        tables = [
+            WebTable("t1", ("song",), [("Alpha",), ("Beta",), ("Gamma",)]),
+            WebTable("t2", ("song",), [("Alpha",), ("Beta",), ("Delta",)]),
+            WebTable("t3", ("song",), [("Unrelated",), ("Noise",)]),
+        ]
+        corpus = TableCorpus(tables)
+        label_columns = {"t1": 0, "t2": 0, "t3": 0}
+        return SeedBasedExpander(corpus, label_columns)
+
+    def test_co_occurring_labels_rank_first(self):
+        expander = self.make_corpus()
+        result = expander.expand(["Alpha"], cutoff=10)
+        assert result.ranked_labels[0] == "beta"  # in both seed tables
+        assert "unrelated" not in result.ranked_labels
+
+    def test_multi_seed_weighting(self):
+        expander = self.make_corpus()
+        result = expander.expand(["Alpha", "Beta"], cutoff=10)
+        # gamma and delta each co-occur with two seeds in one table.
+        assert set(result.ranked_labels[:2]) == {"delta", "gamma"}
+
+    def test_cutoff_respected(self):
+        expander = self.make_corpus()
+        assert len(expander.expand(["Alpha"], cutoff=1).ranked_labels) == 1
+
+    def test_empty_seed_rejected(self):
+        expander = self.make_corpus()
+        with pytest.raises(ValueError):
+            expander.expand(["  "])
+
+    def test_seeds_excluded_from_output(self):
+        expander = self.make_corpus()
+        result = expander.expand(["Alpha"])
+        assert "alpha" not in result.ranked_labels

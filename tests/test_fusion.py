@@ -1,0 +1,178 @@
+"""Unit tests for entity creation (value fusion)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.greedy import Cluster
+from repro.datatypes import DataType, DateValue
+from repro.fusion import (
+    CandidateValue,
+    EntityCreator,
+    VotingScorer,
+    fuse_values,
+    make_scorer,
+)
+from repro.fusion.entity import collect_labels
+from repro.kb import KBClass, KBInstance, KBProperty, KBSchema, KnowledgeBase
+from repro.matching.correspondences import (
+    AttributeCorrespondence,
+    SchemaMapping,
+    TableMapping,
+)
+from repro.matching.records import RowRecord
+from repro.text.vectors import term_vector
+
+
+def candidate(value, score=1.0, row=("t", 0)) -> CandidateValue:
+    return CandidateValue(value, score, row, -1)
+
+
+class TestFuseValues:
+    def test_empty_returns_none(self):
+        assert fuse_values([], DataType.TEXT) is None
+
+    def test_majority_text(self):
+        candidates = [
+            candidate("Packers"), candidate("Packers"), candidate("Bears"),
+        ]
+        assert fuse_values(candidates, DataType.INSTANCE_REFERENCE) == "Packers"
+
+    def test_scores_outweigh_counts(self):
+        candidates = [
+            candidate("Bears", 0.1), candidate("Bears", 0.1),
+            candidate("Packers", 0.9),
+        ]
+        assert fuse_values(candidates, DataType.INSTANCE_REFERENCE) == "Packers"
+
+    def test_weighted_median_quantity(self):
+        candidates = [
+            candidate(100.0, 1.0), candidate(110.0, 1.0), candidate(500.0, 0.5),
+        ]
+        fused = fuse_values(candidates, DataType.QUANTITY)
+        assert fused in (100.0, 110.0)  # outlier never wins
+
+    def test_quantity_grouping_respects_tolerance(self):
+        # 100 and 103 group together (5% tolerance) and outvote 200.
+        candidates = [candidate(100.0), candidate(103.0), candidate(200.0)]
+        fused = fuse_values(candidates, DataType.QUANTITY, tolerance=0.05)
+        assert fused in (100.0, 103.0)
+
+    def test_date_prefers_day_granularity_within_year(self):
+        candidates = [
+            candidate(DateValue(1987)), candidate(DateValue(1987, 3, 14)),
+            candidate(DateValue(1987)),
+        ]
+        fused = fuse_values(candidates, DataType.DATE)
+        assert fused.year == 1987
+        assert fused.is_day_granular
+
+    def test_nominal_integer_group_select(self):
+        candidates = [candidate(7), candidate(7), candidate(9)]
+        assert fuse_values(candidates, DataType.NOMINAL_INTEGER) == 7
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1000.0), min_size=1, max_size=10
+        )
+    )
+    @settings(max_examples=30)
+    def test_fused_quantity_is_a_candidate(self, values):
+        candidates = [candidate(value) for value in values]
+        fused = fuse_values(candidates, DataType.QUANTITY)
+        assert fused in values
+
+
+class TestCollectLabels:
+    def test_frequency_order(self):
+        rows = [
+            RowRecord(("t", i), "t", label, label.lower(), frozenset())
+            for i, label in enumerate(["A Song", "B Song", "A Song"])
+        ]
+        assert collect_labels(rows) == ("A Song", "B Song")
+
+
+def fusion_kb() -> KnowledgeBase:
+    schema = KBSchema()
+    schema.add_class(KBClass("Thing"))
+    schema.add_class(
+        KBClass(
+            "Player",
+            parent="Thing",
+            properties={
+                "team": KBProperty("team", DataType.INSTANCE_REFERENCE),
+                "height": KBProperty("height", DataType.QUANTITY, tolerance=0.03),
+            },
+        )
+    )
+    kb = KnowledgeBase(schema)
+    kb.add_instance(
+        KBInstance("kb:p", "Player", ("John Smith",), facts={"team": "Packers"})
+    )
+    return kb
+
+
+class TestEntityCreator:
+    def test_creates_entity_with_fused_facts(self):
+        kb = fusion_kb()
+        rows = [
+            RowRecord(
+                ("t1", 0), "t1", "John Smith", "john smith",
+                term_vector(["John Smith"]),
+                values={"team": "Packers", "height": 1.88},
+            ),
+            RowRecord(
+                ("t2", 0), "t2", "John Smith", "john smith",
+                term_vector(["John Smith"]),
+                values={"team": "Packers", "height": 1.87},
+            ),
+        ]
+        creator = EntityCreator(kb, "Player", VotingScorer())
+        entities = creator.create([Cluster("c1", members=rows)])
+        assert len(entities) == 1
+        entity = entities[0]
+        assert entity.facts["team"] == "Packers"
+        assert entity.facts["height"] in (1.87, 1.88)
+        assert entity.labels == ("John Smith",)
+
+    def test_empty_cluster_skipped(self):
+        kb = fusion_kb()
+        creator = EntityCreator(kb, "Player", VotingScorer())
+        assert creator.create([Cluster("c1")]) == []
+
+    def test_unknown_property_ignored(self):
+        kb = fusion_kb()
+        rows = [
+            RowRecord(
+                ("t1", 0), "t1", "X", "x", frozenset(),
+                values={"nonexistent": "value"},
+            )
+        ]
+        creator = EntityCreator(kb, "Player", VotingScorer())
+        entities = creator.create([Cluster("c1", members=rows)])
+        assert entities[0].facts == {}
+
+
+class TestScorers:
+    def test_make_scorer_voting(self):
+        scorer = make_scorer("voting")
+        assert scorer.score("t", ("t", 0), "team", "x") == 1.0
+
+    def test_make_scorer_matching_uses_correspondence_score(self):
+        mapping = SchemaMapping()
+        table_mapping = TableMapping("t1", class_name="Player", label_column=0)
+        table_mapping.attributes[1] = AttributeCorrespondence(
+            "t1", 1, "team", 0.73, DataType.INSTANCE_REFERENCE
+        )
+        mapping.add(table_mapping)
+        scorer = make_scorer("matching", mapping=mapping)
+        assert scorer.score("t1", ("t1", 0), "team", "x") == 0.73
+
+    def test_make_scorer_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_scorer("bogus")
+
+    def test_kbt_requires_inputs(self):
+        with pytest.raises(ValueError):
+            make_scorer("kbt")

@@ -1,0 +1,162 @@
+"""Tests for implicit table attributes and the row metric context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.context import RowMetricContext, make_row_metrics
+from repro.clustering.implicit import (
+    ImplicitAttributeDeriver,
+    value_key,
+)
+from repro.clustering.metrics import ImplicitAttMetric, ROW_METRIC_NAMES
+from repro.datatypes import DataType, DateValue
+from repro.kb import KBClass, KBInstance, KBProperty, KBSchema, KnowledgeBase
+from repro.matching.records import RowRecord
+from repro.text.vectors import term_vector
+
+
+def implicit_kb() -> KnowledgeBase:
+    schema = KBSchema()
+    schema.add_class(KBClass("Thing"))
+    schema.add_class(
+        KBClass(
+            "Player",
+            parent="Thing",
+            properties={
+                "team": KBProperty("team", DataType.INSTANCE_REFERENCE),
+                "draftYear": KBProperty("draftYear", DataType.DATE),
+                "height": KBProperty("height", DataType.QUANTITY),
+            },
+        )
+    )
+    kb = KnowledgeBase(schema)
+    # Three Packers players drafted in 2010 — a themed table's implicit
+    # attributes should surface (team=packers, draftYear=2010).
+    for index, name in enumerate(("Alpha Adams", "Beta Brown", "Gamma Green")):
+        kb.add_instance(
+            KBInstance(
+                f"kb:{index}", "Player", (name,),
+                facts={
+                    "team": "Packers",
+                    "draftYear": DateValue(2010),
+                    "height": 1.80 + index / 100,
+                },
+            )
+        )
+    return kb
+
+
+def record(table: str, index: int, label: str, values=None) -> RowRecord:
+    return RowRecord(
+        (table, index), table, label, label.lower(),
+        term_vector([label]), values=values or {},
+    )
+
+
+class TestValueKey:
+    def test_date_keys_by_year(self):
+        assert value_key(DateValue(2010, 4, 22)) == "2010"
+        assert value_key(DateValue(2010)) == "2010"
+
+    def test_string_normalized(self):
+        assert value_key("Green Bay  Packers!") == "green bay packers"
+
+    def test_int_key(self):
+        assert value_key(7) == "7"
+
+
+class TestImplicitDerivation:
+    def test_shared_theme_detected(self):
+        kb = implicit_kb()
+        deriver = ImplicitAttributeDeriver(kb, "Player", threshold=0.5)
+        records = [
+            record("t", 0, "Alpha Adams"),
+            record("t", 1, "Beta Brown"),
+            record("t", 2, "Gamma Green"),
+        ]
+        implicit = deriver.derive_for_table(records)
+        assert implicit["team"].key == "packers"
+        assert implicit["draftYear"].key == "2010"
+        assert implicit["team"].confidence == 1.0
+        # Quantities are never implicit attributes.
+        assert "height" not in implicit
+
+    def test_unknown_rows_give_nothing(self):
+        kb = implicit_kb()
+        deriver = ImplicitAttributeDeriver(kb, "Player")
+        implicit = deriver.derive_for_table(
+            [record("t", 0, "Zzz Unknown"), record("t", 1, "Qqq Unknown")]
+        )
+        assert implicit == {}
+
+    def test_threshold_filters_minority_combos(self):
+        kb = implicit_kb()
+        kb.add_instance(
+            KBInstance(
+                "kb:other", "Player", ("Delta Davis",),
+                facts={"team": "Bears", "draftYear": DateValue(1999)},
+            )
+        )
+        deriver = ImplicitAttributeDeriver(kb, "Player", threshold=0.6)
+        records = [
+            record("t", 0, "Alpha Adams"),
+            record("t", 1, "Beta Brown"),
+            record("t", 2, "Delta Davis"),
+        ]
+        implicit = deriver.derive_for_table(records)
+        assert implicit["team"].key == "packers"
+        assert implicit["team"].confidence == pytest.approx(2 / 3)
+
+
+class TestImplicitMetric:
+    def test_matching_implicit_attributes_score_high(self):
+        kb = implicit_kb()
+        deriver = ImplicitAttributeDeriver(kb, "Player")
+        table_a = [record("ta", 0, "Alpha Adams"), record("ta", 1, "Beta Brown")]
+        table_b = [record("tb", 0, "Beta Brown"), record("tb", 1, "Gamma Green")]
+        implicit = {
+            "ta": deriver.derive_for_table(table_a),
+            "tb": deriver.derive_for_table(table_b),
+        }
+        metric = ImplicitAttMetric(implicit)
+        score, confidence = metric.compute(table_a[0], table_b[0])
+        assert score == 1.0
+        assert confidence > 0
+
+    def test_explicit_value_comparison(self):
+        kb = implicit_kb()
+        deriver = ImplicitAttributeDeriver(kb, "Player")
+        table_a = [record("ta", 0, "Alpha Adams"), record("ta", 1, "Beta Brown")]
+        implicit = {"ta": deriver.derive_for_table(table_a)}
+        metric = ImplicitAttMetric(implicit)
+        other = record("tb", 0, "Someone", values={"team": "Chicago Bears"})
+        score, __ = metric.compute(table_a[0], other)
+        assert score < 1.0  # implicit packers vs explicit bears disagree
+
+    def test_no_implicit_attributes_is_none(self):
+        metric = ImplicitAttMetric({})
+        assert metric.compute(record("x", 0, "A"), record("y", 0, "B")) is None
+
+
+class TestContext:
+    def test_build_and_instantiate_all_metrics(self):
+        kb = implicit_kb()
+        records = [
+            record("t1", 0, "Alpha Adams", {"team": "Packers"}),
+            record("t2", 0, "Beta Brown", {"team": "Packers"}),
+        ]
+        context = RowMetricContext.build(kb, "Player", records)
+        metrics = make_row_metrics(ROW_METRIC_NAMES, context)
+        assert [metric.name for metric in metrics] == list(ROW_METRIC_NAMES)
+        for metric in metrics:
+            output = metric.compute(records[0], records[1])
+            if output is not None:
+                score, confidence = output
+                assert 0.0 <= score <= 1.0
+
+    def test_unknown_metric_rejected(self):
+        kb = implicit_kb()
+        context = RowMetricContext.build(kb, "Player", [])
+        with pytest.raises(KeyError):
+            make_row_metrics(("NOPE",), context)

@@ -1,0 +1,153 @@
+"""Cross-cutting property tests on pipeline invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering import build_blocks, greedy_correlation_clustering, klj_refine
+from repro.clustering.metrics import LabelMetric
+from repro.clustering.similarity import RowSimilarity
+from repro.datatypes import DataType
+from repro.fusion.entity import CandidateValue
+from repro.fusion.fuser import fuse_values
+from repro.matching.records import RowRecord
+from repro.ml.aggregation import StaticWeightedAggregator
+from repro.pipeline.ranking import ranked_evaluation
+from repro.text.tokenize import tokenize
+from repro.text.vectors import term_vector
+
+label_strategy = st.sampled_from(
+    ["alpha one", "alpha one", "beta two", "gamma three", "alpha ones", "delta"]
+)
+
+
+def _records(labels: list[str]) -> list[RowRecord]:
+    return [
+        RowRecord(
+            (f"t{i}", 0), f"t{i}", label, label, term_vector([label]),
+            label_tokens=tuple(tokenize(label)),
+        )
+        for i, label in enumerate(labels)
+    ]
+
+
+def _similarity() -> RowSimilarity:
+    return RowSimilarity(
+        [LabelMetric()], StaticWeightedAggregator({"LABEL": 1.0}, threshold=0.8)
+    )
+
+
+class TestClusteringInvariants:
+    @given(st.lists(label_strategy, min_size=1, max_size=14), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, labels, seed):
+        """Greedy + KLj always yields an exact partition of the rows."""
+        records = _records(labels)
+        similarity = _similarity()
+        blocks = build_blocks(records)
+        clusters = greedy_correlation_clustering(
+            records, similarity, blocks, batch_size=3, seed=seed
+        )
+        refined = klj_refine(clusters, similarity, blocks)
+        rows = sorted(row for cluster in refined for row in cluster.row_ids())
+        assert rows == sorted(record.row_id for record in records)
+
+    @given(st.lists(label_strategy, min_size=2, max_size=12), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_klj_never_decreases_fitness(self, labels, seed):
+        """KLj only applies operations with positive local gain."""
+        records = _records(labels)
+        similarity = _similarity()
+        blocks = build_blocks(records)
+        clusters = greedy_correlation_clustering(
+            records, similarity, blocks, batch_size=4, seed=seed
+        )
+
+        def fitness(cluster_list):
+            total = 0.0
+            for cluster in cluster_list:
+                members = cluster.members
+                for i, a in enumerate(members):
+                    for b in members[i + 1:]:
+                        total += similarity.score(a, b)
+            return total
+
+        before = fitness(clusters)
+        refined = klj_refine(clusters, similarity, blocks)
+        after = fitness(refined)
+        assert after >= before - 1e-9
+
+
+class TestFusionInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=500.0),
+                st.floats(min_value=0.01, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=40)
+    def test_fused_value_within_candidate_range(self, pairs):
+        candidates = [
+            CandidateValue(value, score, ("t", i), -1)
+            for i, (value, score) in enumerate(pairs)
+        ]
+        fused = fuse_values(candidates, DataType.QUANTITY)
+        values = [value for value, __ in pairs]
+        assert min(values) <= fused <= max(values)
+
+    @given(st.floats(min_value=1.0, max_value=500.0), st.integers(1, 8))
+    @settings(max_examples=30)
+    def test_unanimous_candidates_fuse_to_themselves(self, value, count):
+        candidates = [
+            CandidateValue(value, 1.0, ("t", i), -1) for i in range(count)
+        ]
+        assert fuse_values(candidates, DataType.QUANTITY) == value
+
+    @given(
+        st.lists(st.sampled_from(["A", "B", "C"]), min_size=1, max_size=10),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=30)
+    def test_majority_fusion_order_invariant(self, values, seed):
+        candidates = [
+            CandidateValue(value, 1.0, ("t", i), -1)
+            for i, value in enumerate(values)
+        ]
+        shuffled = list(candidates)
+        random.Random(seed).shuffle(shuffled)
+        first = fuse_values(candidates, DataType.NOMINAL_STRING)
+        second = fuse_values(shuffled, DataType.NOMINAL_STRING)
+        # Both must be members of the most frequent group.
+        from collections import Counter
+
+        top = Counter(values).most_common(1)[0][1]
+        assert values.count(first) == top
+        assert values.count(second) == top
+
+
+class TestRankingInvariants:
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=40),
+        st.integers(1, 40),
+    )
+    @settings(max_examples=40)
+    def test_metrics_bounded(self, relevance_flags, cutoff):
+        ranking = [f"e{i}" for i in range(len(relevance_flags))]
+        relevance = dict(zip(ranking, relevance_flags))
+        scores = ranked_evaluation(ranking, relevance, cutoff=cutoff)
+        assert 0.0 <= scores.map_at_cutoff <= 1.0
+        assert 0.0 <= scores.precision_at_5 <= 1.0
+        assert 0.0 <= scores.precision_at_20 <= 1.0
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=20)
+    def test_all_relevant_is_perfect(self, size):
+        ranking = [f"e{i}" for i in range(size)]
+        scores = ranked_evaluation(ranking, {name: True for name in ranking})
+        assert scores.map_at_cutoff == 1.0

@@ -1,0 +1,124 @@
+"""Tests for persistence round-trips and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datatypes import DateValue
+from repro.io import (
+    load_corpus,
+    load_gold_standard,
+    load_knowledge_base,
+    save_corpus,
+    save_gold_standard,
+    save_knowledge_base,
+)
+from repro.io.serialize import decode_value, encode_value
+
+
+class TestValueEncoding:
+    def test_date_round_trip(self):
+        for value in (DateValue(1987), DateValue(1987, 3, 14)):
+            assert decode_value(encode_value(value)) == value
+
+    def test_scalars_pass_through(self):
+        for value in ("text", 42, 3.14, True, None):
+            assert decode_value(encode_value(value)) == value
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+
+class TestCorpusRoundTrip:
+    def test_round_trip(self, tiny_world, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(tiny_world.corpus, path)
+        loaded = load_corpus(path)
+        assert len(loaded) == len(tiny_world.corpus)
+        for table_id in tiny_world.corpus.table_ids()[:10]:
+            original = tiny_world.corpus.get(table_id)
+            restored = loaded.get(table_id)
+            assert restored.header == original.header
+            assert restored.rows == original.rows
+            assert restored.url == original.url
+
+
+class TestKnowledgeBaseRoundTrip:
+    def test_round_trip(self, tiny_world, tmp_path):
+        path = tmp_path / "kb.json"
+        save_knowledge_base(tiny_world.knowledge_base, path)
+        loaded = load_knowledge_base(path)
+        assert len(loaded) == len(tiny_world.knowledge_base)
+        for class_name in ("Song", "Settlement"):
+            original = tiny_world.knowledge_base.instances_of(class_name)
+            restored = loaded.instances_of(class_name)
+            assert len(original) == len(restored)
+        sample = tiny_world.knowledge_base.instances_of("Song")[0]
+        restored = loaded.get(sample.uri)
+        assert restored.facts == sample.facts
+        assert restored.labels == sample.labels
+        assert restored.page_links == sample.page_links
+
+    def test_schema_preserved(self, tiny_world, tmp_path):
+        path = tmp_path / "kb.json"
+        save_knowledge_base(tiny_world.knowledge_base, path)
+        loaded = load_knowledge_base(path)
+        original_schema = tiny_world.knowledge_base.schema
+        assert loaded.schema.ancestry("Song") == original_schema.ancestry("Song")
+        original_props = original_schema.properties_of("Settlement")
+        loaded_props = loaded.schema.properties_of("Settlement")
+        assert set(original_props) == set(loaded_props)
+        assert (
+            loaded_props["populationTotal"].tolerance
+            == original_props["populationTotal"].tolerance
+        )
+
+
+class TestGoldStandardRoundTrip:
+    def test_round_trip(self, song_gold, tmp_path):
+        path = tmp_path / "gold.json"
+        save_gold_standard(song_gold, path)
+        loaded = load_gold_standard(path)
+        assert loaded.class_name == song_gold.class_name
+        assert loaded.table_ids == song_gold.table_ids
+        assert len(loaded.clusters) == len(song_gold.clusters)
+        assert loaded.attribute_correspondences == (
+            song_gold.attribute_correspondences
+        )
+        assert loaded.facts == song_gold.facts
+
+    def test_file_is_plain_json(self, song_gold, tmp_path):
+        path = tmp_path / "gold.json"
+        save_gold_standard(song_gold, path)
+        document = json.loads(path.read_text())
+        assert document["class_name"] == "Song"
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+    def test_experiment_command_runs(self, capsys):
+        exit_code = main(["experiment", "table03", "--scale", "0.25"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 3" in output
+
+    def test_build_world_writes_files(self, tmp_path, capsys):
+        exit_code = main(
+            ["build-world", "--scale", "0.1", "--seed", "3",
+             "--output", str(tmp_path / "world")]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "world" / "corpus.jsonl").exists()
+        assert (tmp_path / "world" / "knowledge_base.json").exists()
+        assert (tmp_path / "world" / "gold_Song.json").exists()

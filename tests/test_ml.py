@@ -1,0 +1,275 @@
+"""Unit and property tests for the ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml import (
+    CombinedAggregator,
+    ForestAggregator,
+    GeneticWeightLearner,
+    MetricVector,
+    RandomForestRegressor,
+    RegressionTree,
+    ShiftedAggregator,
+    StaticWeightedAggregator,
+    WeightedAverageAggregator,
+    stratified_group_folds,
+    upsample_balanced,
+)
+from repro.ml.genetic import f1_score
+
+
+class TestRegressionTree:
+    def test_fits_constant_target(self):
+        X = np.random.default_rng(0).random((50, 3))
+        y = np.full(50, 2.5)
+        tree = RegressionTree().fit(X, y)
+        assert np.allclose(tree.predict(X), 2.5)
+
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = RegressionTree().fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_max_depth_zero_is_leaf(self):
+        X = np.random.default_rng(0).random((30, 2))
+        y = X[:, 0]
+        tree = RegressionTree(max_depth=0).fit(X, y)
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict(X), y.mean())
+
+    def test_min_samples_leaf_respected(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        tree = RegressionTree(min_samples_leaf=2).fit(X, y)
+        assert tree.depth() == 0
+
+    def test_importances_favor_informative_feature(self):
+        rng = np.random.default_rng(1)
+        X = rng.random((200, 3))
+        y = X[:, 1] * 10
+        tree = RegressionTree().fit(X, y)
+        assert np.argmax(tree.feature_importances_) == 1
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_predict_one_matches_predict(self):
+        rng = np.random.default_rng(2)
+        X = rng.random((60, 4))
+        y = X @ np.array([1.0, 2.0, 0.0, -1.0])
+        tree = RegressionTree().fit(X, y)
+        batch = tree.predict(X[:5])
+        single = [tree.predict_one(row) for row in X[:5]]
+        assert np.allclose(batch, single)
+
+
+class TestRandomForest:
+    def test_reduces_error_vs_noise(self):
+        rng = np.random.default_rng(3)
+        X = rng.random((300, 4))
+        y = X @ np.array([0.5, 0.3, 0.1, 0.1])
+        forest = RandomForestRegressor(n_trees=15, seed=0).fit(X, y)
+        prediction = forest.predict(X)
+        assert np.mean((prediction - y) ** 2) < 0.01
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        X = rng.random((100, 3))
+        y = X[:, 0]
+        first = RandomForestRegressor(n_trees=8, seed=5).fit(X, y).predict(X)
+        second = RandomForestRegressor(n_trees=8, seed=5).fit(X, y).predict(X)
+        assert np.array_equal(first, second)
+
+    def test_oob_mse_available(self):
+        rng = np.random.default_rng(5)
+        X = rng.random((100, 3))
+        y = X[:, 0]
+        forest = RandomForestRegressor(n_trees=10, seed=1).fit(X, y)
+        assert forest.oob_mse_ is not None
+        assert forest.oob_mse_ >= 0.0
+
+    def test_importances_normalized(self):
+        rng = np.random.default_rng(6)
+        X = rng.random((100, 5))
+        y = X[:, 2]
+        forest = RandomForestRegressor(n_trees=10, seed=2).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_tune_picks_a_fitted_forest(self):
+        rng = np.random.default_rng(7)
+        X = rng.random((80, 3))
+        y = X[:, 0] * 2
+        forest = RandomForestRegressor.tune(X, y, n_trees=8, seed=3)
+        assert forest.oob_mse_ is not None
+
+
+class TestGeneticLearner:
+    def test_recovers_dominant_metric(self):
+        rng = np.random.default_rng(8)
+        scores = rng.random((400, 3))
+        labels = scores[:, 0] > 0.6
+        learner = GeneticWeightLearner(generations=40, seed=1)
+        learned = learner.learn(scores, labels)
+        assert learned.weights[0] > 0.5
+        assert learned.fitness > 0.9
+
+    def test_weights_normalized(self):
+        rng = np.random.default_rng(9)
+        scores = rng.random((100, 4))
+        labels = scores[:, 1] > 0.5
+        learned = GeneticWeightLearner(generations=10, seed=2).learn(scores, labels)
+        assert learned.weights.sum() == pytest.approx(1.0)
+        assert (learned.weights >= 0).all()
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(10)
+        scores = rng.random((100, 2))
+        labels = scores[:, 0] > 0.5
+        a = GeneticWeightLearner(generations=10, seed=3).learn(scores, labels)
+        b = GeneticWeightLearner(generations=10, seed=3).learn(scores, labels)
+        assert np.array_equal(a.weights, b.weights)
+        assert a.threshold == b.threshold
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            GeneticWeightLearner().learn(np.zeros((3, 2)), np.zeros(4, dtype=bool))
+
+
+class TestF1:
+    def test_perfect(self):
+        actual = np.array([True, False, True])
+        assert f1_score(actual, actual) == 1.0
+
+    def test_no_predictions(self):
+        assert f1_score(np.zeros(3, dtype=bool), np.ones(3, dtype=bool)) == 0.0
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(0, 2**31))
+    def test_bounded(self, size, seed):
+        rng = np.random.default_rng(seed)
+        predicted = rng.random(size) > 0.5
+        actual = rng.random(size) > 0.5
+        assert 0.0 <= f1_score(predicted, actual) <= 1.0
+
+
+def _make_pairs(n=120, seed=0):
+    """Synthetic metric vectors where metric 'a' decides the label."""
+    rng = np.random.default_rng(seed)
+    pairs, labels = [], []
+    for __ in range(n):
+        a = rng.random()
+        b = rng.random()
+        pairs.append(MetricVector({"a": (a, 1.0), "b": (b, rng.random())}))
+        labels.append(a > 0.5)
+    return pairs, labels
+
+
+class TestAggregators:
+    def test_weighted_average_learns_signal(self):
+        pairs, labels = _make_pairs()
+        aggregator = WeightedAverageAggregator(["a", "b"], seed=0).fit(pairs, labels)
+        assert aggregator.metric_importances()["a"] > 0.6
+
+    def test_weighted_average_score_range(self):
+        pairs, labels = _make_pairs()
+        aggregator = WeightedAverageAggregator(["a", "b"], seed=0).fit(pairs, labels)
+        for pair in pairs:
+            assert -1.0 <= aggregator.score(pair) <= 1.0
+
+    def test_forest_aggregator_separates(self):
+        pairs, labels = _make_pairs(seed=1)
+        aggregator = ForestAggregator(["a", "b"], n_trees=10, seed=0).fit(pairs, labels)
+        positive = np.mean([aggregator.score(p) for p, l in zip(pairs, labels) if l])
+        negative = np.mean(
+            [aggregator.score(p) for p, l in zip(pairs, labels) if not l]
+        )
+        assert positive > negative
+
+    def test_combined_importances_average(self):
+        pairs, labels = _make_pairs(seed=2)
+        combined = CombinedAggregator(["a", "b"], n_trees=10, seed=0).fit(pairs, labels)
+        importances = combined.metric_importances()
+        assert set(importances) == {"a", "b"}
+        assert sum(importances.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_static_aggregator_no_fit_needed(self):
+        aggregator = StaticWeightedAggregator({"a": 2.0, "b": 1.0}, threshold=0.5)
+        high = aggregator.score(MetricVector({"a": (1.0, 1.0), "b": (1.0, 1.0)}))
+        low = aggregator.score(MetricVector({"a": (0.0, 1.0), "b": (0.0, 1.0)}))
+        assert high == 1.0
+        assert low == -1.0
+
+    def test_shifted_aggregator_moves_boundary(self):
+        base = StaticWeightedAggregator({"a": 1.0}, threshold=0.5)
+        shifted = ShiftedAggregator(base, 0.4)
+        pair = MetricVector({"a": (0.6, 1.0)})
+        assert base.score(pair) > 0
+        assert shifted.score(pair) < 0
+
+    def test_missing_metric_treated_as_zero(self):
+        aggregator = StaticWeightedAggregator({"a": 1.0, "b": 1.0}, threshold=0.5)
+        pair = MetricVector({"a": (1.0, 1.0)})  # b missing
+        assert aggregator.score(pair) == 0.0
+
+
+class TestCrossval:
+    def test_groups_stay_together(self):
+        items = [(f"group{i % 4}", i) for i in range(20)]
+        folds = stratified_group_folds(
+            items, 3, group_of=lambda item: item[0], stratum_of=lambda item: item[1] % 2
+        )
+        fold_of_group = {}
+        for fold_index, fold in enumerate(folds):
+            for group, __ in fold:
+                fold_of_group.setdefault(group, set()).add(fold_index)
+        assert all(len(folds) == 1 for folds in fold_of_group.values())
+
+    def test_all_items_assigned_once(self):
+        items = list(range(30))
+        folds = stratified_group_folds(
+            items, 3, group_of=lambda item: item, stratum_of=lambda item: item % 2
+        )
+        combined = sorted(item for fold in folds for item in fold)
+        assert combined == items
+
+    def test_strata_roughly_balanced(self):
+        items = [(i, i < 10) for i in range(30)]
+        folds = stratified_group_folds(
+            items, 3, group_of=lambda item: item[0], stratum_of=lambda item: item[1]
+        )
+        per_fold = [sum(1 for __, is_new in fold if is_new) for fold in folds]
+        assert max(per_fold) - min(per_fold) <= 2
+
+    def test_too_few_folds_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_group_folds([], 1, group_of=id, stratum_of=id)
+
+    def test_upsample_balances(self):
+        positives, negatives = upsample_balanced([1, 2], [3, 4, 5, 6, 7], seed=0)
+        assert len(positives) == len(negatives) == 5
+
+    def test_upsample_empty_side_passthrough(self):
+        positives, negatives = upsample_balanced([], [1, 2], seed=0)
+        assert positives == []
+        assert negatives == [1, 2]
+
+    @given(
+        st.lists(st.integers(), min_size=1, max_size=20),
+        st.lists(st.integers(), min_size=1, max_size=20),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=25)
+    def test_upsample_preserves_multiset_superset(self, pos, neg, seed):
+        new_pos, new_neg = upsample_balanced(pos, neg, seed=seed)
+        assert len(new_pos) == len(new_neg) == max(len(pos), len(neg))
+        assert set(new_pos) <= set(pos) | set()
+        assert set(new_neg) <= set(neg) | set()

@@ -1,0 +1,189 @@
+"""Unit tests for new detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datatypes import DataType
+from repro.fusion.entity import Entity
+from repro.kb import KBClass, KBInstance, KBProperty, KBSchema, KnowledgeBase
+from repro.matching.records import RowRecord
+from repro.ml.aggregation import StaticWeightedAggregator
+from repro.newdetect import (
+    CandidateSelector,
+    Classification,
+    EntityInstanceSimilarity,
+    NewDetector,
+    evaluate_detection,
+    make_entity_metrics,
+)
+from repro.newdetect.detector import DetectionResult
+from repro.newdetect.metrics import LabelEIMetric, PopularityEIMetric
+from repro.text.vectors import term_vector
+
+
+def detection_kb() -> KnowledgeBase:
+    schema = KBSchema()
+    schema.add_class(KBClass("Thing"))
+    schema.add_class(KBClass("Agent", parent="Thing"))
+    schema.add_class(
+        KBClass(
+            "Player",
+            parent="Agent",
+            properties={
+                "team": KBProperty("team", DataType.INSTANCE_REFERENCE),
+            },
+        )
+    )
+    schema.add_class(KBClass("Album", parent="Thing"))
+    kb = KnowledgeBase(schema)
+    kb.add_instance(
+        KBInstance(
+            "kb:smith", "Player", ("John Smith",),
+            facts={"team": "Packers"}, abstract="John Smith plays football.",
+            page_links=500,
+        )
+    )
+    kb.add_instance(
+        KBInstance(
+            "kb:smith2", "Player", ("John Smith",),
+            facts={"team": "Bears"}, page_links=20,
+        )
+    )
+    kb.add_instance(KBInstance("kb:album", "Album", ("John Smith",)))
+    return kb
+
+
+def make_entity(entity_id: str, label: str, facts=None) -> Entity:
+    record = RowRecord(
+        ("t", 0), "t", label, label.lower(), term_vector([label]),
+        values=dict(facts or {}),
+    )
+    return Entity(
+        entity_id=entity_id,
+        class_name="Player",
+        labels=(label,),
+        rows=[record],
+        facts=dict(facts or {}),
+    )
+
+
+def make_similarity(kb) -> EntityInstanceSimilarity:
+    metrics = make_entity_metrics(
+        ("LABEL", "TYPE", "BOW", "ATTRIBUTE", "POPULARITY"), kb, "Player", {}
+    )
+    aggregator = StaticWeightedAggregator(
+        {"LABEL": 0.5, "TYPE": 0.1, "BOW": 0.1, "ATTRIBUTE": 0.25, "POPULARITY": 0.05},
+        threshold=0.6,
+    )
+    return EntityInstanceSimilarity(metrics, aggregator)
+
+
+class TestCandidateSelector:
+    def test_retrieves_class_compatible_only(self):
+        kb = detection_kb()
+        selector = CandidateSelector(kb)
+        candidates = selector.candidates(make_entity("e1", "John Smith"))
+        uris = {instance.uri for instance in candidates}
+        assert "kb:smith" in uris
+        assert "kb:album" not in uris  # wrong branch of the hierarchy
+
+    def test_unknown_label_gives_nothing(self):
+        kb = detection_kb()
+        selector = CandidateSelector(kb)
+        assert selector.candidates(make_entity("e1", "Zzz Vvv Qqq")) == []
+
+
+class TestMetrics:
+    def test_popularity_single_candidate(self):
+        kb = detection_kb()
+        instance = kb.get("kb:smith")
+        score, __ = PopularityEIMetric().compute(
+            make_entity("e", "John Smith"), instance, [instance]
+        )
+        assert score == 1.0
+
+    def test_popularity_ranks(self):
+        kb = detection_kb()
+        popular = kb.get("kb:smith")
+        obscure = kb.get("kb:smith2")
+        candidates = [popular, obscure]
+        metric = PopularityEIMetric()
+        assert metric.compute(make_entity("e", "x"), popular, candidates)[0] == 1.0
+        assert metric.compute(make_entity("e", "x"), obscure, candidates)[0] == 0.5
+
+    def test_label_metric(self):
+        kb = detection_kb()
+        instance = kb.get("kb:smith")
+        score, __ = LabelEIMetric().compute(
+            make_entity("e", "John Smith"), instance, [instance]
+        )
+        assert score == 1.0
+
+
+class TestNewDetector:
+    def test_known_entity_matched(self):
+        kb = detection_kb()
+        detector = NewDetector(
+            CandidateSelector(kb), make_similarity(kb), -0.2, -0.2
+        )
+        entity = make_entity("e1", "John Smith", {"team": "Packers"})
+        result = detector.detect([entity])
+        assert result.classifications["e1"] is Classification.EXISTING
+        assert result.correspondences["e1"] == "kb:smith"
+
+    def test_unknown_entity_new(self):
+        kb = detection_kb()
+        detector = NewDetector(
+            CandidateSelector(kb), make_similarity(kb), -0.2, -0.2
+        )
+        entity = make_entity("e2", "Unheard Of Player")
+        result = detector.detect([entity])
+        assert result.classifications["e2"] is Classification.NEW
+        assert result.best_scores["e2"] is None
+
+    def test_attribute_disambiguates_homonyms(self):
+        kb = detection_kb()
+        detector = NewDetector(
+            CandidateSelector(kb), make_similarity(kb), -0.2, -0.2
+        )
+        entity = make_entity("e3", "John Smith", {"team": "Bears"})
+        result = detector.detect([entity])
+        assert result.correspondences.get("e3") == "kb:smith2"
+
+    def test_invalid_thresholds_rejected(self):
+        kb = detection_kb()
+        with pytest.raises(ValueError):
+            NewDetector(CandidateSelector(kb), make_similarity(kb), 0.5, 0.0)
+
+
+class TestEvaluateDetection:
+    def test_perfect(self):
+        result = DetectionResult(
+            classifications={
+                "e1": Classification.NEW, "e2": Classification.EXISTING,
+            },
+            correspondences={"e2": "kb:x"},
+        )
+        scores = evaluate_detection(
+            result, {"e1": True, "e2": False}, {"e2": "kb:x"}
+        )
+        assert scores.accuracy == 1.0
+        assert scores.f1_new == 1.0
+        assert scores.f1_existing == 1.0
+
+    def test_wrong_instance_counts_as_incorrect(self):
+        result = DetectionResult(
+            classifications={"e1": Classification.EXISTING},
+            correspondences={"e1": "kb:wrong"},
+        )
+        scores = evaluate_detection(result, {"e1": False}, {"e1": "kb:right"})
+        assert scores.accuracy == 0.0
+        assert scores.f1_existing == 0.0
+
+    def test_ambiguous_never_correct(self):
+        result = DetectionResult(
+            classifications={"e1": Classification.AMBIGUOUS}
+        )
+        scores = evaluate_detection(result, {"e1": True}, {})
+        assert scores.accuracy == 0.0

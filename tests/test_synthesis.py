@@ -1,0 +1,154 @@
+"""Tests for the synthetic world and gold standard builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.goldstandard.annotations import LABEL_COLUMN
+from repro.goldstandard.stats import gold_standard_stats
+from repro.synthesis.api import build_gold_standard, build_world
+from repro.synthesis.profiles import CLASS_SPECS, WorldScale, class_spec
+from repro.webtables.stats import corpus_stats
+
+
+class TestProfiles:
+    def test_three_classes(self):
+        assert set(CLASS_SPECS) == {
+            "GridironFootballPlayer", "Song", "Settlement",
+        }
+
+    def test_alias(self):
+        assert class_spec("GF-Player").name == "GridironFootballPlayer"
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            class_spec("Movie")
+
+    def test_scale_application(self):
+        spec = class_spec("Song")
+        scaled = WorldScale(0.5).apply(spec)
+        assert scaled.kb_count == round(spec.kb_count * 0.5)
+        assert scaled.n_tables == round(spec.n_tables * 0.5)
+
+    def test_property_lookup(self):
+        assert class_spec("Song").property("runtime").render_hint == "runtime"
+        with pytest.raises(KeyError):
+            class_spec("Song").property("nope")
+
+
+class TestWorld:
+    def test_deterministic(self):
+        first = build_world(seed=3, scale=WorldScale(0.1), classes=["Song"])
+        second = build_world(seed=3, scale=WorldScale(0.1), classes=["Song"])
+        assert first.corpus.table_ids() == second.corpus.table_ids()
+        first_table = first.corpus.get(first.corpus.table_ids()[0])
+        second_table = second.corpus.get(second.corpus.table_ids()[0])
+        assert first_table.rows == second_table.rows
+
+    def test_different_seeds_differ(self):
+        first = build_world(seed=3, scale=WorldScale(0.1), classes=["Song"])
+        second = build_world(seed=4, scale=WorldScale(0.1), classes=["Song"])
+        table_a = first.corpus.get(first.corpus.table_ids()[0])
+        table_b = second.corpus.get(second.corpus.table_ids()[0])
+        assert table_a.rows != table_b.rows
+
+    def test_kb_membership_consistency(self, tiny_world):
+        for gt_id, uri in tiny_world.kb_uri_of.items():
+            assert tiny_world.entities[gt_id].in_kb
+            assert uri in tiny_world.knowledge_base
+            assert tiny_world.gt_of_uri[uri] == gt_id
+
+    def test_row_truth_references_valid_rows(self, tiny_world):
+        for (table_id, row_index), gt_id in list(tiny_world.row_truth.items())[:500]:
+            table = tiny_world.corpus.get(table_id)
+            assert 0 <= row_index < table.n_rows
+            assert gt_id in tiny_world.entities
+
+    def test_column_truth_references_valid_columns(self, tiny_world):
+        for (table_id, column), property_name in tiny_world.column_truth.items():
+            table = tiny_world.corpus.get(table_id)
+            assert 0 <= column < table.n_columns
+            if property_name != LABEL_COLUMN:
+                entity_classes = {
+                    spec.name for spec in CLASS_SPECS.values()
+                }
+                # Property belongs to some class schema (target or distractor).
+                assert property_name.isidentifier()
+
+    def test_corpus_shape_close_to_paper(self, tiny_world):
+        stats = corpus_stats(tiny_world.corpus)
+        assert 5 <= stats.rows_avg <= 20
+        assert 2 <= stats.cols_avg <= 6
+        assert stats.rows_median < stats.rows_avg  # skew as in Table 3
+
+    def test_class_new_ratios_ordered(self, tiny_world):
+        """Song has by far the most long-tail entities, Settlement fewest."""
+        ratios = {}
+        for class_name in CLASS_SPECS:
+            new = len(tiny_world.true_new_entities(class_name))
+            in_kb = len(tiny_world.entities_of_class(class_name, in_kb=True))
+            ratios[class_name] = new / max(1, in_kb)
+        assert ratios["Song"] > ratios["GridironFootballPlayer"] > ratios["Settlement"]
+
+    def test_junk_tables_have_no_class(self, tiny_world):
+        junk = [
+            table_id
+            for table_id, truth in tiny_world.table_class_truth.items()
+            if truth is None
+        ]
+        assert junk  # some exist
+        for table_id in junk[:5]:
+            assert not any(
+                key[0] == table_id for key in tiny_world.column_truth
+            )
+
+
+class TestGoldStandard:
+    def test_clusters_reference_annotated_tables(self, song_gold):
+        table_ids = set(song_gold.table_ids)
+        for cluster in song_gold.clusters:
+            for table_id, __ in cluster.row_ids:
+                assert table_id in table_ids
+
+    def test_new_clusters_have_no_uri(self, song_gold):
+        for cluster in song_gold.new_clusters():
+            assert cluster.kb_uri is None
+        for cluster in song_gold.existing_clusters():
+            assert cluster.kb_uri is not None
+
+    def test_rows_unique_across_clusters(self, song_gold):
+        rows = song_gold.annotated_rows()
+        assert len(rows) == len(set(rows))
+
+    def test_homonym_groups_complete(self, tiny_world, song_gold):
+        """Every homonym group is either fully in or fully out."""
+        included = {
+            cluster.cluster_id.removeprefix("gs:") for cluster in song_gold.clusters
+        }
+        groups_included = {
+            tiny_world.entities[gt_id].homonym_group for gt_id in included
+        }
+        class_tables = set(tiny_world.tables_of_class("Song"))
+        for gt_id, entity in tiny_world.entities.items():
+            if entity.class_name != "Song":
+                continue
+            if entity.homonym_group not in groups_included:
+                continue
+            has_rows = any(
+                row_id[0] in class_tables
+                for row_id in tiny_world.rows_of_entity(gt_id)
+            )
+            if has_rows:
+                assert gt_id in included
+
+    def test_stats_shape(self, song_gold, tiny_world):
+        stats = gold_standard_stats(song_gold, tiny_world.corpus)
+        assert stats.new_clusters > stats.existing_clusters * 0.5  # songs: many new
+        assert stats.correct_value_present <= stats.value_groups
+
+    def test_fact_values_match_ground_truth(self, tiny_world, song_gold):
+        for fact in song_gold.facts[:50]:
+            gt_id = fact.cluster_id.removeprefix("gs:")
+            entity = tiny_world.entities[gt_id]
+            assert fact.property_name in entity.facts
+            assert fact.value == entity.facts[fact.property_name]

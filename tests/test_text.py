@@ -1,0 +1,155 @@
+"""Unit and property tests for the string toolkit."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.text import (
+    binary_cosine,
+    clean_cell,
+    jaccard,
+    label_similarity,
+    levenshtein,
+    levenshtein_similarity,
+    monge_elkan,
+    monge_elkan_symmetric,
+    normalize_label,
+    term_vector,
+    tokenize,
+)
+
+
+class TestCleanCell:
+    def test_none_becomes_empty(self):
+        assert clean_cell(None) == ""
+
+    def test_whitespace_collapsed(self):
+        assert clean_cell("  a \t b\n c ") == "a b c"
+
+    def test_accents_folded(self):
+        assert clean_cell("Mönchengladbach") == "Monchengladbach"
+
+    def test_non_string_coerced(self):
+        assert clean_cell(42) == "42"
+
+
+class TestNormalizeLabel:
+    def test_lowercases_and_strips_punctuation(self):
+        assert normalize_label("Smith, John!") == "smith john"
+
+    def test_empty_input(self):
+        assert normalize_label("") == ""
+        assert normalize_label(None) == ""
+
+    def test_idempotent(self):
+        once = normalize_label("The  Long-Road (song)")
+        assert normalize_label(once) == once
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize("Green Day - 21 Guns") == ["green", "day", "21", "guns"]
+
+    def test_none_yields_empty(self):
+        assert tokenize(None) == []
+
+    def test_punctuation_only(self):
+        assert tokenize("...!!!") == []
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("kitten", "kitten") == 0
+
+    def test_known_distance(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_vs_word(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_similarity_bounds(self):
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(st.text(max_size=10), st.text(max_size=10), st.text(max_size=10))
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.text(max_size=12), st.text(max_size=12))
+    def test_similarity_in_unit_interval(self, a, b):
+        assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
+
+
+class TestMongeElkan:
+    def test_reordered_tokens_score_high(self):
+        assert label_similarity("John Smith", "Smith, John") > 0.9
+
+    def test_unrelated_labels_score_low(self):
+        assert label_similarity("John Smith", "Quartz Banana") < 0.5
+
+    def test_empty_tokens(self):
+        assert monge_elkan([], ["a"]) == 0.0
+        assert monge_elkan(["a"], []) == 0.0
+
+    def test_subset_asymmetry_fixed_by_symmetric(self):
+        forward = monge_elkan(["john"], ["john", "smith"])
+        backward = monge_elkan(["john", "smith"], ["john"])
+        assert forward != backward
+        symmetric = monge_elkan_symmetric(["john"], ["john", "smith"])
+        assert math.isclose(symmetric, (forward + backward) / 2)
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=4),
+        st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=4),
+    )
+    def test_symmetric_version_is_symmetric(self, a, b):
+        assert math.isclose(
+            monge_elkan_symmetric(a, b), monge_elkan_symmetric(b, a)
+        )
+
+    @given(st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=4))
+    def test_self_similarity_is_one(self, tokens):
+        assert math.isclose(monge_elkan_symmetric(tokens, tokens), 1.0)
+
+
+class TestTermVectors:
+    def test_term_vector_unions_fragments(self):
+        vector = term_vector(["green day", None, "21 guns"])
+        assert vector == frozenset({"green", "day", "21", "guns"})
+
+    def test_cosine_identical(self):
+        vector = frozenset({"a", "b"})
+        assert binary_cosine(vector, vector) == 1.0
+
+    def test_cosine_disjoint(self):
+        assert binary_cosine(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_cosine_empty(self):
+        assert binary_cosine(frozenset(), frozenset({"a"})) == 0.0
+
+    def test_jaccard_both_empty(self):
+        assert jaccard(frozenset(), frozenset()) == 1.0
+
+    @given(
+        st.frozensets(st.text(min_size=1, max_size=4), max_size=8),
+        st.frozensets(st.text(min_size=1, max_size=4), max_size=8),
+    )
+    def test_cosine_bounds_and_symmetry(self, a, b):
+        score = binary_cosine(a, b)
+        assert 0.0 <= score <= 1.0
+        assert math.isclose(score, binary_cosine(b, a))
+
+    @given(
+        st.frozensets(st.text(min_size=1, max_size=4), max_size=8),
+        st.frozensets(st.text(min_size=1, max_size=4), max_size=8),
+    )
+    def test_jaccard_le_cosine(self, a, b):
+        # For binary vectors, Jaccard is a lower bound of cosine.
+        assert jaccard(a, b) <= binary_cosine(a, b) + 1e-12 or (not a and not b)

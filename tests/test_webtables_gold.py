@@ -1,0 +1,84 @@
+"""Unit tests for the web table model and gold standard structures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.goldstandard.annotations import GoldStandard, GSCluster, GSFact
+from repro.webtables import TableCorpus, WebTable, corpus_stats
+
+
+class TestWebTable:
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            WebTable("t", ("a", "b"), [("1",)])
+
+    def test_column_access(self):
+        table = WebTable("t", ("a", "b"), [("1", "2"), ("3", None)])
+        assert table.column(1) == ["2", None]
+
+    def test_row_view(self):
+        table = WebTable("t", ("a",), [("x",), ("y",)])
+        row = table.row(1)
+        assert row.row_id == ("t", 1)
+        assert row.cell(0) == "y"
+
+    def test_iter_rows(self):
+        table = WebTable("t", ("a",), [("x",), ("y",)])
+        assert [row.cell(0) for row in table.iter_rows()] == ["x", "y"]
+
+
+class TestCorpus:
+    def test_duplicate_table_rejected(self):
+        corpus = TableCorpus([WebTable("t", ("a",), [("x",)])])
+        with pytest.raises(ValueError):
+            corpus.add(WebTable("t", ("a",), [("y",)]))
+
+    def test_row_resolution(self):
+        corpus = TableCorpus([WebTable("t", ("a",), [("x",)])])
+        assert corpus.row(("t", 0)).cell(0) == "x"
+
+    def test_stats(self):
+        corpus = TableCorpus(
+            [
+                WebTable("t1", ("a", "b"), [("1", "2")] * 4),
+                WebTable("t2", ("a", "b", "c"), [("1", "2", "3")] * 2),
+            ]
+        )
+        stats = corpus_stats(corpus)
+        assert stats.n_tables == 2
+        assert stats.rows_avg == 3.0
+        assert stats.cols_max == 3
+
+    def test_empty_corpus_stats_raise(self):
+        with pytest.raises(ValueError):
+            corpus_stats(TableCorpus())
+
+
+class TestGoldStandardModel:
+    def test_new_cluster_with_uri_rejected(self):
+        with pytest.raises(ValueError):
+            GSCluster("c", (("t", 0),), is_new=True, kb_uri="kb:x", homonym_group="g")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            GSCluster("c", (), is_new=True, kb_uri=None, homonym_group="g")
+
+    def test_cluster_of_row_reverse_map(self):
+        cluster = GSCluster("c1", (("t", 0), ("t", 1)), False, "kb:x", "g")
+        gold = GoldStandard("Song", ("t",), [cluster], {})
+        assert gold.cluster_of_row() == {("t", 0): "c1", ("t", 1): "c1"}
+
+    def test_facts_of(self):
+        cluster = GSCluster("c1", (("t", 0),), True, None, "g")
+        gold = GoldStandard(
+            "Song", ("t",), [cluster], {},
+            facts=[GSFact("c1", "runtime", 200.0, True)],
+        )
+        assert len(gold.facts_of("c1")) == 1
+        assert gold.facts_of("missing") == []
+
+    def test_get_cluster_missing(self):
+        gold = GoldStandard("Song", (), [], {})
+        with pytest.raises(KeyError):
+            gold.get_cluster("nope")
