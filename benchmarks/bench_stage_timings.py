@@ -1,0 +1,21 @@
+"""Benchmark: per-stage wall time of a default pipeline run.
+
+Uses the :class:`~repro.pipeline.stages.TimingObserver` hooks of the
+stage API, so the reported split is exactly what any consumer of
+``RunSession(observers=[...])`` would see.
+"""
+
+from repro.pipeline.stages import DEFAULT_STAGE_NAMES, TimingObserver
+
+
+def test_stage_timings(benchmark, env):
+    def run_with_timer():
+        timer = TimingObserver()
+        result = env.session.run("Song", observers=[timer], use_cache=False)
+        return timer, result
+
+    timer, result = benchmark.pedantic(run_with_timer, rounds=1, iterations=1)
+    print()
+    print(timer.report())
+    assert set(timer.by_stage()) == set(DEFAULT_STAGE_NAMES)
+    assert result.final.entities

@@ -1,30 +1,33 @@
 """Quickstart: extend a knowledge base with long tail entities.
 
 Builds the synthetic world (a scaled DBpedia-like knowledge base plus a
-WDC-like web table corpus), runs the untrained default pipeline on the
-Song class, and prints the new entities it proposes.
+WDC-like web table corpus) inside a :class:`repro.RunSession`, runs the
+untrained default pipeline on the Song class with per-stage timing, and
+prints the new entities it proposes.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import LongTailPipeline, build_world
-from repro.synthesis.profiles import WorldScale
+from repro import RunSession, TimingObserver
 
 
 def main() -> None:
     print("Building synthetic world (KB + web table corpus) ...")
-    world = build_world(seed=7, scale=WorldScale.tiny())
-    kb = world.knowledge_base
+    session = RunSession.from_seed(seed=7, scale=0.25)
+    world = session.world
+    kb = session.knowledge_base
     print(f"  knowledge base: {len(kb):,} instances")
-    print(f"  corpus: {len(world.corpus):,} tables, "
-          f"{world.corpus.total_rows():,} rows")
+    print(f"  corpus: {len(session.corpus):,} tables, "
+          f"{session.corpus.total_rows():,} rows")
 
     print("\nRunning the pipeline (untrained defaults) on class Song ...")
-    pipeline = LongTailPipeline.default(kb)
-    result = pipeline.run(world.corpus, "Song")
+    timer = TimingObserver()
+    result = session.run("Song", observers=[timer])
     print(result.summary())
+    print("\nPer-stage wall time:")
+    print(timer.report())
 
     print("\nTop proposed new songs:")
     new_entities = sorted(
@@ -46,6 +49,11 @@ def main() -> None:
         f"\n{len(new_entities)} entities proposed as new; "
         f"{truly_new} verified new against ground truth."
     )
+
+    # The session caches stage artifacts: an identical re-run is ~free.
+    session.run("Song")
+    info = session.cache_info()
+    print(f"re-run served from cache: {info['hits']} stage hits")
 
 
 def _majority_gt(entity, world):

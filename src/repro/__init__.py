@@ -3,7 +3,20 @@
 Reproduction of Oulabi & Bizer, "Extending Cross-Domain Knowledge Bases with
 Long Tail Entities using Web Table Data", EDBT 2019.
 
-The public API is organised around the paper's pipeline:
+The public API is organised around a **service layer** and **composable
+stages**:
+
+* :class:`RunSession` (:mod:`repro.api`) — owns a world (KB + corpus)
+  loaded once, serves single runs, batch runs, stage substitution,
+  observer hooks and an artifact cache across runs.
+* :mod:`repro.pipeline.stages` — the paper's four Figure-1 components as
+  registered :class:`PipelineStage` objects (``schema_match`` →
+  ``cluster`` → ``fuse`` → ``detect``) over a shared
+  :class:`PipelineState`.
+* :class:`LongTailPipeline` — the generic stage driver (and the legacy
+  entry point, kept fully working).
+
+Module map:
 
 * :mod:`repro.kb` — the knowledge base to be extended.
 * :mod:`repro.webtables` — the relational web table corpus.
@@ -12,39 +25,88 @@ The public API is organised around the paper's pipeline:
 * :mod:`repro.clustering` — row clustering via correlation clustering.
 * :mod:`repro.fusion` — entity creation (value fusion).
 * :mod:`repro.newdetect` — new-instance detection.
-* :mod:`repro.pipeline` — the two-iteration orchestration plus the paper's
+* :mod:`repro.pipeline` — stage protocol, orchestration and the paper's
   evaluation protocols.
-* :mod:`repro.synthesis` — a seeded synthetic substitute for DBpedia 2014 and
-  the WDC 2012 corpus (see DESIGN.md for the substitution argument).
+* :mod:`repro.api` — the :class:`RunSession` service layer.
+* :mod:`repro.synthesis` — a seeded synthetic substitute for DBpedia 2014
+  and the WDC 2012 corpus (see DESIGN.md for the substitution argument).
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
 Quickstart::
 
+    from repro import RunSession, TimingObserver
+
+    session = RunSession.from_seed(seed=7, scale=0.25)
+    timer = TimingObserver()
+    result = session.run("Song", observers=[timer])
+    print(result.summary())
+    print(timer.report())
+
+    # Batch runs share the session's world and artifact cache:
+    results = session.run_many(["Song", "Settlement"])
+
+The legacy entry point still works unchanged::
+
     from repro import build_world, LongTailPipeline
 
     world = build_world(seed=7)
-    pipeline = LongTailPipeline.default(world.knowledge_base)
-    result = pipeline.run(world.corpus, "Song")
-    print(result.summary())
+    result = LongTailPipeline.default(world.knowledge_base).run(
+        world.corpus, "Song"
+    )
 """
 
 __all__ = [
     "LongTailPipeline",
     "PipelineConfig",
+    "PipelineModels",
     "PipelineResult",
+    "RunSession",
+    "ProgressObserver",
+    "config_hash",
+    "PipelineStage",
+    "PipelineState",
+    "PipelineObserver",
+    "TimingObserver",
+    "StageRegistry",
+    "STAGES",
+    "DEFAULT_STAGE_NAMES",
+    "SchemaMatchStage",
+    "ClusterStage",
+    "FuseStage",
+    "DetectStage",
+    "build_duplicate_evidence",
     "build_world",
     "build_gold_standard",
     "__version__",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # Lazy attribute resolution keeps `import repro.text` cheap and lets the
 # submodules stay independent.
 _LAZY_EXPORTS = {
     "LongTailPipeline": ("repro.pipeline.pipeline", "LongTailPipeline"),
     "PipelineConfig": ("repro.pipeline.pipeline", "PipelineConfig"),
+    "PipelineModels": ("repro.pipeline.pipeline", "PipelineModels"),
+    "build_duplicate_evidence": (
+        "repro.pipeline.pipeline",
+        "build_duplicate_evidence",
+    ),
     "PipelineResult": ("repro.pipeline.result", "PipelineResult"),
+    "RunSession": ("repro.api", "RunSession"),
+    "ProgressObserver": ("repro.api", "ProgressObserver"),
+    "config_hash": ("repro.api", "config_hash"),
+    "PipelineStage": ("repro.pipeline.stages", "PipelineStage"),
+    "PipelineState": ("repro.pipeline.stages", "PipelineState"),
+    "PipelineObserver": ("repro.pipeline.stages", "PipelineObserver"),
+    "TimingObserver": ("repro.pipeline.stages", "TimingObserver"),
+    "StageRegistry": ("repro.pipeline.stages", "StageRegistry"),
+    "STAGES": ("repro.pipeline.stages", "STAGES"),
+    "DEFAULT_STAGE_NAMES": ("repro.pipeline.stages", "DEFAULT_STAGE_NAMES"),
+    "SchemaMatchStage": ("repro.pipeline.stages", "SchemaMatchStage"),
+    "ClusterStage": ("repro.pipeline.stages", "ClusterStage"),
+    "FuseStage": ("repro.pipeline.stages", "FuseStage"),
+    "DetectStage": ("repro.pipeline.stages", "DetectStage"),
     "build_world": ("repro.synthesis.api", "build_world"),
     "build_gold_standard": ("repro.synthesis.api", "build_gold_standard"),
 }

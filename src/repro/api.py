@@ -1,0 +1,362 @@
+"""Service layer: :class:`RunSession` — the façade for running pipelines.
+
+A session owns the heavyweight inputs (knowledge base + web table
+corpus, loaded or generated once) and hands out pipeline runs on top of
+them:
+
+* ``session.run("Song")`` — one class, default stages.
+* ``session.run_many(["Song", "Settlement"])`` — batch runs sharing all
+  session state.
+* ``session.run("Song", stages=("schema_match", "cluster"))`` — partial
+  or substituted stage sequences (names resolve against
+  :data:`repro.pipeline.stages.STAGES`; instances are used as-is).
+* ``observers=`` — per-stage timing/progress hooks
+  (:class:`~repro.pipeline.stages.PipelineObserver`).
+
+Repeated runs are cheap: the session keeps an **artifact cache** keyed on
+``(class, stage, iteration, config-hash, restrictions, lineage)`` —
+re-running the same experiment skips every completed upstream stage, and
+a run that only changes a downstream stage reuses the untouched prefix.
+The lineage component (the exact sequence of stages executed before the
+cached one) guarantees a cached artifact is only reused when everything
+that influenced it is identical, including the cross-iteration feedback
+loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.newdetect.detector import DetectionResult
+from repro.pipeline.pipeline import (
+    LongTailPipeline,
+    PipelineConfig,
+    PipelineModels,
+)
+from repro.pipeline.result import PipelineResult
+from repro.pipeline.stages import (
+    DEFAULT_STAGE_NAMES,
+    STAGES,
+    PipelineObserver,
+    PipelineStage,
+    PipelineState,
+)
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import RowId
+
+__all__ = [
+    "RunSession",
+    "ProgressObserver",
+    "config_hash",
+]
+
+
+def config_hash(config: PipelineConfig) -> str:
+    """A stable short hash of a config's field values (cache keying)."""
+    payload = {
+        config_field.name: getattr(config, config_field.name)
+        for config_field in dataclasses.fields(config)
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class ProgressObserver(PipelineObserver):
+    """Prints one line per finished stage (CLI-friendly progress)."""
+
+    def __init__(self, stream=None) -> None:
+        import sys
+
+        self._stream = stream if stream is not None else sys.stderr
+
+    def on_stage_finished(
+        self, class_name: str, iteration: int, stage_name: str, seconds: float
+    ) -> None:
+        print(
+            f"[{class_name}] iteration {iteration} · {stage_name}: "
+            f"{seconds:.2f}s",
+            file=self._stream,
+        )
+
+
+def _fork(value):
+    """A mutation-safe snapshot of a cached stage output.
+
+    Stage outputs are lists of immutable-ish artifacts plus the
+    :class:`DetectionResult` (whose dicts ``dedup_new_entities`` mutates
+    after detection) — copy the containers, share the elements.
+    """
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, DetectionResult):
+        return DetectionResult(
+            classifications=dict(value.classifications),
+            correspondences=dict(value.correspondences),
+            best_scores=dict(value.best_scores),
+        )
+    return value
+
+
+class _CachedStage:
+    """Wraps a stage with the session's artifact cache.
+
+    ``stage_id`` distinguishes registry-named stages from substituted
+    instances (a custom stage that reuses a default stage's ``name``
+    must never be served the default stage's artifacts).  ``lineage``
+    is shared by all wrappers of one run and records the (stage,
+    iteration) sequence executed so far — two runs may share a cached
+    artifact only while their execution histories are identical.
+    """
+
+    def __init__(
+        self,
+        inner: PipelineStage,
+        session: "RunSession",
+        key_base: tuple,
+        lineage: list,
+        stage_id: tuple,
+    ) -> None:
+        self.inner = inner
+        self.name = getattr(inner, "name", type(inner).__name__)
+        #: None marks a stage that opted out of the state-field contract
+        #: (no ``provides``) — it always runs, never caches.
+        self.provides = getattr(inner, "provides", None)
+        self._session = session
+        self._key_base = key_base
+        self._lineage = lineage
+        self._stage_id = stage_id
+
+    def run(self, state: PipelineState) -> PipelineState:
+        key = (
+            self._key_base,
+            self._stage_id,
+            state.iteration,
+            tuple(self._lineage),
+        )
+        self._lineage.append((self._stage_id, state.iteration))
+        if self.provides is None:
+            return self.inner.run(state)
+        cached = self._session._artifacts.get(key)
+        if cached is not None:
+            self._session.cache_hits += 1
+            for field_name, value in cached.items():
+                setattr(state, field_name, _fork(value))
+            return state
+        self._session.cache_misses += 1
+        state = self.inner.run(state)
+        self._session._artifacts[key] = {
+            field_name: _fork(getattr(state, field_name))
+            for field_name in self.provides
+        }
+        return state
+
+
+class RunSession:
+    """A long-lived service over one world (KB + corpus).
+
+    The expensive inputs are loaded once and shared by every run; the
+    artifact cache makes repeated and partially-overlapping runs skip
+    completed upstream stages.  Construct directly from a synthetic
+    :class:`~repro.synthesis.world.World`, from explicit KB/corpus
+    objects, via :meth:`from_seed`, or via :meth:`from_directory` for a
+    world saved by ``repro build-world``.
+    """
+
+    def __init__(
+        self,
+        world=None,
+        *,
+        knowledge_base: KnowledgeBase | None = None,
+        corpus: TableCorpus | None = None,
+        config: PipelineConfig | None = None,
+        models: PipelineModels | None = None,
+        observers: Iterable[PipelineObserver] = (),
+    ) -> None:
+        if world is not None:
+            knowledge_base = world.knowledge_base
+            corpus = world.corpus
+        if knowledge_base is None or corpus is None:
+            raise ValueError(
+                "RunSession needs a world or both knowledge_base and corpus"
+            )
+        self.world = world
+        self.knowledge_base = knowledge_base
+        self.corpus = corpus
+        self.config = config or PipelineConfig()
+        self.models = models
+        self.observers: list[PipelineObserver] = list(observers)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._artifacts: dict = {}
+        #: Strong references keep cache-key identity tokens stable.
+        self._identity_registry: list[object] = []
+        self._default_models: dict[str, PipelineModels] = {}
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int = 7,
+        scale: float = 1.0,
+        *,
+        classes: list[str] | None = None,
+        config: PipelineConfig | None = None,
+        observers: Iterable[PipelineObserver] = (),
+    ) -> "RunSession":
+        """Generate the synthetic world once and serve runs over it."""
+        from repro.synthesis.api import build_world
+        from repro.synthesis.profiles import WorldScale
+
+        world = build_world(seed=seed, scale=WorldScale(scale), classes=classes)
+        return cls(world=world, config=config, observers=observers)
+
+    @classmethod
+    def from_directory(
+        cls,
+        directory: str | Path,
+        *,
+        config: PipelineConfig | None = None,
+        observers: Iterable[PipelineObserver] = (),
+    ) -> "RunSession":
+        """Serve runs over a world saved by ``repro build-world``."""
+        from repro.io import load_world_directory
+
+        knowledge_base, corpus = load_world_directory(directory)
+        return cls(
+            knowledge_base=knowledge_base,
+            corpus=corpus,
+            config=config,
+            observers=observers,
+        )
+
+    # -- running --------------------------------------------------------
+    def run(
+        self,
+        class_name: str,
+        *,
+        stages: Sequence[PipelineStage | str] | None = None,
+        observers: Iterable[PipelineObserver] = (),
+        config: PipelineConfig | None = None,
+        models: PipelineModels | None = None,
+        table_ids: list[str] | None = None,
+        row_ids: set[RowId] | None = None,
+        known_classes: dict[str, str] | None = None,
+        use_cache: bool = True,
+    ) -> PipelineResult:
+        """Run the pipeline for one class over the session's world.
+
+        Defaults reproduce ``LongTailPipeline.default(kb).run(corpus,
+        class_name)`` exactly; every keyword overrides one aspect of the
+        run without rebuilding any session state.
+        """
+        config = config if config is not None else self.config
+        models = self._resolve_models(models, config)
+        pipeline = LongTailPipeline(self.knowledge_base, config, models)
+        stage_specs = list(stages) if stages is not None else list(
+            DEFAULT_STAGE_NAMES
+        )
+        stage_list: list[PipelineStage] = STAGES.resolve(stage_specs)
+        if use_cache:
+            key_base = (
+                class_name,
+                config_hash(config),
+                self._identity_token(models),
+                self._restriction_key(table_ids, row_ids, known_classes),
+            )
+            lineage: list = []
+            stage_list = [
+                _CachedStage(
+                    stage, self, key_base, lineage, self._stage_id(spec, stage)
+                )
+                for spec, stage in zip(stage_specs, stage_list)
+            ]
+        return pipeline.run(
+            self.corpus,
+            class_name,
+            table_ids=table_ids,
+            row_ids=row_ids,
+            known_classes=known_classes,
+            stages=stage_list,
+            observers=[*self.observers, *observers],
+        )
+
+    def run_many(
+        self,
+        class_names: Iterable[str],
+        **kwargs,
+    ) -> dict[str, PipelineResult]:
+        """Batch runs over several classes, in input order.
+
+        Duplicate class names run once — the result mapping is keyed by
+        class name, so a repeat could only overwrite its first entry.
+        """
+        return {
+            class_name: self.run(class_name, **kwargs)
+            for class_name in dict.fromkeys(class_names)
+        }
+
+    # -- cache administration ------------------------------------------
+    def cache_info(self) -> dict[str, int]:
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._artifacts),
+        }
+
+    def clear_cache(self) -> None:
+        self._artifacts.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- internals ------------------------------------------------------
+    def _resolve_models(
+        self, models: PipelineModels | None, config: PipelineConfig
+    ) -> PipelineModels:
+        if models is not None:
+            return models
+        if self.models is not None:
+            return self.models
+        key = config_hash(config)
+        if key not in self._default_models:
+            self._default_models[key] = LongTailPipeline.default(
+                self.knowledge_base, config
+            ).models
+        return self._default_models[key]
+
+    def _identity_token(self, obj: object) -> int:
+        """A session-stable identity token for an unhashable key part."""
+        for token, known in enumerate(self._identity_registry):
+            if known is obj:
+                return token
+        self._identity_registry.append(obj)
+        return len(self._identity_registry) - 1
+
+    def _stage_id(self, spec: PipelineStage | str, stage: PipelineStage) -> tuple:
+        """A cache-key component identifying *which* stage ran.
+
+        Registry-named stages are interchangeable across runs; a
+        substituted instance is only ever equal to itself, so a custom
+        stage sharing a default stage's ``name`` cannot collide with it.
+        """
+        if isinstance(spec, str):
+            return ("registry", spec)
+        return ("instance", self._identity_token(stage))
+
+    @staticmethod
+    def _restriction_key(
+        table_ids: list[str] | None,
+        row_ids: set[RowId] | None,
+        known_classes: dict[str, str] | None,
+    ) -> tuple:
+        return (
+            tuple(table_ids) if table_ids is not None else None,
+            tuple(sorted(row_ids)) if row_ids is not None else None,
+            tuple(sorted(known_classes.items()))
+            if known_classes is not None
+            else None,
+        )

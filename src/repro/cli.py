@@ -4,8 +4,11 @@ Commands:
 
 * ``build-world`` — generate the synthetic world and save corpus / KB /
   gold standards to a directory.
-* ``run`` — run the (default, untrained) pipeline for a class over a
-  saved or freshly generated world and print the summary.
+* ``run`` — run the (default, untrained) pipeline for one or more
+  classes through a :class:`repro.api.RunSession` and print the
+  summaries (``--json`` for machine-readable output, ``--stages`` to
+  substitute the stage sequence, ``--fusion`` / ``--iterations`` to
+  change the paper knobs).
 * ``experiment`` — regenerate one paper table/figure by experiment id
   (``table01`` … ``table12``, ``figure01``, ``ranked_eval``).
 """
@@ -14,7 +17,10 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import json
 from pathlib import Path
+
+CLASS_CHOICES = ("GridironFootballPlayer", "Song", "Settlement")
 
 EXPERIMENT_IDS = tuple(
     [f"table{number:02d}" for number in range(1, 13)] + ["figure01", "ranked_eval"]
@@ -22,15 +28,12 @@ EXPERIMENT_IDS = tuple(
 
 
 def _cmd_build_world(args: argparse.Namespace) -> int:
-    from repro.io import save_corpus, save_gold_standard, save_knowledge_base
+    from repro.io import save_gold_standard, save_world_directory
     from repro.synthesis.api import build_gold_standard, build_world
     from repro.synthesis.profiles import CLASS_SPECS, WorldScale
 
     world = build_world(seed=args.seed, scale=WorldScale(args.scale))
-    output = Path(args.output)
-    output.mkdir(parents=True, exist_ok=True)
-    save_corpus(world.corpus, output / "corpus.jsonl")
-    save_knowledge_base(world.knowledge_base, output / "knowledge_base.json")
+    output = save_world_directory(world, Path(args.output))
     for class_name in CLASS_SPECS:
         gold = build_gold_standard(world, class_name)
         save_gold_standard(gold, output / f"gold_{class_name}.json")
@@ -40,15 +43,47 @@ def _cmd_build_world(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.pipeline.pipeline import LongTailPipeline, PipelineConfig
-    from repro.synthesis.api import build_world
-    from repro.synthesis.profiles import WorldScale
+    from repro.api import ProgressObserver, RunSession
+    from repro.pipeline.pipeline import PipelineConfig
+    from repro.pipeline.stages import STAGES, TimingObserver
 
-    world = build_world(seed=args.seed, scale=WorldScale(args.scale))
-    config = PipelineConfig(dedup_new_entities=args.dedup)
-    pipeline = LongTailPipeline.default(world.knowledge_base, config)
-    result = pipeline.run(world.corpus, args.class_name)
-    print(result.summary())
+    stages = args.stages.split(",") if args.stages else None
+    if stages is not None:
+        unknown = [name for name in stages if name not in STAGES.names()]
+        if unknown:
+            known = ", ".join(STAGES.names())
+            print(f"error: unknown stage(s) {', '.join(unknown)}; "
+                  f"registered stages: {known}")
+            return 2
+    try:
+        config = PipelineConfig(
+            iterations=args.iterations,
+            fusion_scoring=args.fusion,
+            dedup_new_entities=args.dedup,
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    observers = [] if args.quiet else [ProgressObserver()]
+    timer = TimingObserver()
+    session = RunSession.from_seed(
+        seed=args.seed, scale=args.scale, config=config,
+        observers=[*observers, timer],
+    )
+    results = session.run_many(args.classes, stages=stages)
+    if args.as_json:
+        document = {
+            "seed": args.seed,
+            "scale": args.scale,
+            "results": [result.summary_dict() for result in results.values()],
+            "stage_seconds": {
+                name: round(seconds, 4)
+                for name, seconds in timer.by_stage().items()
+            },
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print("\n\n".join(result.summary() for result in results.values()))
     return 0
 
 
@@ -62,10 +97,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Long Tail Entity Extraction from web tables "
                     "(Oulabi & Bizer, EDBT 2019 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -76,11 +116,22 @@ def build_parser() -> argparse.ArgumentParser:
     build.set_defaults(handler=_cmd_build_world)
 
     run = subparsers.add_parser("run", help="run the default pipeline")
-    run.add_argument("class_name", choices=(
-        "GridironFootballPlayer", "Song", "Settlement",
-    ))
+    run.add_argument("classes", nargs="+", choices=CLASS_CHOICES,
+                     metavar="class", help=f"one or more of {CLASS_CHOICES}")
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--scale", type=float, default=0.25)
+    run.add_argument("--iterations", type=int, default=2,
+                     help="pipeline iterations (paper default: 2)")
+    run.add_argument("--fusion", choices=("voting", "kbt", "matching"),
+                     default="voting",
+                     help="fusion scoring approach (Section 3.3)")
+    run.add_argument("--stages", default=None,
+                     help="comma-separated stage names to run instead of "
+                          "the full schema_match,cluster,fuse,detect")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print a machine-readable JSON report")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-stage progress lines on stderr")
     run.add_argument("--dedup", action="store_true",
                      help="deduplicate new entities (Section 5 extension)")
     run.set_defaults(handler=_cmd_run)

@@ -2,16 +2,20 @@
 
 World generation, gold standard derivation, fold splitting and model
 training are all deterministic in the seed, and several experiments need
-the same artifacts — the environment builds each at most once per process.
+the same artifacts — the environment builds each at most once per
+process.  Pipeline runs go through one shared
+:class:`~repro.api.RunSession`, so experiments additionally share the
+session's per-stage artifact cache.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import RunSession
 from repro.goldstandard.annotations import GoldStandard, GSCluster
 from repro.ml.crossval import stratified_group_folds
-from repro.pipeline.pipeline import LongTailPipeline, PipelineConfig
+from repro.pipeline.pipeline import PipelineConfig
 from repro.pipeline.result import PipelineResult
 from repro.pipeline.training import TrainedModels, train_models
 from repro.synthesis.api import build_gold_standard, build_world
@@ -55,6 +59,7 @@ class ExperimentEnv:
     seed: int = 7
     scale_factor: float = 1.0
     _world: World | None = field(default=None, repr=False)
+    _session: RunSession | None = field(default=None, repr=False)
     _gold: dict = field(default_factory=dict, repr=False)
     _folds: dict = field(default_factory=dict, repr=False)
     _fold_models: dict = field(default_factory=dict, repr=False)
@@ -70,6 +75,13 @@ class ExperimentEnv:
                 seed=self.seed, scale=WorldScale(self.scale_factor)
             )
         return self._world
+
+    @property
+    def session(self) -> RunSession:
+        """The shared run-service over the environment's world."""
+        if self._session is None:
+            self._session = RunSession(world=self.world)
+        return self._session
 
     def gold(self, class_name: str) -> GoldStandard:
         if class_name not in self._gold:
@@ -148,19 +160,19 @@ class ExperimentEnv:
         if key not in self._fold_runs:
             models = self.fold_models(class_name, test_fold)
             __, test_gold = self.fold_golds(class_name, test_fold)
-            pipeline = LongTailPipeline(
-                self.world.knowledge_base,
-                PipelineConfig(iterations=3, seed=self.seed),
-                models.as_pipeline_models(),
-            )
-            self._fold_runs[key] = pipeline.run(
-                self.world.corpus,
+            # The env memoizes whole results per (class, fold) and never
+            # repeats a run, so the session's stage cache would only
+            # accumulate dead entries — skip it.
+            self._fold_runs[key] = self.session.run(
                 class_name,
+                config=PipelineConfig(iterations=3, seed=self.seed),
+                models=models.as_pipeline_models(),
                 table_ids=list(test_gold.table_ids),
                 row_ids=set(test_gold.annotated_rows()),
                 known_classes={
                     table_id: class_name for table_id in test_gold.table_ids
                 },
+                use_cache=False,
             )
         return self._fold_runs[key]
 
@@ -169,13 +181,11 @@ class ExperimentEnv:
         """Full-corpus pipeline run for one class (Section 5), cached."""
         if class_name not in self._profiling_runs:
             models = self.full_models(class_name)
-            pipeline = LongTailPipeline(
-                self.world.knowledge_base,
-                PipelineConfig(seed=self.seed),
-                models.as_pipeline_models(),
-            )
-            self._profiling_runs[class_name] = pipeline.run(
-                self.world.corpus, class_name
+            self._profiling_runs[class_name] = self.session.run(
+                class_name,
+                config=PipelineConfig(seed=self.seed),
+                models=models.as_pipeline_models(),
+                use_cache=False,
             )
         return self._profiling_runs[class_name]
 

@@ -21,6 +21,10 @@ from repro.webtables.corpus import TableCorpus
 from repro.webtables.table import RowId
 
 
+#: Scoring approach names :func:`make_scorer` accepts (paper Section 3.3).
+SCORER_NAMES = ("voting", "matching", "kbt")
+
+
 class ValueScorer(Protocol):
     """Scores one candidate value of a row for a property."""
 

@@ -4,15 +4,20 @@ The paper publishes its gold standard and data for replication; this
 package provides the equivalent for the reproduction — lossless JSON
 round-trips for web table corpora, knowledge bases and gold standards,
 with normalized values (dates, quantities) encoded in a tagged form.
+The world-directory helpers bundle a corpus + knowledge base under one
+directory, which is the on-disk form ``repro build-world`` writes and
+:meth:`repro.api.RunSession.from_directory` serves runs from.
 """
 
 from repro.io.serialize import (
     load_corpus,
     load_gold_standard,
     load_knowledge_base,
+    load_world_directory,
     save_corpus,
     save_gold_standard,
     save_knowledge_base,
+    save_world_directory,
 )
 
 __all__ = [
@@ -22,4 +27,6 @@ __all__ = [
     "load_knowledge_base",
     "save_gold_standard",
     "load_gold_standard",
+    "save_world_directory",
+    "load_world_directory",
 ]

@@ -229,3 +229,32 @@ def load_gold_standard(path: str | Path) -> GoldStandard:
             for entry in document["facts"]
         ],
     )
+
+
+#: Conventional file names of a world directory (``repro build-world``).
+WORLD_CORPUS_FILE = "corpus.jsonl"
+WORLD_KB_FILE = "knowledge_base.json"
+
+
+def save_world_directory(world, directory: str | Path) -> Path:
+    """Save a world's corpus + knowledge base under one directory.
+
+    The layout matches what :func:`load_world_directory` and
+    ``RunSession.from_directory`` expect; gold standards are saved
+    separately per class (they are experiment artifacts, not run inputs).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_corpus(world.corpus, directory / WORLD_CORPUS_FILE)
+    save_knowledge_base(world.knowledge_base, directory / WORLD_KB_FILE)
+    return directory
+
+
+def load_world_directory(
+    directory: str | Path,
+) -> tuple[KnowledgeBase, TableCorpus]:
+    """Load the (knowledge base, corpus) pair a world directory holds."""
+    directory = Path(directory)
+    kb = load_knowledge_base(directory / WORLD_KB_FILE)
+    corpus = load_corpus(directory / WORLD_CORPUS_FILE)
+    return kb, corpus

@@ -1,14 +1,33 @@
 """Pipeline orchestration and the paper's evaluation protocols.
 
-:class:`~repro.pipeline.pipeline.LongTailPipeline` wires the four
-components — schema matching, row clustering, entity creation, new
-detection — into the two-iteration process of Figure 1.  The evaluation
-modules implement Section 4 (new-instances-found and facts-found on the
-gold standard), Section 5 (large-scale profiling) and Section 6 (ranked
-set-expansion-style evaluation).
+:class:`~repro.pipeline.pipeline.LongTailPipeline` is a generic driver
+over the four registered :mod:`~repro.pipeline.stages` — schema
+matching, row clustering, entity creation, new detection — iterated as
+in Figure 1.  The evaluation modules implement Section 4
+(new-instances-found and facts-found on the gold standard), Section 5
+(large-scale profiling) and Section 6 (ranked set-expansion-style
+evaluation).
 """
 
-from repro.pipeline.pipeline import LongTailPipeline, PipelineConfig
+from repro.pipeline.pipeline import (
+    LongTailPipeline,
+    PipelineConfig,
+    PipelineModels,
+    build_duplicate_evidence,
+)
+from repro.pipeline.stages import (
+    DEFAULT_STAGE_NAMES,
+    STAGES,
+    ClusterStage,
+    DetectStage,
+    FuseStage,
+    PipelineObserver,
+    PipelineStage,
+    PipelineState,
+    SchemaMatchStage,
+    StageRegistry,
+    TimingObserver,
+)
 from repro.pipeline.result import IterationArtifacts, PipelineResult
 from repro.pipeline.training import TrainedModels, train_models
 from repro.pipeline.gold_utils import (
@@ -32,6 +51,19 @@ from repro.pipeline.slotfill import SlotFillingReport, slot_filling_report
 __all__ = [
     "LongTailPipeline",
     "PipelineConfig",
+    "PipelineModels",
+    "build_duplicate_evidence",
+    "DEFAULT_STAGE_NAMES",
+    "STAGES",
+    "StageRegistry",
+    "PipelineStage",
+    "PipelineState",
+    "PipelineObserver",
+    "TimingObserver",
+    "SchemaMatchStage",
+    "ClusterStage",
+    "FuseStage",
+    "DetectStage",
     "IterationArtifacts",
     "PipelineResult",
     "TrainedModels",

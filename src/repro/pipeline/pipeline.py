@@ -1,28 +1,34 @@
-"""The two-iteration long-tail extraction pipeline (Figure 1)."""
+"""The two-iteration long-tail extraction pipeline (Figure 1).
+
+:class:`LongTailPipeline` is a generic stage driver: each iteration runs
+a sequence of :class:`~repro.pipeline.stages.PipelineStage` objects over
+a shared :class:`~repro.pipeline.stages.PipelineState`, and the duplicate
+feedback of Figure 1 (clusters + correspondences back into the schema
+matchers) flows through that state between iterations.  The default
+sequence is the paper's four components; pass ``stages=`` to substitute
+or skip any of them, and ``observers=`` to instrument per-stage timing.
+"""
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from repro.clustering.clusterer import RowClusterer
-from repro.clustering.context import RowMetricContext, make_row_metrics
+
 from repro.clustering.metrics import ROW_METRIC_NAMES
-from repro.clustering.similarity import RowSimilarity
-from repro.fusion.fuser import EntityCreator
-from repro.fusion.scoring import exact_row_instances, make_scorer
+from repro.fusion.scoring import SCORER_NAMES
 from repro.kb.knowledge_base import KnowledgeBase
-from repro.matching.correspondences import SchemaMapping
 from repro.matching.matchers import DuplicateEvidence
-from repro.matching.records import build_row_records
-from repro.matching.schema_matcher import SchemaMatcher, SchemaMatcherModels
+from repro.matching.schema_matcher import SchemaMatcherModels
 from repro.ml.aggregation import ScoreAggregator, StaticWeightedAggregator
-from repro.newdetect.candidates import CandidateSelector
-from repro.newdetect.detector import (
-    DetectionResult,
-    EntityInstanceSimilarity,
-    NewDetector,
-)
-from repro.newdetect.metrics import ENTITY_METRIC_NAMES, make_entity_metrics
+from repro.newdetect.detector import DetectionResult
+from repro.newdetect.metrics import ENTITY_METRIC_NAMES
 from repro.pipeline.result import IterationArtifacts, PipelineResult
+from repro.pipeline.stages import (
+    STAGES,
+    PipelineObserver,
+    PipelineStage,
+    PipelineState,
+)
 from repro.webtables.corpus import TableCorpus
 from repro.webtables.table import RowId
 
@@ -39,7 +45,11 @@ _DEFAULT_ENTITY_WEIGHTS = {
 
 @dataclass
 class PipelineConfig:
-    """Knobs of the pipeline (defaults follow the paper's best setup)."""
+    """Knobs of the pipeline (defaults follow the paper's best setup).
+
+    Invalid knob combinations fail fast at construction time with a
+    :class:`ValueError` instead of deep inside a stage.
+    """
 
     iterations: int = 2
     row_metric_names: tuple[str, ...] = ROW_METRIC_NAMES
@@ -54,6 +64,28 @@ class PipelineConfig:
     #: paper suggests in Section 5 against over-segmentation (off by
     #: default, matching the published system).
     dedup_new_entities: bool = False
+
+    def __post_init__(self) -> None:
+        # Defensive copies: callers may hand in lists, and shared mutable
+        # metric-name sequences must not leak between config instances.
+        self.row_metric_names = tuple(self.row_metric_names)
+        self.entity_metric_names = tuple(self.entity_metric_names)
+        if self.iterations < 1:
+            raise ValueError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.fusion_scoring.lower() not in SCORER_NAMES:
+            known = ", ".join(SCORER_NAMES)
+            raise ValueError(
+                f"unknown fusion_scoring {self.fusion_scoring!r}; "
+                f"expected one of: {known}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.candidate_limit < 1:
+            raise ValueError(
+                f"candidate_limit must be >= 1, got {self.candidate_limit}"
+            )
 
 
 @dataclass
@@ -113,35 +145,59 @@ class LongTailPipeline:
         table_ids: list[str] | None = None,
         row_ids: set[RowId] | None = None,
         known_classes: dict[str, str] | None = None,
+        *,
+        stages: list[PipelineStage | str] | None = None,
+        observers: list[PipelineObserver] | tuple[PipelineObserver, ...] = (),
     ) -> PipelineResult:
         """Run the full pipeline for one class.
 
         ``table_ids`` restricts schema matching to a table subset;
         ``row_ids`` restricts clustering to specific rows (gold standard
         experiments); ``known_classes`` bypasses table-to-class matching.
+        ``stages`` substitutes the stage sequence (names resolved against
+        :data:`~repro.pipeline.stages.STAGES`, instances used as-is);
+        ``observers`` receive per-stage progress and timing events.
         """
         if self.models.row_aggregator is None or self.models.entity_aggregator is None:
             raise RuntimeError(
                 "pipeline has no fitted aggregators; use LongTailPipeline.default "
                 "or train models via repro.pipeline.training.train_models"
             )
-        matcher = SchemaMatcher(self.kb, self.models.schema_models)
+        stage_list = STAGES.resolve(stages)
+        state = PipelineState(
+            kb=self.kb,
+            corpus=corpus,
+            class_name=class_name,
+            config=self.config,
+            models=self.models,
+            table_ids=table_ids,
+            row_ids=row_ids,
+            known_classes=known_classes,
+        )
         result = PipelineResult(class_name=class_name)
-        evidence: DuplicateEvidence | None = None
+        for observer in observers:
+            observer.on_run_started(class_name, self.config)
         for iteration in range(1, self.config.iterations + 1):
-            mapping = matcher.match_corpus(
-                corpus,
-                evidence=evidence,
-                table_ids=table_ids,
-                known_classes=known_classes,
-            )
-            artifacts = self._run_iteration(
-                iteration, corpus, class_name, mapping, row_ids
-            )
+            state.iteration = iteration
+            for observer in observers:
+                observer.on_iteration_started(class_name, iteration)
+            for stage in stage_list:
+                for observer in observers:
+                    observer.on_stage_started(class_name, iteration, stage.name)
+                started = time.perf_counter()
+                state = stage.run(state)
+                elapsed = time.perf_counter() - started
+                for observer in observers:
+                    observer.on_stage_finished(
+                        class_name, iteration, stage.name, elapsed
+                    )
+            artifacts = state.artifacts()
             result.iterations.append(artifacts)
-            evidence = self._build_evidence(artifacts)
+            state.evidence = self._build_evidence(artifacts)
         if self.config.dedup_new_entities:
             self._dedup_final(result)
+        for observer in observers:
+            observer.on_run_finished(result)
         return result
 
     def _dedup_final(self, result: PipelineResult) -> None:
@@ -168,90 +224,6 @@ class LongTailPipeline:
         for entity_id in new_ids - kept:
             detection.classifications.pop(entity_id, None)
             detection.best_scores.pop(entity_id, None)
-
-    # ------------------------------------------------------------------
-    def _target_tables(self, mapping: SchemaMapping, class_name: str) -> list[str]:
-        """Tables mapped to the class or any subclass (Single ⊂ Song)."""
-        names = self.kb.schema.descendants(class_name)
-        return sorted(
-            table_id
-            for name in names
-            for table_id in mapping.tables_of_class(name)
-        )
-
-    def _run_iteration(
-        self,
-        iteration: int,
-        corpus: TableCorpus,
-        class_name: str,
-        mapping: SchemaMapping,
-        row_ids: set[RowId] | None,
-    ) -> IterationArtifacts:
-        config = self.config
-        target_tables = self._target_tables(mapping, class_name)
-        records = build_row_records(
-            corpus, mapping, class_name, table_ids=target_tables, row_ids=row_ids
-        )
-        context = RowMetricContext.build(self.kb, class_name, records)
-        row_similarity = RowSimilarity(
-            make_row_metrics(config.row_metric_names, context),
-            self.models.row_aggregator,
-        )
-        clusterer = RowClusterer(
-            row_similarity,
-            batch_size=config.batch_size,
-            seed=config.seed + iteration,
-            use_klj=config.use_klj,
-            use_blocking=config.use_blocking,
-        )
-        clusters = clusterer.cluster(records)
-
-        scorer = self._make_scorer(corpus, mapping, class_name, target_tables)
-        creator = EntityCreator(self.kb, class_name, scorer)
-        entities = creator.create(clusters)
-
-        selector = CandidateSelector(self.kb, config.candidate_limit)
-        entity_similarity = EntityInstanceSimilarity(
-            make_entity_metrics(
-                config.entity_metric_names,
-                self.kb,
-                class_name,
-                context.implicit_by_table,
-            ),
-            self.models.entity_aggregator,
-        )
-        detector = NewDetector(
-            selector,
-            entity_similarity,
-            self.models.new_threshold,
-            self.models.existing_threshold,
-        )
-        detection = detector.detect(entities)
-        return IterationArtifacts(
-            iteration=iteration,
-            mapping=mapping,
-            records=records,
-            clusters=clusters,
-            entities=entities,
-            detection=detection,
-        )
-
-    def _make_scorer(
-        self,
-        corpus: TableCorpus,
-        mapping: SchemaMapping,
-        class_name: str,
-        target_tables: list[str],
-    ):
-        if self.config.fusion_scoring.lower() == "kbt":
-            row_instance = exact_row_instances(
-                corpus, mapping, self.kb, class_name, target_tables
-            )
-            return make_scorer(
-                "kbt", corpus=corpus, mapping=mapping, kb=self.kb,
-                row_instance=row_instance,
-            )
-        return make_scorer(self.config.fusion_scoring, mapping=mapping)
 
     @staticmethod
     def _build_evidence(artifacts: IterationArtifacts) -> DuplicateEvidence:

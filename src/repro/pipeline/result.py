@@ -58,17 +58,31 @@ class PipelineResult:
     def new_fact_count(self) -> int:
         return sum(entity.fact_count() for entity in self.new_entities())
 
+    def summary_dict(self) -> dict:
+        """The summary as a JSON-serializable mapping (CLI ``--json``)."""
+        final = self.final
+        return {
+            "class_name": self.class_name,
+            "iterations": len(self.iterations),
+            "rows": len(final.records),
+            "clusters": len(final.clusters),
+            "entities": len(final.entities),
+            "new_entities": len(self.new_entities()),
+            "existing_entities": len(self.existing_entities()),
+            "new_facts": self.new_fact_count(),
+        }
+
     def summary(self) -> str:
         """A short human-readable report."""
-        final = self.final
+        summary = self.summary_dict()
         lines = [
-            f"class: {self.class_name}",
-            f"iterations: {len(self.iterations)}",
-            f"rows considered: {len(final.records)}",
-            f"clusters: {len(final.clusters)}",
-            f"entities: {len(final.entities)}",
-            f"  new: {len(self.new_entities())} "
-            f"({self.new_fact_count()} facts)",
-            f"  existing: {len(self.existing_entities())}",
+            f"class: {summary['class_name']}",
+            f"iterations: {summary['iterations']}",
+            f"rows considered: {summary['rows']}",
+            f"clusters: {summary['clusters']}",
+            f"entities: {summary['entities']}",
+            f"  new: {summary['new_entities']} "
+            f"({summary['new_facts']} facts)",
+            f"  existing: {summary['existing_entities']}",
         ]
         return "\n".join(lines)

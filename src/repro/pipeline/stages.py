@@ -1,0 +1,378 @@
+"""Composable pipeline stages (the Figure-1 components as plug points).
+
+The paper's pipeline is four swappable components — schema matching, row
+clustering, entity creation (fusion) and new-instance detection.  This
+module makes each of them a first-class :class:`PipelineStage` operating
+on a shared :class:`PipelineState`, so experiments can substitute,
+instrument, reorder or skip a stage without forking the orchestrator:
+
+========================  ==================  ===========================
+Figure-1 component        stage name          state fields produced
+========================  ==================  ===========================
+Schema Matching           ``schema_match``    mapping, target_tables,
+                                              records
+Row Clustering            ``cluster``         context, clusters
+Entity Creation           ``fuse``            entities
+New Instance Detection    ``detect``          detection
+========================  ==================  ===========================
+
+Stages are looked up by name in the module-level :data:`STAGES` registry;
+:class:`~repro.pipeline.pipeline.LongTailPipeline` drives whatever stage
+sequence it is given, and :class:`repro.api.RunSession` adds caching and
+observer plumbing on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, runtime_checkable
+
+from repro.clustering.clusterer import RowClusterer
+from repro.clustering.context import RowMetricContext, make_row_metrics
+from repro.clustering.greedy import Cluster
+from repro.clustering.similarity import RowSimilarity
+from repro.fusion.entity import Entity
+from repro.fusion.fuser import EntityCreator
+from repro.fusion.scoring import exact_row_instances, make_scorer
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.correspondences import SchemaMapping
+from repro.matching.matchers import DuplicateEvidence
+from repro.matching.records import RowRecord, build_row_records
+from repro.matching.schema_matcher import SchemaMatcher
+from repro.newdetect.candidates import CandidateSelector
+from repro.newdetect.detector import (
+    DetectionResult,
+    EntityInstanceSimilarity,
+    NewDetector,
+)
+from repro.newdetect.metrics import make_entity_metrics
+from repro.pipeline.result import IterationArtifacts
+from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import RowId
+
+if TYPE_CHECKING:  # pragma: no cover - type-only, avoids a circular import
+    from repro.pipeline.pipeline import PipelineConfig, PipelineModels
+    from repro.pipeline.result import PipelineResult
+
+#: Canonical stage order of the paper's pipeline.
+DEFAULT_STAGE_NAMES = ("schema_match", "cluster", "fuse", "detect")
+
+
+@dataclass
+class PipelineState:
+    """Everything a pipeline iteration reads and writes.
+
+    The first block is fixed run input, the second is per-iteration
+    bookkeeping the orchestrator maintains, the third is the stage
+    outputs (each default stage fills the fields listed in its
+    ``provides`` tuple).  A custom stage may read anything and set
+    anything — downstream stages only rely on the fields documented in
+    the module table.
+    """
+
+    kb: KnowledgeBase
+    corpus: TableCorpus
+    class_name: str
+    config: "PipelineConfig"
+    models: "PipelineModels"
+    #: Optional restrictions (gold-standard experiments).
+    table_ids: list[str] | None = None
+    row_ids: set[RowId] | None = None
+    known_classes: dict[str, str] | None = None
+
+    #: 1-based iteration counter, set by the orchestrator.
+    iteration: int = 0
+    #: Duplicate feedback from the previous iteration (None in the first).
+    evidence: DuplicateEvidence | None = None
+    #: Schema matcher shared across iterations (keeps its analysis caches).
+    matcher: SchemaMatcher | None = None
+
+    # Stage outputs ----------------------------------------------------
+    mapping: SchemaMapping | None = None
+    target_tables: list[str] = field(default_factory=list)
+    records: list[RowRecord] = field(default_factory=list)
+    context: RowMetricContext | None = None
+    clusters: list[Cluster] = field(default_factory=list)
+    entities: list[Entity] = field(default_factory=list)
+    detection: DetectionResult | None = None
+
+    def artifacts(self) -> IterationArtifacts:
+        """Snapshot the stage outputs of the current iteration."""
+        return IterationArtifacts(
+            iteration=self.iteration,
+            mapping=self.mapping if self.mapping is not None else SchemaMapping(),
+            records=self.records,
+            clusters=self.clusters,
+            entities=self.entities,
+            detection=self.detection
+            if self.detection is not None
+            else DetectionResult(),
+        )
+
+
+@runtime_checkable
+class PipelineStage(Protocol):
+    """One component of the pipeline.
+
+    ``name`` identifies the stage (registry key, observer events, cache
+    keys); ``provides`` names the :class:`PipelineState` fields the stage
+    sets, which is what the :class:`repro.api.RunSession` artifact cache
+    snapshots; ``run`` transforms the state and returns it.
+    """
+
+    name: str
+    provides: tuple[str, ...]
+
+    def run(self, state: PipelineState) -> PipelineState:
+        ...
+
+
+class PipelineObserver:
+    """Per-stage progress/timing hooks; subclass and override what you need.
+
+    All hooks are no-ops by default, so observers stay forward-compatible
+    when new events are added.
+    """
+
+    def on_run_started(self, class_name: str, config: "PipelineConfig") -> None:
+        pass
+
+    def on_iteration_started(self, class_name: str, iteration: int) -> None:
+        pass
+
+    def on_stage_started(
+        self, class_name: str, iteration: int, stage_name: str
+    ) -> None:
+        pass
+
+    def on_stage_finished(
+        self, class_name: str, iteration: int, stage_name: str, seconds: float
+    ) -> None:
+        pass
+
+    def on_run_finished(self, result: "PipelineResult") -> None:
+        pass
+
+
+class TimingObserver(PipelineObserver):
+    """Collects per-stage wall-clock time across runs."""
+
+    def __init__(self) -> None:
+        #: (class_name, iteration, stage_name) -> seconds
+        self.timings: dict[tuple[str, int, str], float] = {}
+
+    def on_stage_finished(
+        self, class_name: str, iteration: int, stage_name: str, seconds: float
+    ) -> None:
+        key = (class_name, iteration, stage_name)
+        self.timings[key] = self.timings.get(key, 0.0) + seconds
+
+    def by_stage(self) -> dict[str, float]:
+        """Total seconds per stage name, summed over classes/iterations."""
+        totals: dict[str, float] = {}
+        for (__, __, stage_name), seconds in self.timings.items():
+            totals[stage_name] = totals.get(stage_name, 0.0) + seconds
+        return totals
+
+    def total(self) -> float:
+        return sum(self.timings.values())
+
+    def report(self) -> str:
+        """Aligned per-stage timing table."""
+        totals = self.by_stage()
+        if not totals:
+            return "(no stages timed)"
+        width = max(len(name) for name in totals)
+        lines = [
+            f"{name:<{width}}  {seconds:8.3f}s"
+            for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1])
+        ]
+        lines.append(f"{'total':<{width}}  {self.total():8.3f}s")
+        return "\n".join(lines)
+
+
+class StageRegistry:
+    """Name → stage factory registry with mixed-sequence resolution."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], PipelineStage]] = {}
+
+    def register(
+        self, name: str, factory: Callable[[], PipelineStage] | None = None
+    ):
+        """Register a factory, directly or as a class decorator."""
+        if factory is not None:
+            self._factories[name] = factory
+            return factory
+
+        def decorator(cls):
+            self._factories[name] = cls
+            return cls
+
+        return decorator
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._factories)
+
+    def create(self, name: str) -> PipelineStage:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories))
+            raise ValueError(
+                f"unknown pipeline stage {name!r}; registered stages: {known}"
+            ) from None
+        return factory()
+
+    def resolve(
+        self, stages: Iterable[PipelineStage | str] | None = None
+    ) -> list[PipelineStage]:
+        """A concrete stage list from names, instances, or the default."""
+        if stages is None:
+            stages = DEFAULT_STAGE_NAMES
+        resolved: list[PipelineStage] = []
+        for stage in stages:
+            if isinstance(stage, str):
+                resolved.append(self.create(stage))
+            else:
+                resolved.append(stage)
+        return resolved
+
+
+#: The process-wide registry the orchestrator resolves stage names against.
+STAGES = StageRegistry()
+
+
+@STAGES.register("schema_match")
+class SchemaMatchStage:
+    """Figure-1 "Schema Matching": corpus mapping + row-record projection."""
+
+    name = "schema_match"
+    #: ``matcher`` rides along so a cache hit restores the shared
+    #: per-table analysis memos a later uncached iteration would reuse.
+    provides = ("mapping", "target_tables", "records", "matcher")
+
+    def run(self, state: PipelineState) -> PipelineState:
+        if state.matcher is None:
+            state.matcher = SchemaMatcher(state.kb, state.models.schema_models)
+        state.mapping = state.matcher.match_corpus(
+            state.corpus,
+            evidence=state.evidence,
+            table_ids=state.table_ids,
+            known_classes=state.known_classes,
+        )
+        state.target_tables = self._target_tables(state)
+        state.records = build_row_records(
+            state.corpus,
+            state.mapping,
+            state.class_name,
+            table_ids=state.target_tables,
+            row_ids=state.row_ids,
+        )
+        return state
+
+    @staticmethod
+    def _target_tables(state: PipelineState) -> list[str]:
+        """Tables mapped to the class or any subclass (Single ⊂ Song)."""
+        names = state.kb.schema.descendants(state.class_name)
+        return sorted(
+            table_id
+            for name in names
+            for table_id in state.mapping.tables_of_class(name)
+        )
+
+
+@STAGES.register("cluster")
+class ClusterStage:
+    """Figure-1 "Row Clustering": correlation clustering of row records."""
+
+    name = "cluster"
+    provides = ("context", "clusters")
+
+    def run(self, state: PipelineState) -> PipelineState:
+        config = state.config
+        state.context = RowMetricContext.build(
+            state.kb, state.class_name, state.records
+        )
+        row_similarity = RowSimilarity(
+            make_row_metrics(config.row_metric_names, state.context),
+            state.models.row_aggregator,
+        )
+        clusterer = RowClusterer(
+            row_similarity,
+            batch_size=config.batch_size,
+            seed=config.seed + state.iteration,
+            use_klj=config.use_klj,
+            use_blocking=config.use_blocking,
+        )
+        state.clusters = clusterer.cluster(state.records)
+        return state
+
+
+@STAGES.register("fuse")
+class FuseStage:
+    """Figure-1 "Entity Creation": value fusion of each cluster."""
+
+    name = "fuse"
+    provides = ("entities",)
+
+    def run(self, state: PipelineState) -> PipelineState:
+        scorer = self._make_scorer(state)
+        creator = EntityCreator(state.kb, state.class_name, scorer)
+        state.entities = creator.create(state.clusters)
+        return state
+
+    @staticmethod
+    def _make_scorer(state: PipelineState):
+        config = state.config
+        if config.fusion_scoring.lower() == "kbt":
+            row_instance = exact_row_instances(
+                state.corpus,
+                state.mapping,
+                state.kb,
+                state.class_name,
+                state.target_tables,
+            )
+            return make_scorer(
+                "kbt",
+                corpus=state.corpus,
+                mapping=state.mapping,
+                kb=state.kb,
+                row_instance=row_instance,
+            )
+        return make_scorer(config.fusion_scoring, mapping=state.mapping)
+
+
+@STAGES.register("detect")
+class DetectStage:
+    """Figure-1 "New Instance Detection": entity-vs-KB classification."""
+
+    name = "detect"
+    provides = ("detection",)
+
+    def run(self, state: PipelineState) -> PipelineState:
+        config = state.config
+        context = state.context
+        if context is None:
+            # A custom cluster stage may not build the metric context.
+            context = RowMetricContext.build(
+                state.kb, state.class_name, state.records
+            )
+        selector = CandidateSelector(state.kb, config.candidate_limit)
+        entity_similarity = EntityInstanceSimilarity(
+            make_entity_metrics(
+                config.entity_metric_names,
+                state.kb,
+                state.class_name,
+                context.implicit_by_table,
+            ),
+            state.models.entity_aggregator,
+        )
+        detector = NewDetector(
+            selector,
+            entity_similarity,
+            state.models.new_threshold,
+            state.models.existing_threshold,
+        )
+        state.detection = detector.detect(state.entities)
+        return state

@@ -98,10 +98,54 @@ class TestGoldStandardRoundTrip:
         assert document["class_name"] == "Song"
 
 
+class TestWorldDirectoryRoundTrip:
+    def test_round_trip(self, tiny_world, tmp_path):
+        from repro.io import load_world_directory, save_world_directory
+
+        directory = save_world_directory(tiny_world, tmp_path / "world")
+        kb, corpus = load_world_directory(directory)
+        assert len(kb) == len(tiny_world.knowledge_base)
+        assert len(corpus) == len(tiny_world.corpus)
+
+
 class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_run_rejects_unknown_stage(self, capsys):
+        assert main(["run", "Song", "--stages", "bogus"]) == 2
+        assert "unknown stage" in capsys.readouterr().out
+
+    def test_run_rejects_bad_iterations(self, capsys):
+        assert main(["run", "Song", "--iterations", "0"]) == 2
+        assert "iterations" in capsys.readouterr().out
+
+    def test_run_json_round_trips(self, capsys):
+        exit_code = main(
+            ["run", "Song", "Settlement", "--scale", "0.1", "--seed", "3",
+             "--iterations", "1", "--stages", "schema_match,cluster,fuse",
+             "--json", "--quiet"]
+        )
+        assert exit_code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert [entry["class_name"] for entry in document["results"]] == [
+            "Song", "Settlement",
+        ]
+        for entry in document["results"]:
+            assert entry["iterations"] == 1
+            assert entry["entities"] >= 0
+        assert set(document["stage_seconds"]) == {
+            "schema_match", "cluster", "fuse",
+        }
 
     def test_experiment_choices_validated(self):
         with pytest.raises(SystemExit):
