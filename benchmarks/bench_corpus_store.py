@@ -1,0 +1,148 @@
+"""Benchmark: streaming corpus ingestion and store-backed pipeline runs.
+
+Two claims are verified:
+
+1. **Bounded-memory ingestion** — streaming ``REPRO_BENCH_CORPUS_TABLES``
+   (default 50 000) synthetic web tables into a sharded
+   :class:`~repro.corpus.store.CorpusStore` has a peak traced memory
+   that does not grow with corpus size (we ingest a 5× smaller corpus
+   and require the full-size peak to stay within 2× of it, plus a hard
+   absolute cap).
+2. **Backend equivalence** — a :meth:`RunSession.from_corpus_store`-backed
+   pipeline run produces byte-identical results to the in-memory path on
+   the seed fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tracemalloc
+from typing import Iterator
+
+from repro.api import RunSession
+from repro.corpus.store import CorpusStore
+from repro.webtables.table import WebTable
+
+N_TABLES = int(os.environ.get("REPRO_BENCH_CORPUS_TABLES", "50000"))
+
+#: Hard cap on ingest peak memory — far below any materialized corpus.
+PEAK_CAP_BYTES = 128 * 1024 * 1024
+
+
+def synthetic_tables(count: int) -> Iterator[WebTable]:
+    """A deterministic stream of small song-like tables."""
+    for number in range(count):
+        yield WebTable(
+            table_id=f"synth-{number:07d}",
+            header=("name", "artist", "year", "length"),
+            rows=[
+                (
+                    f"song {number} take {row}",
+                    f"artist {number % 997}",
+                    str(1960 + (number + row) % 60),
+                    f"{2 + row}:{number % 60:02d}",
+                )
+                for row in range(4)
+            ],
+            url=f"http://bench.example/tables/{number}",
+        )
+
+
+def _ingest_peak(directory, count: int) -> tuple[int, int]:
+    """(peak traced bytes, tables stored) for one streaming ingest."""
+    store = CorpusStore.create(directory, shards=4)
+    try:
+        tracemalloc.start()
+        report = store.ingest(synthetic_tables(count), batch_size=512)
+        peak = tracemalloc.get_traced_memory()[1]
+        tracemalloc.stop()
+        assert report.inserted == count
+        return peak, len(store)
+    finally:
+        store.close()
+
+
+def test_streaming_ingest_bounded_memory(benchmark, tmp_path):
+    small_count = max(N_TABLES // 5, 1)
+    small_peak, small_stored = _ingest_peak(tmp_path / "small", small_count)
+    assert small_stored == small_count
+
+    def ingest_full():
+        return _ingest_peak(tmp_path / "full", N_TABLES)
+
+    full_peak, full_stored = benchmark.pedantic(
+        ingest_full, rounds=1, iterations=1
+    )
+    assert full_stored == N_TABLES
+    print()
+    print(
+        f"peak ingest memory: {small_peak / 1e6:.1f} MB at {small_count} "
+        f"tables vs {full_peak / 1e6:.1f} MB at {N_TABLES} tables"
+    )
+    # Peak memory must be a function of batch size, not corpus size.
+    assert full_peak < 2 * small_peak + 8 * 1024 * 1024, (
+        f"ingest peak grew with corpus size: {small_peak} -> {full_peak}"
+    )
+    assert full_peak < PEAK_CAP_BYTES
+
+
+def canonical_result(result) -> str:
+    """A byte-stable canonical JSON rendering of a PipelineResult."""
+
+    def entity(record):
+        return {
+            "id": record.entity_id,
+            "rows": sorted(map(list, record.row_ids())),
+            "facts": {
+                name: repr(value) for name, value in sorted(record.facts.items())
+            },
+            "labels": list(record.labels),
+        }
+
+    return json.dumps(
+        {
+            "summary": result.summary_dict(),
+            "iterations": [
+                {
+                    "clusters": sorted(
+                        sorted(map(list, cluster.row_ids()))
+                        for cluster in artifacts.clusters
+                    ),
+                    "entities": sorted(
+                        (entity(record) for record in artifacts.entities),
+                        key=lambda entry: entry["id"],
+                    ),
+                    "detection": {
+                        str(entity_id): [
+                            classification.name,
+                            repr(artifacts.detection.best_scores.get(entity_id)),
+                        ]
+                        for entity_id, classification in sorted(
+                            artifacts.detection.classifications.items()
+                        )
+                    },
+                }
+                for artifacts in result.iterations
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def test_store_backed_run_identical(env, tmp_path):
+    """Store-backed and in-memory runs agree byte for byte."""
+    store = CorpusStore.create(tmp_path / "store", shards=3)
+    report = store.ingest(iter(env.world.corpus), batch_size=256)
+    assert report.inserted == len(env.world.corpus)
+
+    memory_session = RunSession(world=env.world)
+    store_session = RunSession.from_corpus_store(
+        store, knowledge_base=env.world.knowledge_base
+    )
+    memory_run = memory_session.run("Song", use_cache=False)
+    store_run = store_session.run("Song", use_cache=False)
+    memory_bytes = canonical_result(memory_run).encode("utf-8")
+    store_bytes = canonical_result(store_run).encode("utf-8")
+    assert memory_bytes == store_bytes
+    assert store_run.final.entities

@@ -3,12 +3,18 @@
 Builds the synthetic world (a scaled DBpedia-like knowledge base plus a
 WDC-like web table corpus) inside a :class:`repro.RunSession`, runs the
 untrained default pipeline on the Song class with per-stage timing, and
-prints the new entities it proposes.
+prints the new entities it proposes.  A second part demonstrates the
+scalable path: streaming the corpus into a sharded on-disk
+:class:`repro.CorpusStore` (what ``repro ingest`` does) and serving the
+same run from disk with bounded memory.
 
 Run with::
 
     python examples/quickstart.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro import RunSession, TimingObserver
 
@@ -54,6 +60,46 @@ def main() -> None:
     session.run("Song")
     info = session.cache_info()
     print(f"re-run served from cache: {info['hits']} stage hits")
+
+    ingest_and_rerun(session, result)
+
+
+def ingest_and_rerun(session, in_memory_result) -> None:
+    """The scalable path: stream the corpus into a sharded on-disk store.
+
+    Equivalent CLI (on a saved world / any JSONL, CSV-dir or WDC dump)::
+
+        repro build-world --output world/
+        repro ingest world/corpus.jsonl --store store/ --shards 4 \\
+            --min-rows 2 --require-subject-column --index
+        # then in Python: RunSession.from_corpus_store("store/")
+    """
+    from repro import CorpusLabelIndex, CorpusStore
+    from repro.corpus import ShapeFilter, SubjectColumnFilter
+
+    print("\nIngesting the corpus into a sharded on-disk store ...")
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CorpusStore.create(Path(tmp) / "store", shards=4)
+        label_index = CorpusLabelIndex()
+        report = store.ingest(
+            iter(session.corpus),  # any WebTable stream works here
+            filters=[ShapeFilter(min_rows=2), SubjectColumnFilter()],
+            index=label_index,
+        )
+        label_index.save_to_store(store)
+        print(f"  {report.summary()}")
+        print(f"  shards: {store.shard_sizes()}")
+        print(f"  label index: {label_index.n_labels():,} distinct labels")
+
+        disk_session = RunSession.from_corpus_store(
+            store, knowledge_base=session.knowledge_base
+        )
+        disk_result = disk_session.run("Song")
+        same = (
+            disk_result.summary_dict() == in_memory_result.summary_dict()
+        )
+        print(f"  store-backed re-run matches in-memory run: {same}")
+        print(f"  corpus cache: {disk_session.corpus.cache_info()}")
 
 
 def _majority_gt(entity, world):

@@ -20,6 +20,10 @@ Module map:
 
 * :mod:`repro.kb` — the knowledge base to be extended.
 * :mod:`repro.webtables` — the relational web table corpus.
+* :mod:`repro.corpus` — scalable corpus backend: streaming readers,
+  the sharded on-disk :class:`CorpusStore`, ingest-time filters and
+  incremental label indexing (``repro ingest``,
+  :meth:`RunSession.from_corpus_store`).
 * :mod:`repro.matching` — schema matching (table-to-class and
   attribute-to-property).
 * :mod:`repro.clustering` — row clustering via correlation clustering.
@@ -77,10 +81,15 @@ __all__ = [
     "build_duplicate_evidence",
     "build_world",
     "build_gold_standard",
+    "CorpusStore",
+    "StoredCorpusView",
+    "CorpusLabelIndex",
+    "IngestReport",
+    "open_table_stream",
     "__version__",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 # Lazy attribute resolution keeps `import repro.text` cheap and lets the
 # submodules stay independent.
@@ -109,6 +118,11 @@ _LAZY_EXPORTS = {
     "DetectStage": ("repro.pipeline.stages", "DetectStage"),
     "build_world": ("repro.synthesis.api", "build_world"),
     "build_gold_standard": ("repro.synthesis.api", "build_gold_standard"),
+    "CorpusStore": ("repro.corpus.store", "CorpusStore"),
+    "StoredCorpusView": ("repro.corpus.view", "StoredCorpusView"),
+    "CorpusLabelIndex": ("repro.corpus.indexing", "CorpusLabelIndex"),
+    "IngestReport": ("repro.corpus.store", "IngestReport"),
+    "open_table_stream": ("repro.corpus.readers", "open_table_stream"),
 }
 
 

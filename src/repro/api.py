@@ -234,6 +234,50 @@ class RunSession:
             observers=observers,
         )
 
+    @classmethod
+    def from_corpus_store(
+        cls,
+        store,
+        *,
+        knowledge_base: KnowledgeBase | None = None,
+        kb_path: str | Path | None = None,
+        cache_size: int = 256,
+        config: PipelineConfig | None = None,
+        observers: Iterable[PipelineObserver] = (),
+    ) -> "RunSession":
+        """Serve runs over a sharded on-disk corpus (``repro ingest``).
+
+        ``store`` is a :class:`repro.corpus.CorpusStore` or the directory
+        of one; the corpus is served through a lazy bounded-memory
+        :class:`~repro.corpus.view.StoredCorpusView`, so the session never
+        materializes it.  The knowledge base comes from
+        ``knowledge_base=``, ``kb_path=``, or — by convention — a
+        ``knowledge_base.json`` saved inside the store directory.
+        """
+        from repro.corpus.store import CorpusStore
+        from repro.io import load_knowledge_base
+        from repro.io.serialize import WORLD_KB_FILE
+
+        if not isinstance(store, CorpusStore):
+            store = CorpusStore.open(store)
+        if knowledge_base is None:
+            if kb_path is None:
+                candidate = Path(store.directory) / WORLD_KB_FILE
+                if not candidate.exists():
+                    raise ValueError(
+                        "from_corpus_store needs a knowledge base: pass "
+                        "knowledge_base= or kb_path=, or save one as "
+                        f"{candidate}"
+                    )
+                kb_path = candidate
+            knowledge_base = load_knowledge_base(kb_path)
+        return cls(
+            knowledge_base=knowledge_base,
+            corpus=store.as_corpus(cache_size=cache_size),
+            config=config,
+            observers=observers,
+        )
+
     # -- running --------------------------------------------------------
     def run(
         self,

@@ -11,6 +11,10 @@ Commands:
   change the paper knobs).
 * ``experiment`` — regenerate one paper table/figure by experiment id
   (``table01`` … ``table12``, ``figure01``, ``ranked_eval``).
+* ``ingest`` — stream web tables (JSONL / CSV directory / WDC JSON) into
+  a sharded on-disk corpus store with optional ingest-time filtering,
+  incremental label indexing, and multiprocess shard writes; the result
+  serves ``RunSession.from_corpus_store``.
 """
 
 from __future__ import annotations
@@ -87,6 +91,84 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.corpus import (
+        ClassRestrictionFilter,
+        CorpusLabelIndex,
+        CorpusStore,
+        ShapeFilter,
+        SubjectColumnFilter,
+        open_table_stream,
+    )
+
+    filters: list = []
+    if args.min_rows is not None or args.min_columns is not None:
+        filters.append(
+            ShapeFilter(
+                min_rows=args.min_rows if args.min_rows is not None else 1,
+                min_columns=(
+                    args.min_columns if args.min_columns is not None else 1
+                ),
+            )
+        )
+    if args.require_subject_column:
+        filters.append(SubjectColumnFilter())
+    if args.classes:
+        if not args.kb:
+            print("error: --classes needs --kb <knowledge_base.json>")
+            return 2
+        from repro.io import load_knowledge_base
+
+        filters.append(
+            ClassRestrictionFilter(load_knowledge_base(args.kb), args.classes)
+        )
+    try:
+        stream = open_table_stream(args.input, format=args.format)
+        store = CorpusStore.open_or_create(args.store, shards=args.shards)
+        index = CorpusLabelIndex.for_store(store) if args.index else None
+        report = store.ingest(
+            stream,
+            filters=filters,
+            on_conflict=args.on_conflict,
+            batch_size=args.batch_size,
+            processes=args.processes,
+            index=index,
+        )
+        if index is not None:
+            index.save_to_store(store)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}")
+        return 2
+    if args.as_json:
+        document = {
+            "store": str(store.directory),
+            "shards": store.n_shards,
+            "tables": len(store),
+            "rows": store.total_rows(),
+            "report": {
+                "seen": report.seen,
+                "inserted": report.inserted,
+                "identical": report.identical,
+                "replaced": report.replaced,
+                "conflicts": report.conflicts,
+                "filtered": report.filtered,
+            },
+        }
+        if index is not None:
+            document["indexed_tables"] = len(index)
+            document["indexed_labels"] = index.n_labels()
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"ingested into {store.directory} "
+              f"({store.n_shards} shards): {report.summary()}")
+        print(f"store now holds {len(store)} tables / "
+              f"{store.total_rows()} rows")
+        if index is not None:
+            print(f"label index: {len(index)} tables, "
+                  f"{index.n_labels()} distinct labels")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.env import get_env
 
@@ -135,6 +217,36 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dedup", action="store_true",
                      help="deduplicate new entities (Section 5 extension)")
     run.set_defaults(handler=_cmd_run)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="stream web tables into a sharded corpus store"
+    )
+    ingest.add_argument("input", help="JSONL file, CSV directory, or WDC dump")
+    ingest.add_argument("--store", required=True,
+                        help="corpus store directory (created if missing)")
+    ingest.add_argument("--format", choices=("jsonl", "csvdir", "wdc"),
+                        default=None,
+                        help="source layout (default: sniffed from the path)")
+    ingest.add_argument("--shards", type=int, default=4,
+                        help="shard count when creating a new store")
+    ingest.add_argument("--batch-size", type=int, default=512)
+    ingest.add_argument("--processes", type=int, default=None,
+                        help="write shard partitions with a worker pool")
+    ingest.add_argument("--on-conflict", choices=("skip", "replace", "error"),
+                        default="skip",
+                        help="policy when an id arrives with changed content")
+    ingest.add_argument("--min-rows", type=int, default=None)
+    ingest.add_argument("--min-columns", type=int, default=None)
+    ingest.add_argument("--require-subject-column", action="store_true",
+                        help="drop tables without a detectable label column")
+    ingest.add_argument("--kb", default=None,
+                        help="knowledge base JSON for --classes restriction")
+    ingest.add_argument("--classes", nargs="*", default=None,
+                        help="keep only tables matching these KB classes")
+    ingest.add_argument("--index", action="store_true",
+                        help="maintain the incremental label index")
+    ingest.add_argument("--json", action="store_true", dest="as_json")
+    ingest.set_defaults(handler=_cmd_ingest)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table/figure"

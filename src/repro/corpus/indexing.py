@@ -1,0 +1,143 @@
+"""Incremental label indexing over an ingested corpus.
+
+The pipeline's entity-candidate retrieval and blocking both run over
+label indexes; at web scale those must be maintained **incrementally** —
+ingesting a new batch of tables should update the postings, not trigger
+a corpus-wide rebuild.  :class:`CorpusLabelIndex` maps normalized
+subject-column labels to the row ids holding them, supports per-table
+add/remove/replace (driven by :meth:`CorpusStore.ingest`'s outcome
+stream), and persists to JSON next to the store shards.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.corpus.filters import TableAnalysis
+from repro.index.label_index import LabelIndex, LabelMatch
+from repro.text.tokenize import normalize_label
+from repro.webtables.table import RowId, WebTable
+
+#: Conventional file name when saved inside a corpus-store directory.
+INDEX_FILE = "label_index.json"
+
+
+def table_label_entries(
+    table: WebTable, analysis: TableAnalysis | None = None
+) -> list[tuple[str, int]]:
+    """``(normalized label, row index)`` pairs of a table's subject column."""
+    analysis = analysis if analysis is not None else TableAnalysis(table)
+    if analysis.label_column is None:
+        return []
+    entries = []
+    for row_index, cell in enumerate(table.column(analysis.label_column)):
+        label = normalize_label(cell)
+        if label:
+            entries.append((label, row_index))
+    return entries
+
+
+class CorpusLabelIndex:
+    """Label → row-id retrieval over a corpus, maintained table by table."""
+
+    def __init__(self, fuzzy: bool = True) -> None:
+        self._index = LabelIndex(fuzzy=fuzzy)
+        self._fuzzy = fuzzy
+        #: What each table contributed — the removal ledger.
+        self._contributions: dict[str, list[tuple[str, int]]] = {}
+
+    # -- incremental maintenance ---------------------------------------
+    def add_table(
+        self, table: WebTable, analysis: TableAnalysis | None = None
+    ) -> None:
+        """Index one table's subject-column labels (idempotent per content).
+
+        Re-adding a table with identical contributions is a no-op;
+        changed content replaces the table's prior postings.  Pass the
+        ingest path's shared ``analysis`` to avoid re-typing columns.
+        """
+        entries = table_label_entries(table, analysis)
+        existing = self._contributions.get(table.table_id)
+        if existing is not None:
+            if existing == entries:
+                return
+            self.remove_table(table.table_id)
+        for label, row_index in entries:
+            self._index.add(label, (table.table_id, row_index))
+        self._contributions[table.table_id] = entries
+
+    def remove_table(self, table_id: str) -> None:
+        """Withdraw every posting a table contributed."""
+        try:
+            entries = self._contributions.pop(table_id)
+        except KeyError:
+            raise KeyError(f"table not indexed: {table_id!r}") from None
+        for label, row_index in entries:
+            self._index.remove(label, (table_id, row_index))
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self._contributions
+
+    def __len__(self) -> int:
+        """Number of indexed tables."""
+        return len(self._contributions)
+
+    def n_labels(self) -> int:
+        return len(self._index)
+
+    # -- retrieval ------------------------------------------------------
+    def search(self, query: str, limit: int = 10) -> list[LabelMatch]:
+        """Top-``limit`` corpus labels for a query; payloads are row ids."""
+        return self._index.search(query, limit)
+
+    def rows_for(self, label: str) -> tuple[RowId, ...]:
+        """Row ids whose subject cell normalizes exactly to ``label``."""
+        return self._index.payloads_for(label)
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist postings as JSON (atomic-enough single write)."""
+        payload = {
+            "fuzzy": self._fuzzy,
+            "tables": {
+                table_id: [[label, row_index] for label, row_index in entries]
+                for table_id, entries in self._contributions.items()
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CorpusLabelIndex":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        index = cls(fuzzy=bool(payload.get("fuzzy", True)))
+        for table_id, entries in payload["tables"].items():
+            typed = [(label, int(row_index)) for label, row_index in entries]
+            for label, row_index in typed:
+                index._index.add(label, (table_id, row_index))
+            index._contributions[table_id] = typed
+        return index
+
+    @classmethod
+    def for_store(cls, store, *, fuzzy: bool = True) -> "CorpusLabelIndex":
+        """Load the index saved next to a store's shards, or start fresh."""
+        path = Path(store.directory) / INDEX_FILE
+        if path.exists():
+            return cls.load(path)
+        return cls(fuzzy=fuzzy)
+
+    def save_to_store(self, store) -> Path:
+        path = Path(store.directory) / INDEX_FILE
+        self.save(path)
+        return path
+
+    @classmethod
+    def build(cls, tables: Iterable[WebTable], *, fuzzy: bool = True) -> "CorpusLabelIndex":
+        """One-shot build (the non-incremental baseline, used in tests)."""
+        index = cls(fuzzy=fuzzy)
+        for table in tables:
+            index.add_table(table)
+        return index

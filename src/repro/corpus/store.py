@@ -1,0 +1,535 @@
+"""Sharded on-disk corpus store (SQLite-backed).
+
+A :class:`CorpusStore` holds a web-table corpus across ``N`` SQLite shard
+files under one directory, with a small JSON manifest recording the
+layout.  Tables are **content-addressed**: each record carries a SHA-1
+hash of its canonical content, shard placement is derived from the table
+id hash, and re-ingesting an unchanged table is an idempotent no-op —
+which is what makes batch-wise incremental ingestion (and incremental
+index maintenance on top of it) safe.
+
+Ingestion is streaming: tables flow in batch by batch, so peak memory is
+bounded by ``batch_size``, independent of corpus size.  Batches can
+optionally be written by a pool of worker processes, one worker per
+shard sub-batch (``processes=``).
+
+The store serves the full read API of
+:class:`~repro.webtables.corpus.TableCorpus` (``get`` / ``row`` /
+iteration in ingest order / ``table_ids`` / ``total_rows``), and
+:meth:`as_corpus` wraps it in a drop-in lazy
+:class:`~repro.corpus.view.StoredCorpusView` for the pipeline.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import sqlite3
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.corpus.filters import TableAnalysis, passes
+from repro.webtables.table import Row, RowId, WebTable
+
+MANIFEST_NAME = "corpus_store.json"
+STORE_VERSION = 1
+
+#: Conflict policies for a table id that is already stored with
+#: *different* content (identical content is always an idempotent skip).
+ON_CONFLICT = ("skip", "replace", "error")
+
+_SHARD_SCHEMA = """
+CREATE TABLE IF NOT EXISTS tables (
+    table_id TEXT PRIMARY KEY,
+    seq INTEGER NOT NULL,
+    content_hash TEXT NOT NULL,
+    n_rows INTEGER NOT NULL,
+    n_columns INTEGER NOT NULL,
+    url TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS tables_seq ON tables (seq);
+"""
+
+
+def content_hash(table: WebTable) -> str:
+    """SHA-1 over a table's canonical JSON content (id excluded)."""
+    blob = json.dumps(
+        [list(table.header), [list(row) for row in table.rows], table.url],
+        separators=(",", ":"),
+        ensure_ascii=False,
+    )
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+
+
+def shard_of(table_id: str, n_shards: int) -> int:
+    """Stable shard placement from the table id hash."""
+    digest = hashlib.sha1(table_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+def _encode(table: WebTable, seq: int) -> dict:
+    """A picklable, writable record for one table."""
+    return {
+        "table_id": table.table_id,
+        "seq": seq,
+        "content_hash": content_hash(table),
+        "n_rows": table.n_rows,
+        "n_columns": table.n_columns,
+        "url": table.url,
+        "payload": json.dumps(
+            {
+                "header": list(table.header),
+                "rows": [list(row) for row in table.rows],
+            },
+            separators=(",", ":"),
+            ensure_ascii=False,
+        ),
+    }
+
+
+def _decode(table_id: str, url: str, payload: str) -> WebTable:
+    document = json.loads(payload)
+    return WebTable(
+        table_id=table_id,
+        header=tuple(document["header"]),
+        rows=[tuple(row) for row in document["rows"]],
+        url=url,
+    )
+
+
+def _connect(path: Path) -> sqlite3.Connection:
+    connection = sqlite3.connect(path)
+    connection.execute("PRAGMA journal_mode=WAL")
+    connection.execute("PRAGMA synchronous=NORMAL")
+    connection.executescript(_SHARD_SCHEMA)
+    return connection
+
+
+def _write_shard_batch(
+    shard_path: str, records: list[dict], on_conflict: str
+) -> list[tuple[str, str]]:
+    """Write one shard's sub-batch; returns ``(table_id, outcome)`` pairs.
+
+    Outcomes: ``inserted`` / ``identical`` (idempotent re-ingest) /
+    ``replaced`` / ``conflict`` (kept the stored version).  Runs in the
+    parent process or in a pool worker — it owns its own connection
+    either way.
+    """
+    connection = _connect(Path(shard_path))
+    try:
+        # table_id -> (content_hash, seq) of what the store will hold once
+        # earlier records of this batch are applied.
+        existing: dict[str, tuple[str, int]] = {}
+        ids = [record["table_id"] for record in records]
+        for start in range(0, len(ids), 500):
+            chunk = ids[start:start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            for table_id, known_hash, seq in connection.execute(
+                f"SELECT table_id, content_hash, seq FROM tables "
+                f"WHERE table_id IN ({placeholders})",
+                chunk,
+            ):
+                existing[table_id] = (known_hash, seq)
+        outcomes: list[tuple[str, str]] = []
+        writes: list[dict] = []
+        for record in records:
+            table_id = record["table_id"]
+            known = existing.get(table_id)
+            if known is None:
+                outcomes.append((table_id, "inserted"))
+                writes.append(record)
+                existing[table_id] = (record["content_hash"], record["seq"])
+            elif known[0] == record["content_hash"]:
+                outcomes.append((table_id, "identical"))
+            elif on_conflict == "replace":
+                # Keep the original seq: replacement updates content in
+                # place, it does not move the table in ingest order.
+                record["seq"] = known[1]
+                outcomes.append((table_id, "replaced"))
+                writes.append(record)
+                existing[table_id] = (record["content_hash"], known[1])
+            elif on_conflict == "error":
+                raise ValueError(
+                    f"table id conflict: {table_id!r} already stored with "
+                    f"different content (hash {known[0][:12]} != "
+                    f"{record['content_hash'][:12]})"
+                )
+            else:
+                # Skip: the store keeps its version; later duplicates of
+                # the rejected content must also count as conflicts.
+                outcomes.append((table_id, "conflict"))
+        with connection:
+            connection.executemany(
+                "INSERT OR REPLACE INTO tables "
+                "(table_id, seq, content_hash, n_rows, n_columns, url, payload) "
+                "VALUES (:table_id, :seq, :content_hash, :n_rows, :n_columns, "
+                ":url, :payload)",
+                writes,
+            )
+        return outcomes
+    finally:
+        connection.close()
+
+
+def _scan_conflicts(shard_path: str, records: list[dict]) -> None:
+    """Raise on any changed-content conflict without writing anything.
+
+    Run before the write phase when ``on_conflict='error'`` so an
+    erroring batch leaves every shard untouched (per-batch atomicity).
+    """
+    connection = _connect(Path(shard_path))
+    try:
+        stored: dict[str, str] = {}
+        ids = [record["table_id"] for record in records]
+        for start in range(0, len(ids), 500):
+            chunk = ids[start:start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            stored.update(
+                connection.execute(
+                    f"SELECT table_id, content_hash FROM tables "
+                    f"WHERE table_id IN ({placeholders})",
+                    chunk,
+                )
+            )
+        for record in records:
+            known_hash = stored.get(record["table_id"])
+            if known_hash is not None and known_hash != record["content_hash"]:
+                raise ValueError(
+                    f"table id conflict: {record['table_id']!r} already "
+                    f"stored with different content (hash {known_hash[:12]} "
+                    f"!= {record['content_hash'][:12]})"
+                )
+            stored[record["table_id"]] = record["content_hash"]
+    finally:
+        connection.close()
+
+
+@dataclass
+class IngestReport:
+    """Counts of what one :meth:`CorpusStore.ingest` call did."""
+
+    seen: int = 0
+    inserted: int = 0
+    identical: int = 0
+    replaced: int = 0
+    conflicts: int = 0
+    filtered: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def filtered_total(self) -> int:
+        return sum(self.filtered.values())
+
+    def merge(self, other: "IngestReport") -> None:
+        self.seen += other.seen
+        self.inserted += other.inserted
+        self.identical += other.identical
+        self.replaced += other.replaced
+        self.conflicts += other.conflicts
+        for name, count in other.filtered.items():
+            self.filtered[name] = self.filtered.get(name, 0) + count
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.seen} seen",
+            f"{self.inserted} inserted",
+            f"{self.identical} unchanged",
+            f"{self.replaced} replaced",
+            f"{self.conflicts} conflicts",
+        ]
+        if self.filtered:
+            rejected = ", ".join(
+                f"{name}: {count}" for name, count in sorted(self.filtered.items())
+            )
+            parts.append(f"{self.filtered_total} filtered ({rejected})")
+        return ", ".join(parts)
+
+
+class CorpusStore:
+    """A sharded, content-addressed on-disk web-table corpus."""
+
+    def __init__(self, directory: str | Path, n_shards: int) -> None:
+        self.directory = Path(directory)
+        self.n_shards = n_shards
+        self._connections: dict[int, sqlite3.Connection] = {}
+        self._next_seq = self._max_seq() + 1
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(
+        cls, directory: str | Path, *, shards: int = 4, exist_ok: bool = False
+    ) -> "CorpusStore":
+        """Initialize an empty store (manifest + shard files)."""
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        directory = Path(directory)
+        manifest = directory / MANIFEST_NAME
+        if manifest.exists() and not exist_ok:
+            raise ValueError(f"corpus store already exists at {directory}")
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest.write_text(
+            json.dumps({"version": STORE_VERSION, "shards": shards}),
+            encoding="utf-8",
+        )
+        store = cls(directory, shards)
+        for shard in range(shards):
+            store._connection(shard)
+        return store
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "CorpusStore":
+        """Open an existing store by its manifest."""
+        directory = Path(directory)
+        manifest = directory / MANIFEST_NAME
+        if not manifest.exists():
+            raise FileNotFoundError(
+                f"no corpus store at {directory} (missing {MANIFEST_NAME}); "
+                f"create one with CorpusStore.create or `repro ingest`"
+            )
+        document = json.loads(manifest.read_text(encoding="utf-8"))
+        if document.get("version") != STORE_VERSION:
+            raise ValueError(
+                f"unsupported corpus store version {document.get('version')!r}"
+            )
+        return cls(directory, int(document["shards"]))
+
+    @classmethod
+    def open_or_create(
+        cls, directory: str | Path, *, shards: int = 4
+    ) -> "CorpusStore":
+        directory = Path(directory)
+        if (directory / MANIFEST_NAME).exists():
+            return cls.open(directory)
+        return cls.create(directory, shards=shards)
+
+    def close(self) -> None:
+        for connection in self._connections.values():
+            connection.close()
+        self._connections.clear()
+
+    def __enter__(self) -> "CorpusStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- ingestion ------------------------------------------------------
+    def ingest(
+        self,
+        tables: Iterable[WebTable],
+        *,
+        filters: Iterable = (),
+        on_conflict: str = "skip",
+        batch_size: int = 512,
+        processes: int | None = None,
+        index=None,
+    ) -> IngestReport:
+        """Stream tables into the store, batch by batch.
+
+        ``filters`` are :class:`~repro.corpus.filters.CorpusFilter`
+        predicates applied before any write; rejections are counted per
+        filter name.  ``on_conflict`` decides what happens when an id
+        arrives with different content than stored (identical content is
+        always an idempotent skip).  ``processes`` > 1 writes each
+        batch's shard partitions through a worker pool.  ``index`` is an
+        optional incremental index (anything with ``add_table`` /
+        ``remove_table``, e.g.
+        :class:`~repro.corpus.indexing.CorpusLabelIndex`) kept in sync
+        with inserts and replacements.
+        """
+        if on_conflict not in ON_CONFLICT:
+            raise ValueError(
+                f"on_conflict must be one of {ON_CONFLICT}, got {on_conflict!r}"
+            )
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        filters = list(filters)
+        report = IngestReport()
+        batch: list[tuple[WebTable, TableAnalysis]] = []
+        for table in tables:
+            report.seen += 1
+            # One lazy analysis per table, shared by every filter and the
+            # index — column typing runs at most once per table.
+            analysis = TableAnalysis(table)
+            rejected_by = passes(table, filters, analysis)
+            if rejected_by is not None:
+                report.filtered[rejected_by] = (
+                    report.filtered.get(rejected_by, 0) + 1
+                )
+                continue
+            batch.append((table, analysis))
+            if len(batch) >= batch_size:
+                self._ingest_batch(batch, on_conflict, processes, index, report)
+                batch = []
+        if batch:
+            self._ingest_batch(batch, on_conflict, processes, index, report)
+        return report
+
+    def put(self, table: WebTable, *, on_conflict: str = "error") -> str:
+        """Store one table; returns its ingest outcome."""
+        report = IngestReport()
+        self._ingest_batch(
+            [(table, TableAnalysis(table))], on_conflict, None, None, report
+        )
+        if report.inserted:
+            return "inserted"
+        if report.replaced:
+            return "replaced"
+        if report.identical:
+            return "identical"
+        return "conflict"
+
+    def _ingest_batch(
+        self,
+        batch: list[tuple[WebTable, "TableAnalysis"]],
+        on_conflict: str,
+        processes: int | None,
+        index,
+        report: IngestReport,
+    ) -> None:
+        partitions: dict[int, list[dict]] = {}
+        partition_tables: dict[int, list[tuple[WebTable, TableAnalysis]]] = {}
+        for table, analysis in batch:
+            record = _encode(table, self._next_seq)
+            self._next_seq += 1
+            shard = shard_of(table.table_id, self.n_shards)
+            partitions.setdefault(shard, []).append(record)
+            partition_tables.setdefault(shard, []).append((table, analysis))
+        jobs = [
+            (str(self._shard_path(shard)), partitions[shard], on_conflict)
+            for shard in sorted(partitions)
+        ]
+        if on_conflict == "error":
+            # Scan every shard before writing any, so an erroring batch
+            # cannot leave some shards committed and others not.
+            for shard_path, records, _ in jobs:
+                _scan_conflicts(shard_path, records)
+        if processes is not None and processes > 1 and len(jobs) > 1:
+            # Writers must own their connections: drop ours first so no
+            # sqlite handle crosses the fork.
+            self.close()
+            import multiprocessing
+
+            with multiprocessing.Pool(min(processes, len(jobs))) as pool:
+                outcome_lists = pool.starmap(_write_shard_batch, jobs)
+        else:
+            outcome_lists = [_write_shard_batch(*job) for job in jobs]
+        for shard, outcomes in zip(sorted(partitions), outcome_lists):
+            for (table, analysis), (table_id, outcome) in zip(
+                partition_tables[shard], outcomes
+            ):
+                if outcome == "inserted":
+                    report.inserted += 1
+                elif outcome == "identical":
+                    report.identical += 1
+                elif outcome == "replaced":
+                    report.replaced += 1
+                else:
+                    report.conflicts += 1
+                if index is not None and outcome != "conflict":
+                    # "identical" still (re-)indexes: a fresh or stale
+                    # index catches up by re-ingesting, and add_table is
+                    # a no-op when the contribution hasn't changed.
+                    if outcome == "replaced" and table_id in index:
+                        index.remove_table(table_id)
+                    index.add_table(table, analysis)
+
+    # -- read API -------------------------------------------------------
+    def get(self, table_id: str) -> WebTable:
+        row = self._connection(shard_of(table_id, self.n_shards)).execute(
+            "SELECT url, payload FROM tables WHERE table_id = ?", (table_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(
+                f"table {table_id!r} not in corpus store {self.directory} "
+                f"({len(self)} tables across {self.n_shards} shards)"
+            )
+        return _decode(table_id, row[0], row[1])
+
+    def __contains__(self, table_id: str) -> bool:
+        row = self._connection(shard_of(table_id, self.n_shards)).execute(
+            "SELECT 1 FROM tables WHERE table_id = ?", (table_id,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        return sum(
+            self._connection(shard).execute(
+                "SELECT COUNT(*) FROM tables"
+            ).fetchone()[0]
+            for shard in range(self.n_shards)
+        )
+
+    def __iter__(self) -> Iterator[WebTable]:
+        """Tables in global ingest order, streamed shard-merged."""
+        cursors = [
+            self._connection(shard).execute(
+                "SELECT seq, table_id, url, payload FROM tables ORDER BY seq"
+            )
+            for shard in range(self.n_shards)
+        ]
+        for _seq, table_id, url, payload in heapq.merge(
+            *cursors, key=lambda entry: entry[0]
+        ):
+            yield _decode(table_id, url, payload)
+
+    def table_ids(self) -> list[str]:
+        """All table ids in global ingest order."""
+        entries: list[tuple[int, str]] = []
+        for shard in range(self.n_shards):
+            entries.extend(
+                self._connection(shard).execute(
+                    "SELECT seq, table_id FROM tables"
+                )
+            )
+        entries.sort()
+        return [table_id for _seq, table_id in entries]
+
+    def total_rows(self) -> int:
+        return sum(
+            self._connection(shard).execute(
+                "SELECT COALESCE(SUM(n_rows), 0) FROM tables"
+            ).fetchone()[0]
+            for shard in range(self.n_shards)
+        )
+
+    def row(self, row_id: RowId) -> Row:
+        table_id, row_index = row_id
+        return self.get(table_id).row(row_index)
+
+    def shard_sizes(self) -> dict[int, int]:
+        """Table count per shard (balance diagnostics)."""
+        return {
+            shard: self._connection(shard).execute(
+                "SELECT COUNT(*) FROM tables"
+            ).fetchone()[0]
+            for shard in range(self.n_shards)
+        }
+
+    def as_corpus(self, cache_size: int = 256):
+        """A lazy :class:`TableCorpus`-compatible view over this store."""
+        from repro.corpus.view import StoredCorpusView
+
+        return StoredCorpusView(self, cache_size=cache_size)
+
+    # -- internals ------------------------------------------------------
+    def _shard_path(self, shard: int) -> Path:
+        return self.directory / f"shard-{shard:03d}.sqlite"
+
+    def _connection(self, shard: int) -> sqlite3.Connection:
+        if shard not in self._connections:
+            self._connections[shard] = _connect(self._shard_path(shard))
+        return self._connections[shard]
+
+    def _max_seq(self) -> int:
+        highest = 0
+        for shard in range(self.n_shards):
+            if not self._shard_path(shard).exists():
+                continue
+            value = self._connection(shard).execute(
+                "SELECT COALESCE(MAX(seq), 0) FROM tables"
+            ).fetchone()[0]
+            highest = max(highest, value)
+        return highest

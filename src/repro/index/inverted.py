@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Hashable, Iterable
+from typing import Callable, Hashable, Iterable
 
 
 class InvertedIndex:
@@ -12,19 +12,74 @@ class InvertedIndex:
 
     Documents are arbitrary hashable ids; the index tracks document count
     for IDF computation and token lengths for prefix-bucket fuzzy lookup.
+
+    The index is **incrementally maintainable**: documents can be removed
+    (:meth:`remove`) or replaced (:meth:`add_or_replace`), and re-adding a
+    document with identical content is an idempotent no-op, which lets
+    corpus ingestion update an existing index batch by batch instead of
+    rebuilding it.  ``strict=True`` restores the hard re-add error for
+    callers that want double-indexing to be a bug.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, strict: bool = False) -> None:
         self._postings: dict[str, set[Hashable]] = defaultdict(set)
         self._doc_tokens: dict[Hashable, frozenset[str]] = {}
         # First-two-characters bucket used to bound fuzzy token expansion.
         self._prefix_buckets: dict[str, set[str]] = defaultdict(set)
+        self._strict = strict
 
     def add(self, doc_id: Hashable, tokens: Iterable[str]) -> None:
-        """Index a document under its tokens (re-adding replaces nothing)."""
+        """Index a document under its tokens.
+
+        Re-adding a document with the *same* token set is a no-op;
+        re-adding with different tokens raises (use
+        :meth:`add_or_replace` for in-place updates).  With
+        ``strict=True`` any re-add raises.
+        """
         token_set = frozenset(tokens)
-        if doc_id in self._doc_tokens:
-            raise ValueError(f"document already indexed: {doc_id!r}")
+        existing = self._doc_tokens.get(doc_id)
+        if existing is not None:
+            if self._strict:
+                raise ValueError(f"document already indexed: {doc_id!r}")
+            if existing == token_set:
+                return
+            raise ValueError(
+                f"document already indexed with different content: {doc_id!r} "
+                f"(use add_or_replace to update)"
+            )
+        self._doc_tokens[doc_id] = token_set
+        for token in token_set:
+            self._postings[token].add(doc_id)
+            self._prefix_buckets[token[:2]].add(token)
+
+    def remove(self, doc_id: Hashable) -> None:
+        """Drop a document and every posting that referenced it.
+
+        Tokens whose posting lists empty out are fully forgotten (they no
+        longer participate in fuzzy expansion or IDF smoothing).
+        """
+        try:
+            token_set = self._doc_tokens.pop(doc_id)
+        except KeyError:
+            raise KeyError(f"document not indexed: {doc_id!r}") from None
+        for token in token_set:
+            posting = self._postings[token]
+            posting.discard(doc_id)
+            if not posting:
+                del self._postings[token]
+                bucket = self._prefix_buckets[token[:2]]
+                bucket.discard(token)
+                if not bucket:
+                    del self._prefix_buckets[token[:2]]
+
+    def add_or_replace(self, doc_id: Hashable, tokens: Iterable[str]) -> None:
+        """Idempotently (re-)index a document, replacing prior content."""
+        token_set = frozenset(tokens)
+        existing = self._doc_tokens.get(doc_id)
+        if existing is not None:
+            if existing == token_set:
+                return
+            self.remove(doc_id)
         self._doc_tokens[doc_id] = token_set
         for token in token_set:
             self._postings[token].add(doc_id)
@@ -75,3 +130,36 @@ class InvertedIndex:
             if levenshtein(candidate, token) <= max_distance:
                 result.add(candidate)
         return result
+
+    # -- persistence ----------------------------------------------------
+    def to_payload(
+        self, doc_encoder: Callable[[Hashable], object] | None = None
+    ) -> dict:
+        """The index as a JSON-friendly payload (postings are derivable).
+
+        Document ids must be JSON-encodable, or ``doc_encoder`` must map
+        them to something that is (``from_payload``'s ``doc_decoder``
+        inverts it).  Token order inside each entry is sorted so payloads
+        are byte-stable across runs.
+        """
+        encode = doc_encoder if doc_encoder is not None else (lambda value: value)
+        return {
+            "strict": self._strict,
+            "documents": [
+                [encode(doc_id), sorted(tokens)]
+                for doc_id, tokens in self._doc_tokens.items()
+            ],
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict,
+        doc_decoder: Callable[[object], Hashable] | None = None,
+    ) -> "InvertedIndex":
+        """Rebuild an index saved by :meth:`to_payload`."""
+        decode = doc_decoder if doc_decoder is not None else (lambda value: value)
+        index = cls(strict=bool(payload.get("strict", False)))
+        for encoded_id, tokens in payload["documents"]:
+            index.add(decode(encoded_id), tokens)
+        return index

@@ -43,6 +43,34 @@ class LabelIndex:
             self._index.add(normalized, tokenize(normalized))
         self._payloads[normalized].append(payload)
 
+    def remove(self, label: str, payload: Hashable | None = None) -> None:
+        """Unregister one payload occurrence — or the whole label.
+
+        With ``payload`` given, removes a single occurrence of that
+        payload (labels keep a multiset of payloads); without it, the
+        label and all its payloads are dropped.  The label leaves the
+        token index as soon as its last payload is gone, so incremental
+        corpus updates keep retrieval exact.  Unknown labels/payloads
+        raise :class:`KeyError`.
+        """
+        normalized = normalize_label(label)
+        if normalized not in self._payloads:
+            raise KeyError(f"label not indexed: {label!r}")
+        if payload is None:
+            del self._payloads[normalized]
+        else:
+            payloads = self._payloads[normalized]
+            try:
+                payloads.remove(payload)
+            except ValueError:
+                raise KeyError(
+                    f"payload {payload!r} not registered under {label!r}"
+                ) from None
+            if payloads:
+                return
+            del self._payloads[normalized]
+        self._index.remove(normalized)
+
     def __len__(self) -> int:
         """Number of distinct normalized labels."""
         return len(self._payloads)
@@ -96,3 +124,28 @@ class LabelIndex:
             matches.append(LabelMatch(label, score, tuple(self._payloads[label])))
         matches.sort(key=lambda match: (-match.score, match.label))
         return matches[:limit]
+
+    # -- persistence ----------------------------------------------------
+    def to_payload(self) -> dict:
+        """The index as a JSON-friendly payload.
+
+        Payload values must themselves be JSON-encodable (strings, ints,
+        or lists/tuples thereof); row-id tuples survive a round trip —
+        :meth:`from_payload` re-tuples list-shaped payload entries.
+        """
+        return {
+            "fuzzy": self._fuzzy,
+            "labels": {
+                label: list(payloads)
+                for label, payloads in self._payloads.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LabelIndex":
+        """Rebuild an index saved by :meth:`to_payload`."""
+        index = cls(fuzzy=bool(payload.get("fuzzy", True)))
+        for label, payloads in payload["labels"].items():
+            for entry in payloads:
+                index.add(label, tuple(entry) if isinstance(entry, list) else entry)
+        return index

@@ -12,7 +12,6 @@ from repro.kb.instance import KBInstance
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.schema import KBClass, KBProperty, KBSchema
 from repro.webtables.corpus import TableCorpus
-from repro.webtables.table import WebTable
 
 
 # ----------------------------------------------------------------------
@@ -55,21 +54,15 @@ def save_corpus(corpus: TableCorpus, path: str | Path) -> None:
 
 
 def load_corpus(path: str | Path) -> TableCorpus:
-    corpus = TableCorpus()
-    with open(path, encoding="utf-8") as handle:
-        for line in handle:
-            if not line.strip():
-                continue
-            record = json.loads(line)
-            corpus.add(
-                WebTable(
-                    table_id=record["table_id"],
-                    header=tuple(record["header"]),
-                    rows=[tuple(row) for row in record["rows"]],
-                    url=record.get("url", ""),
-                )
-            )
-    return corpus
+    """Materialize a JSONL corpus fully in memory.
+
+    Delegates line parsing to the streaming reader
+    (:func:`repro.corpus.readers.iter_jsonl`) — use that directly, or
+    ``repro ingest``, when the corpus should *not* be materialized.
+    """
+    from repro.corpus.readers import iter_jsonl
+
+    return TableCorpus(iter_jsonl(path))
 
 
 # ----------------------------------------------------------------------

@@ -7,11 +7,19 @@ from typing import Iterable, Iterator
 from repro.webtables.table import Row, RowId, WebTable
 
 
+def _provenance(table: WebTable) -> str:
+    """A short human-readable origin of a table (for error messages)."""
+    origin = table.url if table.url else "<no url>"
+    return f"{table.n_rows}x{table.n_columns} table from {origin}"
+
+
 class TableCorpus:
     """An indexed collection of web tables.
 
     Provides id-based access (row ids reference tables by id throughout the
-    pipeline) and simple aggregate iteration.
+    pipeline) and simple aggregate iteration.  This is the fully in-memory
+    backend; :class:`repro.corpus.StoredCorpusView` offers the same
+    interface over a sharded on-disk :class:`repro.corpus.CorpusStore`.
     """
 
     def __init__(self, tables: Iterable[WebTable] = ()) -> None:
@@ -20,8 +28,12 @@ class TableCorpus:
             self.add(table)
 
     def add(self, table: WebTable) -> None:
-        if table.table_id in self._tables:
-            raise ValueError(f"duplicate table id: {table.table_id}")
+        existing = self._tables.get(table.table_id)
+        if existing is not None:
+            raise ValueError(
+                f"duplicate table id: {table.table_id!r} — already holds "
+                f"{_provenance(existing)}, refusing {_provenance(table)}"
+            )
         self._tables[table.table_id] = table
 
     def __len__(self) -> int:
@@ -34,15 +46,39 @@ class TableCorpus:
         return table_id in self._tables
 
     def get(self, table_id: str) -> WebTable:
-        return self._tables[table_id]
+        try:
+            return self._tables[table_id]
+        except KeyError:
+            raise KeyError(self._missing(table_id)) from None
 
     def row(self, row_id: RowId) -> Row:
         """Resolve a global row id to its row view."""
         table_id, row_index = row_id
-        return self._tables[table_id].row(row_index)
+        try:
+            table = self._tables[table_id]
+        except KeyError:
+            raise KeyError(
+                f"row id ({table_id!r}, {row_index}): {self._missing(table_id)}"
+            ) from None
+        return table.row(row_index)
 
     def total_rows(self) -> int:
         return sum(table.n_rows for table in self._tables.values())
 
     def table_ids(self) -> list[str]:
         return list(self._tables)
+
+    # ------------------------------------------------------------------
+    def _missing(self, table_id: str) -> str:
+        """A descriptive message for an unknown table id."""
+        message = (
+            f"table {table_id!r} not in corpus ({len(self._tables)} tables)"
+        )
+        prefix = table_id[:4]
+        if prefix:
+            near = [
+                known for known in self._tables if known.startswith(prefix)
+            ][:3]
+            if near:
+                message += f"; ids starting {prefix!r}: {near}"
+        return message

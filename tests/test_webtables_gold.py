@@ -34,9 +34,37 @@ class TestCorpus:
         with pytest.raises(ValueError):
             corpus.add(WebTable("t", ("a",), [("y",)]))
 
+    def test_duplicate_error_names_both_tables_provenance(self):
+        corpus = TableCorpus(
+            [WebTable("t", ("a",), [("x",)], url="http://first.example")]
+        )
+        with pytest.raises(ValueError) as error:
+            corpus.add(
+                WebTable("t", ("a",), [("y",), ("z",)], url="http://second.example")
+            )
+        message = str(error.value)
+        assert "http://first.example" in message
+        assert "http://second.example" in message
+        assert "1x1" in message and "2x1" in message
+
     def test_row_resolution(self):
         corpus = TableCorpus([WebTable("t", ("a",), [("x",)])])
         assert corpus.row(("t", 0)).cell(0) == "x"
+
+    def test_get_missing_table_is_descriptive(self):
+        corpus = TableCorpus([WebTable("table-1", ("a",), [("x",)])])
+        with pytest.raises(KeyError) as error:
+            corpus.get("table-9")
+        message = str(error.value)
+        assert "table-9" in message
+        assert "1 tables" in message
+        # Near-miss hint: ids sharing the prefix are suggested.
+        assert "table-1" in message
+
+    def test_row_missing_table_names_the_row_id(self):
+        corpus = TableCorpus()
+        with pytest.raises(KeyError, match="'gone', 3"):
+            corpus.row(("gone", 3))
 
     def test_stats(self):
         corpus = TableCorpus(
@@ -53,6 +81,43 @@ class TestCorpus:
     def test_empty_corpus_stats_raise(self):
         with pytest.raises(ValueError):
             corpus_stats(TableCorpus())
+
+    def test_stats_all_fields_on_uneven_corpus(self):
+        corpus = TableCorpus(
+            [
+                WebTable("t1", ("a",), [("x",)]),
+                WebTable("t2", ("a", "b"), [("1", "2")] * 3),
+                WebTable("t3", ("a", "b", "c", "d"), [("1", "2", "3", "4")] * 8),
+            ]
+        )
+        stats = corpus_stats(corpus)
+        assert stats.n_tables == 3
+        assert stats.rows_avg == pytest.approx(4.0)
+        assert stats.rows_median == 3
+        assert (stats.rows_min, stats.rows_max) == (1, 8)
+        assert stats.cols_avg == pytest.approx(7 / 3)
+        assert stats.cols_median == 2
+        assert (stats.cols_min, stats.cols_max) == (1, 4)
+
+    def test_stats_single_table(self):
+        corpus = TableCorpus([WebTable("t", ("a", "b"), [("1", "2")] * 5)])
+        stats = corpus_stats(corpus)
+        assert stats.rows_avg == stats.rows_median == 5
+        assert stats.rows_min == stats.rows_max == 5
+        assert stats.cols_avg == stats.cols_median == 2
+
+    def test_stats_over_store_backed_corpus(self, tmp_path):
+        from repro.corpus import CorpusStore
+
+        tables = [
+            WebTable("t1", ("a", "b"), [("1", "2")] * 4),
+            WebTable("t2", ("a", "b", "c"), [("1", "2", "3")] * 2),
+        ]
+        store = CorpusStore.create(tmp_path / "store", shards=2)
+        store.ingest(iter(tables))
+        assert corpus_stats(store.as_corpus()) == corpus_stats(
+            TableCorpus(tables)
+        )
 
 
 class TestGoldStandardModel:
