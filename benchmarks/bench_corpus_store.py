@@ -15,7 +15,6 @@ Two claims are verified:
 
 from __future__ import annotations
 
-import json
 import os
 import tracemalloc
 from typing import Iterator
@@ -87,49 +86,6 @@ def test_streaming_ingest_bounded_memory(benchmark, tmp_path):
     assert full_peak < PEAK_CAP_BYTES
 
 
-def canonical_result(result) -> str:
-    """A byte-stable canonical JSON rendering of a PipelineResult."""
-
-    def entity(record):
-        return {
-            "id": record.entity_id,
-            "rows": sorted(map(list, record.row_ids())),
-            "facts": {
-                name: repr(value) for name, value in sorted(record.facts.items())
-            },
-            "labels": list(record.labels),
-        }
-
-    return json.dumps(
-        {
-            "summary": result.summary_dict(),
-            "iterations": [
-                {
-                    "clusters": sorted(
-                        sorted(map(list, cluster.row_ids()))
-                        for cluster in artifacts.clusters
-                    ),
-                    "entities": sorted(
-                        (entity(record) for record in artifacts.entities),
-                        key=lambda entry: entry["id"],
-                    ),
-                    "detection": {
-                        str(entity_id): [
-                            classification.name,
-                            repr(artifacts.detection.best_scores.get(entity_id)),
-                        ]
-                        for entity_id, classification in sorted(
-                            artifacts.detection.classifications.items()
-                        )
-                    },
-                }
-                for artifacts in result.iterations
-            ],
-        },
-        sort_keys=True,
-    )
-
-
 def test_store_backed_run_identical(env, tmp_path):
     """Store-backed and in-memory runs agree byte for byte."""
     store = CorpusStore.create(tmp_path / "store", shards=3)
@@ -142,7 +98,7 @@ def test_store_backed_run_identical(env, tmp_path):
     )
     memory_run = memory_session.run("Song", use_cache=False)
     store_run = store_session.run("Song", use_cache=False)
-    memory_bytes = canonical_result(memory_run).encode("utf-8")
-    store_bytes = canonical_result(store_run).encode("utf-8")
+    memory_bytes = memory_run.canonical_json().encode("utf-8")
+    store_bytes = store_run.canonical_json().encode("utf-8")
     assert memory_bytes == store_bytes
     assert store_run.final.entities

@@ -29,6 +29,10 @@ Module map:
 * :mod:`repro.clustering` — row clustering via correlation clustering.
 * :mod:`repro.fusion` — entity creation (value fusion).
 * :mod:`repro.newdetect` — new-instance detection.
+* :mod:`repro.parallel` — the execution engine for the hot paths:
+  serial/thread/process :class:`Executor` backends with a chunked
+  ``map_batches`` API, deterministic ordering, and per-chunk observer
+  hooks (``repro run --executor process --workers 4``).
 * :mod:`repro.pipeline` — stage protocol, orchestration and the paper's
   evaluation protocols.
 * :mod:`repro.api` — the :class:`RunSession` service layer.
@@ -86,10 +90,17 @@ __all__ = [
     "CorpusLabelIndex",
     "IngestReport",
     "open_table_stream",
+    "Executor",
+    "ExecutorError",
+    "ExecutorObserver",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "__version__",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 # Lazy attribute resolution keeps `import repro.text` cheap and lets the
 # submodules stay independent.
@@ -123,6 +134,13 @@ _LAZY_EXPORTS = {
     "CorpusLabelIndex": ("repro.corpus.indexing", "CorpusLabelIndex"),
     "IngestReport": ("repro.corpus.store", "IngestReport"),
     "open_table_stream": ("repro.corpus.readers", "open_table_stream"),
+    "Executor": ("repro.parallel", "Executor"),
+    "ExecutorError": ("repro.parallel", "ExecutorError"),
+    "ExecutorObserver": ("repro.parallel", "ExecutorObserver"),
+    "SerialExecutor": ("repro.parallel", "SerialExecutor"),
+    "ThreadExecutor": ("repro.parallel", "ThreadExecutor"),
+    "ProcessExecutor": ("repro.parallel", "ProcessExecutor"),
+    "make_executor": ("repro.parallel", "make_executor"),
 }
 
 

@@ -56,11 +56,23 @@ __all__ = [
 ]
 
 
+#: Config fields that cannot influence stage outputs — the executor
+#: determinism contract guarantees identical artifacts for any backend,
+#: so runs differing only in these share cache entries.
+_NON_SEMANTIC_CONFIG_FIELDS = frozenset({"executor", "workers"})
+
+
 def config_hash(config: PipelineConfig) -> str:
-    """A stable short hash of a config's field values (cache keying)."""
+    """A stable short hash of a config's *semantic* field values.
+
+    Used for cache keying; fields in :data:`_NON_SEMANTIC_CONFIG_FIELDS`
+    (the parallel-execution knobs) are excluded because they cannot
+    change any artifact.
+    """
     payload = {
         config_field.name: getattr(config, config_field.name)
         for config_field in dataclasses.fields(config)
+        if config_field.name not in _NON_SEMANTIC_CONFIG_FIELDS
     }
     blob = json.dumps(payload, sort_keys=True, default=repr)
     return hashlib.sha1(blob.encode("utf-8")).hexdigest()[:16]
@@ -291,14 +303,29 @@ class RunSession:
         row_ids: set[RowId] | None = None,
         known_classes: dict[str, str] | None = None,
         use_cache: bool = True,
+        executor: str | None = None,
+        workers: int | None = None,
     ) -> PipelineResult:
         """Run the pipeline for one class over the session's world.
 
         Defaults reproduce ``LongTailPipeline.default(kb).run(corpus,
         class_name)`` exactly; every keyword overrides one aspect of the
-        run without rebuilding any session state.
+        run without rebuilding any session state.  ``executor`` /
+        ``workers`` override the parallel backend for this run only —
+        the determinism contract makes any choice produce identical
+        results, so they are *excluded* from artifact-cache keys (a
+        serial run may be served artifacts a parallel run computed, and
+        vice versa).
         """
         config = config if config is not None else self.config
+        if executor is not None or workers is not None:
+            config = dataclasses.replace(
+                config,
+                **(
+                    {"executor": executor} if executor is not None else {}
+                ),
+                **({"workers": workers} if workers is not None else {}),
+            )
         models = self._resolve_models(models, config)
         pipeline = LongTailPipeline(self.knowledge_base, config, models)
         stage_specs = list(stages) if stages is not None else list(

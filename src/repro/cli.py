@@ -59,11 +59,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"error: unknown stage(s) {', '.join(unknown)}; "
                   f"registered stages: {known}")
             return 2
+    overrides = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["workers"] = args.workers
     try:
         config = PipelineConfig(
             iterations=args.iterations,
             fusion_scoring=args.fusion,
             dedup_new_entities=args.dedup,
+            **overrides,
         )
     except ValueError as error:
         print(f"error: {error}")
@@ -79,6 +85,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         document = {
             "seed": args.seed,
             "scale": args.scale,
+            "executor": config.executor,
+            "workers": config.workers,
             "results": [result.summary_dict() for result in results.values()],
             "stage_seconds": {
                 name: round(seconds, 4)
@@ -210,6 +218,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stages", default=None,
                      help="comma-separated stage names to run instead of "
                           "the full schema_match,cluster,fuse,detect")
+    run.add_argument("--executor", choices=("serial", "thread", "process"),
+                     default=None,
+                     help="parallel backend for the hot paths (default: "
+                          "REPRO_EXECUTOR env or serial; results are "
+                          "identical for every choice)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="worker count for thread/process executors "
+                          "(default: REPRO_WORKERS env or the CPU count)")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print a machine-readable JSON report")
     run.add_argument("--quiet", action="store_true",

@@ -9,23 +9,48 @@ only compares cluster pairs sharing a block.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Protocol, Sequence
 
 from repro.index import LabelIndex
 from repro.matching.records import RowRecord
 from repro.webtables.table import RowId
 
 
+class SupportsLabelSearch(Protocol):
+    """Anything offering top-k label retrieval (``LabelIndex``,
+    :class:`repro.corpus.indexing.CorpusLabelIndex`, ...)."""
+
+    def search(self, query: str, limit: int = 10) -> list:
+        ...
+
+
 def build_blocks(
-    records: Sequence[RowRecord], max_similar: int = 6
+    records: Sequence[RowRecord],
+    max_similar: int = 6,
+    index: SupportsLabelSearch | None = None,
 ) -> dict[RowId, frozenset[str]]:
-    """Assign each row the blocks of its ``max_similar`` most similar labels."""
-    index = LabelIndex()
-    seen: set[str] = set()
-    for record in records:
-        if record.norm_label not in seen:
-            seen.add(record.norm_label)
-            index.add(record.norm_label, record.norm_label)
+    """Assign each row the blocks of its ``max_similar`` most similar labels.
+
+    ``index`` supplies a precomputed label index (e.g. the incremental
+    :class:`~repro.corpus.indexing.CorpusLabelIndex` maintained at ingest
+    time) instead of rebuilding one from the records — at corpus scale
+    the rebuild dominates blocking cost.  Note the *retrieval universe*
+    changes with the index: a corpus-wide index returns its own top-k,
+    which can include labels no record carries (inert block keys) and
+    can displace a record label another record would have retrieved from
+    a records-only index — so blocks (and with them the clustering) may
+    legitimately differ from the ``index=None`` baseline.  Rows sharing
+    an identical normalized label always still meet (every row keeps its
+    own label's block).
+    """
+    if index is None:
+        fresh = LabelIndex()
+        seen: set[str] = set()
+        for record in records:
+            if record.norm_label not in seen:
+                seen.add(record.norm_label)
+                fresh.add(record.norm_label, record.norm_label)
+        index = fresh
     blocks: dict[RowId, frozenset[str]] = {}
     cache: dict[str, frozenset[str]] = {}
     for record in records:

@@ -5,11 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.clustering.blocking import build_blocks
+from repro.clustering.blocking import SupportsLabelSearch, build_blocks
 from repro.clustering.greedy import Cluster, greedy_correlation_clustering
 from repro.clustering.klj import klj_refine
+from repro.clustering.parallel_sim import precompute_block_similarities
 from repro.clustering.similarity import RowSimilarity
 from repro.matching.records import RowRecord
+from repro.parallel import Executor, SerialExecutor
 
 
 @dataclass
@@ -19,6 +21,12 @@ class RowClusterer:
     ``batch_size=1`` makes the greedy stage serial; ``use_klj=False``
     skips refinement; ``use_blocking=False`` puts every row in one global
     block (quadratic — for ablation only).
+
+    ``executor`` parallelizes the dominant cost — block-local pairwise
+    similarity — by warming the similarity cache before the (inherently
+    order-dependent) greedy/KLj passes run; any executor produces the
+    exact clustering the serial path does.  ``label_index`` feeds a
+    precomputed label index to blocking instead of rebuilding one.
     """
 
     similarity: RowSimilarity
@@ -28,6 +36,8 @@ class RowClusterer:
     use_blocking: bool = True
     max_block_matches: int = 6
     klj_passes: int = 4
+    executor: Executor | None = None
+    label_index: SupportsLabelSearch | None = None
 
     def cluster(self, records: Sequence[RowRecord]) -> list[Cluster]:
         """Cluster the records; returns clusters with stable ids."""
@@ -35,10 +45,21 @@ class RowClusterer:
         if not records:
             return []
         if self.use_blocking:
-            blocks = build_blocks(records, self.max_block_matches)
+            blocks = build_blocks(
+                records, self.max_block_matches, index=self.label_index
+            )
         else:
             universe = frozenset({"__all__"})
             blocks = {record.row_id: universe for record in records}
+        if self.executor is not None and not isinstance(
+            self.executor, SerialExecutor
+        ):
+            # Serial runs skip this: lazy scoring computes only the pairs
+            # the algorithms actually visit, which a single worker does
+            # no faster by precomputing a superset.
+            precompute_block_similarities(
+                records, blocks, self.similarity, self.executor
+            )
         clusters = greedy_correlation_clustering(
             records,
             self.similarity,

@@ -89,12 +89,16 @@ class ImplicitAttributeDeriver:
             return {}
         support: dict[tuple[str, str], int] = defaultdict(int)
         for record in records:
-            combos = self._row_combinations(record)
-            for combo in combos:
+            # Sorted iteration: support's insertion order (and with it
+            # every downstream dict order and tie-break) must not depend
+            # on the process's hash seed.
+            for combo in sorted(self._row_combinations(record)):
                 support[combo] += 1
         result: dict[str, ImplicitAttribute] = {}
         total = len(records)
-        for (property_name, key), count in support.items():
+        # Sorted items make the per-property tie-break deterministic:
+        # highest confidence wins, equal confidence → smallest value key.
+        for (property_name, key), count in sorted(support.items()):
             confidence = count / total
             if confidence < self.threshold:
                 continue

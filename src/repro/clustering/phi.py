@@ -78,7 +78,9 @@ class PhiVectorizer:
         self._table_vectors = {}
         for table_id, labels in label_sets.items():
             accumulated: SparseVector = defaultdict(float)
-            for label in labels:
+            # Sorted iteration: float accumulation order (and the vector's
+            # key order) must not depend on the process's hash seed.
+            for label in sorted(labels):
                 for key, weight in label_vectors.get(label, {}).items():
                     accumulated[key] += weight
             if labels:

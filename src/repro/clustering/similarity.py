@@ -39,5 +39,16 @@ class RowSimilarity:
             self._cache[key] = cached
         return cached
 
+    def preload(self, scores: dict[tuple[RowId, RowId], float]) -> None:
+        """Seed the pair cache with externally computed scores.
+
+        Keys must already be canonical (``row_id_a <= row_id_b``).  Used
+        by the parallel block-local precompute: workers score pairs with
+        the same metric bundle and aggregator, and the clustering
+        algorithms then run serially against a warm cache — which is how
+        parallel runs stay byte-identical to serial ones.
+        """
+        self._cache.update(scores)
+
     def cache_size(self) -> int:
         return len(self._cache)

@@ -97,7 +97,9 @@ class LabelIndex:
                 self._index.similar_tokens(token) if self._fuzzy else
                 ({token} if self._index.postings(token) else set())
             )
-            for expanded in expansions:
+            # Sorted iteration: per-label float accumulation order must
+            # not depend on the process's hash seed.
+            for expanded in sorted(expansions):
                 weight = self._index.idf(expanded)
                 # Penalize fuzzy (non-exact) expansions slightly so exact
                 # token matches dominate.
@@ -112,7 +114,10 @@ class LabelIndex:
         )
         matches = []
         for label, dot in scores.items():
-            label_tokens = self._index.tokens_of(label)
+            # Sorted iteration over the token *set*: the norm's float
+            # accumulation order must not depend on the hash seed (a
+            # 1-ulp drift here flips top-k ties at the limit boundary).
+            label_tokens = sorted(self._index.tokens_of(label))
             label_norm = math.sqrt(
                 sum(self._index.idf(token) ** 2 for token in label_tokens)
             )

@@ -10,6 +10,12 @@ matching phase of one pipeline iteration:
 5. rerun attribute matching with the web-table matchers enabled — plus the
    duplicate-based matchers when clustering/new-detection feedback from a
    previous iteration is supplied.
+
+Steps 1–2 and the per-table attribute passes are embarrassingly parallel
+— every table is scored independently against read-only KB state.  Both
+run through an :class:`~repro.parallel.Executor` via pure, picklable
+batch callables (:class:`_AnalyzeBatch`, :class:`_AttributeBatch`), so
+thread *and* process pools produce results identical to the serial path.
 """
 
 from __future__ import annotations
@@ -33,7 +39,9 @@ from repro.matching.matchers import (
     MATCHER_NAMES_SECOND_ITERATION,
 )
 from repro.matching.table_class import TableClassMatcher
+from repro.parallel import Executor
 from repro.webtables.corpus import TableCorpus
+from repro.webtables.table import WebTable
 
 
 @dataclass
@@ -77,34 +85,172 @@ class SchemaMatcherModels:
         raise ValueError(f"unknown model mode: {mode!r}")
 
 
+def _analyze_table(
+    table: WebTable,
+) -> tuple[dict[int, DataType], int | None]:
+    """Column data types + label column of one table (pure)."""
+    column_types = {
+        column: detect_column_type(table.column(column))
+        for column in range(table.n_columns)
+    }
+    label_column = detect_label_attribute(table, column_types)
+    return column_types, label_column
+
+
+class _AnalyzeBatch:
+    """Picklable batch function for phase A (types, label column, class).
+
+    Items are ``(table, need_class, cached_analysis)`` triples — a
+    non-``None`` cached analysis (types + label column) is reused so a
+    table analyzed in an earlier call is never re-typed just to compute
+    its class decision.  Results are ``(column_types, label_column,
+    class_decision-or-None)``.  Pure: depends only on the item and
+    read-only KB state, so every executor produces identical output.
+    In-process execution shares the owning matcher's
+    :class:`TableClassMatcher`; it is dropped from pickles, so each
+    worker chunk builds its own (stateless, hence score-identical).
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        candidate_limit: int,
+        matcher: TableClassMatcher | None = None,
+    ) -> None:
+        self.kb = kb
+        self.candidate_limit = candidate_limit
+        self._matcher = matcher
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_matcher"] = None
+        return state
+
+    def __call__(
+        self, items: list[tuple[WebTable, bool, tuple | None]]
+    ) -> list[tuple[dict[int, DataType], int | None, tuple[str | None, float] | None]]:
+        if self._matcher is None:
+            self._matcher = TableClassMatcher(self.kb, self.candidate_limit)
+        results = []
+        for table, need_class, cached_analysis in items:
+            if cached_analysis is not None:
+                column_types, label_column = cached_analysis
+            else:
+                column_types, label_column = _analyze_table(table)
+            decision = None
+            if need_class:
+                result = self._matcher.match(table, column_types, label_column)
+                decision = (result.class_name, result.score)
+            results.append((column_types, label_column, decision))
+        return results
+
+
+class _AttributeBatch:
+    """Picklable batch function for one attribute-to-property pass.
+
+    Items are ``(table, base TableMapping)`` pairs — the caller only
+    dispatches tables with a known class — and results are the attribute
+    correspondence dict per table.  Per-class matchers are cached on the
+    instance, so in-process execution builds exactly one per class per
+    pass (as the pre-parallel code did); the cache is dropped from
+    pickles, so worker chunks rebuild it —
+    :class:`AttributePropertyMatcher` only caches KB-derived value
+    pools, so chunk-local construction cannot change any score.  (Under
+    a thread pool two workers may race to build the same class's
+    matcher; last write wins and both compute identical scores.)
+    """
+
+    def __init__(
+        self,
+        kb: KnowledgeBase,
+        models: SchemaMatcherModels,
+        mode: str,
+        feedback_by_class: dict[str, MatcherFeedback],
+    ) -> None:
+        self.kb = kb
+        self.models = models
+        self.mode = mode
+        self.feedback_by_class = feedback_by_class
+        self._matchers: dict[str, AttributePropertyMatcher] = {}
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_matchers"] = {}
+        return state
+
+    def __call__(
+        self, items: list[tuple[WebTable, TableMapping]]
+    ) -> list[dict]:
+        results: list[dict] = []
+        for table, table_mapping in items:
+            class_name = table_mapping.class_name
+            matcher = self._matchers.get(class_name)
+            if matcher is None:
+                matcher = AttributePropertyMatcher(
+                    self.kb,
+                    class_name,
+                    self.models.for_class(class_name, self.mode),
+                    self.feedback_by_class.get(class_name),
+                )
+                self._matchers[class_name] = matcher
+            results.append(
+                matcher.match_table(
+                    table,
+                    table_mapping.column_types,
+                    table_mapping.label_column,
+                )
+            )
+        return results
+
+
 class SchemaMatcher:
-    """The schema matching component of the pipeline."""
+    """The schema matching component of the pipeline.
+
+    ``executor`` parallelizes the per-table work of
+    :meth:`match_corpus`: any executor produces byte-identical mappings
+    (see ``docs/architecture.md``, "Parallel execution").  With no
+    executor the legacy in-process path runs — same results, original
+    exception types (an executor wraps worker failures in
+    :class:`~repro.parallel.ExecutorError` with chunk provenance).
+
+    Tables are fetched from the corpus and dispatched in bounded *waves*
+    (``wave_size``), so peak memory tracks the wave, not the corpus —
+    a lazy store-backed corpus view is never materialized wholesale.
+    """
+
+    #: Tables materialized per dispatch wave (corpus-size independent).
+    wave_size = 1024
 
     def __init__(
         self,
         kb: KnowledgeBase,
         models: SchemaMatcherModels | None = None,
         candidate_limit: int = 5,
+        executor: Executor | None = None,
     ) -> None:
         self.kb = kb
         self.models = models or SchemaMatcherModels()
+        self.candidate_limit = candidate_limit
         self.table_class_matcher = TableClassMatcher(kb, candidate_limit)
+        self.executor = executor
         self._analysis_cache: dict[
             str, tuple[dict[int, DataType], int | None]
         ] = {}
         self._class_cache: dict[str, tuple[str | None, float]] = {}
 
+    def _run_batches(self, batch, items: list, task_name: str, label) -> list:
+        """One wave through the configured executor, or directly (legacy)."""
+        if self.executor is None:
+            return batch(items)
+        return self.executor.map_batches(
+            batch, items, task_name=task_name, label=label
+        )
+
     # ------------------------------------------------------------------
     def analyze_table(self, corpus: TableCorpus, table_id: str):
         """Detected column types and label column (cached per table)."""
         if table_id not in self._analysis_cache:
-            table = corpus.get(table_id)
-            column_types = {
-                column: detect_column_type(table.column(column))
-                for column in range(table.n_columns)
-            }
-            label_column = detect_label_attribute(table, column_types)
-            self._analysis_cache[table_id] = (column_types, label_column)
+            self._analysis_cache[table_id] = _analyze_table(corpus.get(table_id))
         return self._analysis_cache[table_id]
 
     def table_class(
@@ -133,14 +279,47 @@ class SchemaMatcher:
         class is externally known (gold standard experiments).
         """
         ids = table_ids if table_ids is not None else corpus.table_ids()
-        # Phase A: types, label columns, classes.
+        # Phase A: types, label columns, classes — dispatched in waves
+        # for tables whose analysis is not already cached (the matcher
+        # persists across pipeline iterations, so iteration 2 is all
+        # cache hits).
+        pending: list[tuple[str, bool]] = []
+        for table_id in ids:
+            externally_classed = (
+                known_classes is not None and table_id in known_classes
+            )
+            need_class = not externally_classed and table_id not in self._class_cache
+            if table_id in self._analysis_cache and not need_class:
+                continue
+            pending.append((table_id, need_class))
+        analyze = _AnalyzeBatch(
+            self.kb, self.candidate_limit, self.table_class_matcher
+        )
+        for wave_start in range(0, len(pending), self.wave_size):
+            wave = pending[wave_start : wave_start + self.wave_size]
+            items = [
+                (corpus.get(table_id), need, self._analysis_cache.get(table_id))
+                for table_id, need in wave
+            ]
+            analyses = self._run_batches(
+                analyze,
+                items,
+                task_name="schema_match/analyze",
+                label=lambda item: item[0].table_id,
+            )
+            for (table, *__), (column_types, label_column, decision) in zip(
+                items, analyses
+            ):
+                self._analysis_cache[table.table_id] = (column_types, label_column)
+                if decision is not None:
+                    self._class_cache[table.table_id] = decision
         base: dict[str, TableMapping] = {}
         for table_id in ids:
-            column_types, label_column = self.analyze_table(corpus, table_id)
+            column_types, label_column = self._analysis_cache[table_id]
             if known_classes is not None and table_id in known_classes:
                 class_name, class_score = known_classes[table_id], 1.0
             else:
-                class_name, class_score = self.table_class(corpus, table_id)
+                class_name, class_score = self._class_cache[table_id]
             base[table_id] = TableMapping(
                 table_id=table_id,
                 class_name=class_name,
@@ -176,30 +355,46 @@ class SchemaMatcher:
         feedback_by_class: dict[str, MatcherFeedback],
         mode: str,
     ) -> SchemaMapping:
+        known_classes = frozenset(
+            kb_class.name for kb_class in self.kb.schema.classes()
+        )
+        batch = _AttributeBatch(self.kb, self.models, mode, feedback_by_class)
         mapping = SchemaMapping()
-        matchers: dict[str, AttributePropertyMatcher] = {}
-        known_classes = {kb_class.name for kb_class in self.kb.schema.classes()}
-        for table_id, table_mapping in base.items():
-            result = TableMapping(
-                table_id=table_id,
-                class_name=table_mapping.class_name,
-                class_score=table_mapping.class_score,
-                label_column=table_mapping.label_column,
-                column_types=dict(table_mapping.column_types),
+        entries = list(base.items())
+        for wave_start in range(0, len(entries), self.wave_size):
+            wave = entries[wave_start : wave_start + self.wave_size]
+            # Only class-matched tables are worth a corpus fetch — on a
+            # realistic web corpus most tables match nothing.
+            to_match = [
+                (table_id, table_mapping)
+                for table_id, table_mapping in wave
+                if table_mapping.class_name is not None
+                and table_mapping.class_name in known_classes
+            ]
+            items = [
+                (corpus.get(table_id), table_mapping)
+                for table_id, table_mapping in to_match
+            ]
+            attribute_maps = self._run_batches(
+                batch,
+                items,
+                task_name=f"schema_match/attributes[{mode}]",
+                label=lambda item: item[0].table_id,
             )
-            class_name = table_mapping.class_name
-            if class_name is not None and class_name in known_classes:
-                if class_name not in matchers:
-                    matchers[class_name] = AttributePropertyMatcher(
-                        self.kb,
-                        class_name,
-                        self.models.for_class(class_name, mode),
-                        feedback_by_class.get(class_name),
-                    )
-                result.attributes = matchers[class_name].match_table(
-                    corpus.get(table_id),
-                    table_mapping.column_types,
-                    table_mapping.label_column,
+            attributes_by_id = {
+                table_id: attributes
+                for (table_id, __), attributes in zip(to_match, attribute_maps)
+            }
+            for table_id, table_mapping in wave:
+                result = TableMapping(
+                    table_id=table_id,
+                    class_name=table_mapping.class_name,
+                    class_score=table_mapping.class_score,
+                    label_column=table_mapping.label_column,
+                    column_types=dict(table_mapping.column_types),
                 )
-            mapping.add(result)
+                attributes = attributes_by_id.get(table_id)
+                if attributes is not None:
+                    result.attributes = attributes
+                mapping.add(result)
         return mapping

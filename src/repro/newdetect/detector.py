@@ -1,4 +1,12 @@
-"""The new detection component (Section 3.4)."""
+"""The new detection component (Section 3.4).
+
+Per-entity candidate retrieval and feature extraction are independent of
+each other, so :meth:`NewDetector.detect` optionally fans the entity
+list out over an :class:`~repro.parallel.Executor` via a pure, picklable
+batch function (:class:`_DetectBatch`); results are reassembled in
+entity order, so every executor yields an identical
+:class:`DetectionResult`.
+"""
 
 from __future__ import annotations
 
@@ -11,6 +19,7 @@ from repro.kb.instance import KBInstance
 from repro.ml.aggregation import MetricVector, ScoreAggregator
 from repro.newdetect.candidates import CandidateSelector
 from repro.newdetect.metrics import EntityInstanceMetric
+from repro.parallel import Executor
 
 
 class Classification(str, Enum):
@@ -84,6 +93,53 @@ class DetectionResult:
         ]
 
 
+class _DetectBatch:
+    """Picklable batch function: classify a chunk of entities.
+
+    Holds the candidate selector (KB included), the similarity bundle
+    and the thresholds — all read-only — and returns one
+    ``(classification, correspondence-or-None, best_score-or-None)``
+    triple per entity.
+    """
+
+    def __init__(
+        self,
+        selector: CandidateSelector,
+        similarity: EntityInstanceSimilarity,
+        new_threshold: float,
+        existing_threshold: float,
+    ) -> None:
+        self.selector = selector
+        self.similarity = similarity
+        self.new_threshold = new_threshold
+        self.existing_threshold = existing_threshold
+
+    def __call__(
+        self, entities: list[Entity]
+    ) -> list[tuple[Classification, str | None, float | None]]:
+        results: list[tuple[Classification, str | None, float | None]] = []
+        for entity in entities:
+            candidates = self.selector.candidates(entity)
+            if not candidates:
+                results.append((Classification.NEW, None, None))
+                continue
+            scored = [
+                (self.similarity.score(entity, candidate, candidates), candidate)
+                for candidate in candidates
+            ]
+            scored.sort(key=lambda pair: (-pair[0], pair[1].uri))
+            best_score, best_candidate = scored[0]
+            if best_score < self.new_threshold:
+                results.append((Classification.NEW, None, best_score))
+            elif best_score >= self.existing_threshold:
+                results.append(
+                    (Classification.EXISTING, best_candidate.uri, best_score)
+                )
+            else:
+                results.append((Classification.AMBIGUOUS, None, best_score))
+        return results
+
+
 class NewDetector:
     """Candidate selection + similarity + two-threshold classification.
 
@@ -106,26 +162,34 @@ class NewDetector:
         self.new_threshold = new_threshold
         self.existing_threshold = existing_threshold
 
-    def detect(self, entities: Sequence[Entity]) -> DetectionResult:
+    def detect(
+        self,
+        entities: Sequence[Entity],
+        executor: Executor | None = None,
+    ) -> DetectionResult:
+        """Classify every entity; any executor yields identical results."""
+        batch = _DetectBatch(
+            self.selector,
+            self.similarity,
+            self.new_threshold,
+            self.existing_threshold,
+        )
+        entities = list(entities)
+        if executor is not None:
+            outcomes = executor.map_batches(
+                batch,
+                entities,
+                task_name="detect/entities",
+                label=lambda entity: entity.entity_id,
+            )
+        else:
+            outcomes = batch(entities)
         result = DetectionResult()
-        for entity in entities:
-            candidates = self.selector.candidates(entity)
-            if not candidates:
-                result.classifications[entity.entity_id] = Classification.NEW
-                result.best_scores[entity.entity_id] = None
-                continue
-            scored = [
-                (self.similarity.score(entity, candidate, candidates), candidate)
-                for candidate in candidates
-            ]
-            scored.sort(key=lambda pair: (-pair[0], pair[1].uri))
-            best_score, best_candidate = scored[0]
+        for entity, (classification, correspondence, best_score) in zip(
+            entities, outcomes
+        ):
+            result.classifications[entity.entity_id] = classification
             result.best_scores[entity.entity_id] = best_score
-            if best_score < self.new_threshold:
-                result.classifications[entity.entity_id] = Classification.NEW
-            elif best_score >= self.existing_threshold:
-                result.classifications[entity.entity_id] = Classification.EXISTING
-                result.correspondences[entity.entity_id] = best_candidate.uri
-            else:
-                result.classifications[entity.entity_id] = Classification.AMBIGUOUS
+            if correspondence is not None:
+                result.correspondences[entity.entity_id] = correspondence
         return result

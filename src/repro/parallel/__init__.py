@@ -1,0 +1,29 @@
+"""Parallel execution engine for the pipeline's embarrassingly parallel
+hot paths (schema matching, block-local row similarity, new-detection
+feature extraction).  See :mod:`repro.parallel.executor`."""
+
+from repro.parallel.executor import (
+    EXECUTOR_NAMES,
+    Executor,
+    ExecutorError,
+    ExecutorObserver,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_executor_name,
+    default_worker_count,
+    make_executor,
+)
+
+__all__ = [
+    "EXECUTOR_NAMES",
+    "Executor",
+    "ExecutorError",
+    "ExecutorObserver",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "default_executor_name",
+    "default_worker_count",
+    "make_executor",
+]

@@ -1,0 +1,421 @@
+"""Chunked parallel execution with deterministic result ordering.
+
+The pipeline's hot loops — per-table correspondence scoring, block-local
+pairwise row similarity, per-entity detection feature extraction — are
+embarrassingly parallel: every item is processed by a pure function of
+the item and some shared read-only context.  :class:`Executor` captures
+exactly that shape behind one call, :meth:`Executor.map_batches`:
+
+* the input sequence is split into contiguous chunks,
+* a **batch function** (``func(list_of_items) -> list_of_results``) runs
+  on each chunk — serially, on a thread pool, or on a process pool,
+* the per-chunk result lists are reassembled **in input order**, no
+  matter in which order chunks complete.
+
+The determinism contract is therefore: for a pure batch function,
+``map_batches`` returns the same list for every executor and every
+worker count.  Process pools additionally require the batch function and
+the items to be picklable — the pipeline's batch functions are
+module-level callable classes holding only picklable state (KB, models,
+metric bundles).
+
+Failures are wrapped in :class:`ExecutorError`, which names the task,
+the failing chunk, and the labels of the items it held (table ids,
+entity ids, ...), so a crash deep inside a worker still points at the
+originating input.
+
+:class:`ExecutorObserver` receives per-chunk progress and timing events;
+:class:`repro.pipeline.stages.TimingObserver` implements it, so stage
+wall-clock and in-worker chunk seconds land in one report.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, Future, wait
+from typing import Callable, Iterable, Sequence, TypeVar
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Recognized executor names, in documentation order.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+#: Environment variables driving the *default* executor configuration —
+#: a test/CI matrix can flip the whole suite onto a process pool without
+#: touching any call site.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_executor_name() -> str:
+    """The executor name configured via ``REPRO_EXECUTOR`` (default serial)."""
+    name = os.environ.get(EXECUTOR_ENV, "").strip().lower() or "serial"
+    if name not in EXECUTOR_NAMES:
+        known = ", ".join(EXECUTOR_NAMES)
+        raise ValueError(
+            f"invalid {EXECUTOR_ENV}={name!r}; expected one of: {known}"
+        )
+    return name
+
+
+def default_worker_count() -> int:
+    """Worker count from ``REPRO_WORKERS``, else the machine's CPU count."""
+    raw = os.environ.get(WORKERS_ENV, "").strip()
+    if raw:
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"invalid {WORKERS_ENV}={raw!r}; must be an integer >= 1"
+            ) from None
+        if workers < 1:
+            raise ValueError(f"invalid {WORKERS_ENV}={raw!r}; must be >= 1")
+        return workers
+    return os.cpu_count() or 1
+
+
+class ExecutorError(RuntimeError):
+    """A batch function failed; carries chunk provenance for debugging.
+
+    ``__cause__`` is the original worker exception; ``item_labels`` are
+    the labels of the items in the failing chunk (bounded to the first
+    few), derived by the ``label=`` callable passed to ``map_batches``.
+    """
+
+    def __init__(
+        self,
+        task_name: str,
+        chunk_index: int,
+        item_labels: Sequence[str],
+        cause: BaseException,
+    ) -> None:
+        self.task_name = task_name
+        self.chunk_index = chunk_index
+        self.item_labels = tuple(item_labels)
+        shown = ", ".join(self.item_labels[:5])
+        if len(self.item_labels) > 5:
+            shown += f", ... ({len(self.item_labels)} items)"
+        super().__init__(
+            f"task {task_name!r} failed in chunk {chunk_index} "
+            f"[{shown}]: {type(cause).__name__}: {cause}"
+        )
+
+
+class ExecutorObserver:
+    """Per-chunk progress/timing hooks; subclass and override what you need.
+
+    ``seconds`` on :meth:`on_chunk_finished` is the in-worker compute
+    time of that chunk (not queue time).  Chunk events fire in completion
+    order, which is nondeterministic under real parallelism — aggregate,
+    don't sequence-match.
+    """
+
+    def on_map_started(
+        self, task_name: str, n_items: int, n_chunks: int
+    ) -> None:
+        pass
+
+    def on_chunk_finished(
+        self, task_name: str, chunk_index: int, n_items: int, seconds: float
+    ) -> None:
+        pass
+
+    def on_map_finished(
+        self, task_name: str, n_items: int, seconds: float
+    ) -> None:
+        pass
+
+
+class _TimedBatch:
+    """Wraps a batch function to measure in-worker compute seconds.
+
+    Module-level class so the wrapper pickles whenever the wrapped
+    function does.
+    """
+
+    def __init__(self, func: Callable[[list], list]) -> None:
+        self.func = func
+
+    def __call__(self, chunk: list) -> tuple[float, list]:
+        started = time.perf_counter()
+        results = self.func(chunk)
+        return time.perf_counter() - started, results
+
+
+def _chunk(items: list, chunk_size: int) -> list[list]:
+    return [
+        items[start : start + chunk_size]
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+class Executor:
+    """Base class: chunking, ordering, observers, failure wrapping.
+
+    Subclasses implement :meth:`_submit_chunks`, mapping a timed batch
+    function over chunks and yielding ``(chunk_index, seconds, results)``
+    in any order; the base class reassembles input order.
+    """
+
+    name: str = "base"
+
+    def __init__(
+        self,
+        workers: int = 1,
+        observers: Iterable[ExecutorObserver] = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.observers: list[ExecutorObserver] = list(observers)
+
+    # -- public API -----------------------------------------------------
+    def map_batches(
+        self,
+        func: Callable[[list[ItemT]], list[ResultT]],
+        items: Sequence[ItemT],
+        *,
+        chunk_size: int | None = None,
+        task_name: str = "map",
+        label: Callable[[ItemT], str] | None = None,
+    ) -> list[ResultT]:
+        """Apply a batch function to ``items``, preserving input order.
+
+        ``func`` receives a contiguous sub-list and must return one
+        result per input item, in order.  ``chunk_size`` defaults to an
+        even split into :meth:`_default_chunk_count` chunks — ``4 ×
+        workers`` for pools, a single chunk for the serial executor.
+        ``label`` renders an item for :class:`ExecutorError` provenance.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if chunk_size is None:
+            chunk_size = max(1, -(-len(items) // self._default_chunk_count()))
+        chunks = _chunk(items, chunk_size)
+        for observer in self.observers:
+            observer.on_map_started(task_name, len(items), len(chunks))
+        started = time.perf_counter()
+        timed = _TimedBatch(func)
+        gathered: list[list[ResultT] | None] = [None] * len(chunks)
+        try:
+            for chunk_index, seconds, results in self._submit_chunks(
+                timed, chunks
+            ):
+                if len(results) != len(chunks[chunk_index]):
+                    raise ValueError(
+                        f"batch function returned {len(results)} results "
+                        f"for {len(chunks[chunk_index])} items in task "
+                        f"{task_name!r} chunk {chunk_index}"
+                    )
+                gathered[chunk_index] = results
+                for observer in self.observers:
+                    observer.on_chunk_finished(
+                        task_name, chunk_index, len(results), seconds
+                    )
+        except _ChunkFailure as failure:
+            chunk = chunks[failure.chunk_index]
+            labels = [
+                label(item) if label is not None else repr(item)[:80]
+                for item in chunk
+            ]
+            raise ExecutorError(
+                task_name, failure.chunk_index, labels, failure.cause
+            ) from failure.cause
+        flattened: list[ResultT] = []
+        for results in gathered:
+            assert results is not None
+            flattened.extend(results)
+        elapsed = time.perf_counter() - started
+        for observer in self.observers:
+            observer.on_map_finished(task_name, len(items), elapsed)
+        return flattened
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for poolless executors)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+    # -- subclass hooks -------------------------------------------------
+    def _default_chunk_count(self) -> int:
+        """How many chunks to target when ``chunk_size`` is unspecified.
+
+        Pooled executors use ``4 × workers`` (smaller chunks smooth load
+        imbalance); the serial executor uses one chunk, since splitting
+        buys nothing in-process and per-chunk batch-function setup
+        (matcher construction, cache warm-up) would repeat.
+        """
+        return self.workers * 4
+
+    def _submit_chunks(
+        self, timed: _TimedBatch, chunks: list[list]
+    ) -> Iterable[tuple[int, float, list]]:
+        raise NotImplementedError
+
+
+class _ChunkFailure(Exception):
+    """Internal: a chunk's exception plus which chunk raised it."""
+
+    def __init__(self, chunk_index: int, cause: BaseException) -> None:
+        self.chunk_index = chunk_index
+        self.cause = cause
+        super().__init__(str(cause))
+
+
+class SerialExecutor(Executor):
+    """In-process, in-order execution — the default and the baseline.
+
+    ``workers`` is accepted (and ignored) so executor configurations are
+    interchangeable.
+    """
+
+    name = "serial"
+
+    def _default_chunk_count(self) -> int:
+        return 1
+
+    def _submit_chunks(self, timed, chunks):
+        for chunk_index, chunk in enumerate(chunks):
+            try:
+                seconds, results = timed(chunk)
+            except Exception as error:
+                raise _ChunkFailure(chunk_index, error) from error
+            yield chunk_index, seconds, results
+
+
+class _PooledExecutor(Executor):
+    """Shared future-driving logic for thread/process pools.
+
+    The underlying pool is created lazily on first use and reused across
+    ``map_batches`` calls until :meth:`close` — one pipeline run spawns
+    its workers once, not once per stage.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        observers: Iterable[ExecutorObserver] = (),
+    ) -> None:
+        super().__init__(
+            workers if workers is not None else default_worker_count(),
+            observers,
+        )
+        self._pool = None
+
+    def _make_pool(self):  # pragma: no cover - trivial dispatch
+        raise NotImplementedError
+
+    def _assert_transferable(self, timed: _TimedBatch, chunks: list[list]) -> None:
+        """Surface transfer errors even when execution stays in-process."""
+
+    def _submit_chunks(self, timed, chunks):
+        if len(chunks) == 1 or self.workers == 1:
+            # No parallelism to gain; skip pool overhead and run
+            # in-process — but still enforce the backend's transfer
+            # contract, so a small test input cannot mask a batch
+            # function that would crash at production scale.
+            self._assert_transferable(timed, chunks)
+            yield from SerialExecutor._submit_chunks(self, timed, chunks)
+            return
+        if self._pool is None:
+            self._pool = self._make_pool()
+        futures: dict[Future, int] = {
+            self._pool.submit(timed, chunk): chunk_index
+            for chunk_index, chunk in enumerate(chunks)
+        }
+        pending = set(futures)
+        try:
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_EXCEPTION)
+                for future in done:
+                    chunk_index = futures[future]
+                    error = future.exception()
+                    if error is not None:
+                        raise _ChunkFailure(chunk_index, error) from error
+                    seconds, results = future.result()
+                    yield chunk_index, seconds, results
+        finally:
+            for future in pending:
+                future.cancel()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool execution.
+
+    Shares memory with the caller — zero serialization cost, but Python
+    bytecode contends on the GIL.  The right choice when the batch
+    function releases the GIL or when pickling the context would
+    dominate (small inputs, huge shared state).
+    """
+
+    name = "thread"
+
+    def _make_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-exec"
+        )
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Process-pool execution — true CPU parallelism.
+
+    The batch function and items cross process boundaries, so both must
+    be picklable and the function must be **pure**: worker-side caches
+    or mutations never flow back.  Per-chunk overhead is the pickled
+    context, so prefer few large chunks over many small ones.
+    """
+
+    name = "process"
+
+    def _assert_transferable(self, timed, chunks):
+        # The in-process shortcut must not hide a PicklingError that the
+        # first multi-chunk input would hit.  Probing the batch function
+        # plus one representative item catches the realistic failure
+        # modes (lambdas, handles, locks) without serializing the whole
+        # payload just to throw it away.
+        import pickle
+
+        pickle.dumps((timed, chunks[0][:1]))
+
+    def _make_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+def make_executor(
+    name: str | None = None,
+    workers: int | None = None,
+    observers: Iterable[ExecutorObserver] = (),
+) -> Executor:
+    """Build an executor from a configuration string.
+
+    ``name=None`` resolves via ``REPRO_EXECUTOR`` (default ``serial``);
+    ``workers=None`` resolves via ``REPRO_WORKERS`` (default CPU count).
+    """
+    resolved = name.strip().lower() if name is not None else default_executor_name()
+    resolved_workers = workers if workers is not None else default_worker_count()
+    if resolved == "serial":
+        return SerialExecutor(max(1, resolved_workers), observers)
+    if resolved == "thread":
+        return ThreadExecutor(resolved_workers, observers)
+    if resolved == "process":
+        return ProcessExecutor(resolved_workers, observers)
+    known = ", ".join(EXECUTOR_NAMES)
+    raise ValueError(f"unknown executor {name!r}; expected one of: {known}")

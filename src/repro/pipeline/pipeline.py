@@ -22,6 +22,13 @@ from repro.matching.schema_matcher import SchemaMatcherModels
 from repro.ml.aggregation import ScoreAggregator, StaticWeightedAggregator
 from repro.newdetect.detector import DetectionResult
 from repro.newdetect.metrics import ENTITY_METRIC_NAMES
+from repro.parallel import (
+    EXECUTOR_NAMES,
+    ExecutorObserver,
+    default_executor_name,
+    default_worker_count,
+    make_executor,
+)
 from repro.pipeline.result import IterationArtifacts, PipelineResult
 from repro.pipeline.stages import (
     STAGES,
@@ -64,6 +71,12 @@ class PipelineConfig:
     #: paper suggests in Section 5 against over-segmentation (off by
     #: default, matching the published system).
     dedup_new_entities: bool = False
+    #: Execution backend for the parallel hot paths: ``serial`` (the
+    #: default — legacy results byte for byte), ``thread`` or
+    #: ``process``.  Defaults honour ``REPRO_EXECUTOR``/``REPRO_WORKERS``
+    #: so a test matrix can flip every run onto a pool via environment.
+    executor: str = field(default_factory=default_executor_name)
+    workers: int = field(default_factory=default_worker_count)
 
     def __post_init__(self) -> None:
         # Defensive copies: callers may hand in lists, and shared mutable
@@ -86,6 +99,15 @@ class PipelineConfig:
             raise ValueError(
                 f"candidate_limit must be >= 1, got {self.candidate_limit}"
             )
+        self.executor = self.executor.strip().lower()
+        if self.executor not in EXECUTOR_NAMES:
+            known = ", ".join(EXECUTOR_NAMES)
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of: {known}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
 
 
 @dataclass
@@ -157,6 +179,14 @@ class LongTailPipeline:
         ``stages`` substitutes the stage sequence (names resolved against
         :data:`~repro.pipeline.stages.STAGES`, instances used as-is);
         ``observers`` receive per-stage progress and timing events.
+
+        Failures in work dispatched through the executor surface as
+        :class:`~repro.parallel.ExecutorError` naming the task, chunk
+        and originating items — for every backend, including the default
+        serial one.  Work that never routes through the executor keeps
+        its original exception types: direct component calls outside the
+        pipeline, and the clustering stage's lazily scored pairs (its
+        block-local precompute only runs under a pooled executor).
         """
         if self.models.row_aggregator is None or self.models.entity_aggregator is None:
             raise RuntimeError(
@@ -164,6 +194,15 @@ class LongTailPipeline:
                 "or train models via repro.pipeline.training.train_models"
             )
         stage_list = STAGES.resolve(stages)
+        executor = make_executor(
+            self.config.executor,
+            self.config.workers,
+            observers=[
+                observer
+                for observer in observers
+                if isinstance(observer, ExecutorObserver)
+            ],
+        )
         state = PipelineState(
             kb=self.kb,
             corpus=corpus,
@@ -173,27 +212,33 @@ class LongTailPipeline:
             table_ids=table_ids,
             row_ids=row_ids,
             known_classes=known_classes,
+            executor=executor,
         )
         result = PipelineResult(class_name=class_name)
         for observer in observers:
             observer.on_run_started(class_name, self.config)
-        for iteration in range(1, self.config.iterations + 1):
-            state.iteration = iteration
-            for observer in observers:
-                observer.on_iteration_started(class_name, iteration)
-            for stage in stage_list:
+        try:
+            for iteration in range(1, self.config.iterations + 1):
+                state.iteration = iteration
                 for observer in observers:
-                    observer.on_stage_started(class_name, iteration, stage.name)
-                started = time.perf_counter()
-                state = stage.run(state)
-                elapsed = time.perf_counter() - started
-                for observer in observers:
-                    observer.on_stage_finished(
-                        class_name, iteration, stage.name, elapsed
-                    )
-            artifacts = state.artifacts()
-            result.iterations.append(artifacts)
-            state.evidence = self._build_evidence(artifacts)
+                    observer.on_iteration_started(class_name, iteration)
+                for stage in stage_list:
+                    for observer in observers:
+                        observer.on_stage_started(
+                            class_name, iteration, stage.name
+                        )
+                    started = time.perf_counter()
+                    state = stage.run(state)
+                    elapsed = time.perf_counter() - started
+                    for observer in observers:
+                        observer.on_stage_finished(
+                            class_name, iteration, stage.name, elapsed
+                        )
+                artifacts = state.artifacts()
+                result.iterations.append(artifacts)
+                state.evidence = self._build_evidence(artifacts)
+        finally:
+            executor.close()
         if self.config.dedup_new_entities:
             self._dedup_final(result)
         for observer in observers:

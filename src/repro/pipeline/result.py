@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.clustering.greedy import Cluster
@@ -71,6 +72,70 @@ class PipelineResult:
             "existing_entities": len(self.existing_entities()),
             "new_facts": self.new_fact_count(),
         }
+
+    def canonical_json(self) -> str:
+        """A byte-stable canonical JSON rendering of the full result.
+
+        Every semantic artifact — cluster compositions, fused facts,
+        labels, classifications, scores, correspondences — is included
+        with deterministic ordering.  Entity ids (and the detection keys
+        derived from them) are creation-order counters and are included
+        too: the determinism contract makes creation order itself
+        reproducible, so two runs agree on this string when they made
+        identical decisions *in the same order*.  This is the equality
+        witness of the executor determinism contract (benchmarks, the
+        golden regression test) and of backend-equivalence checks
+        (in-memory vs store-backed corpora); a change that legitimately
+        reorders creation (while preserving set-level results) must
+        regenerate the golden fixture.
+        """
+
+        def entity(record: Entity) -> dict:
+            return {
+                "id": record.entity_id,
+                "rows": sorted(map(list, record.row_ids())),
+                "facts": {
+                    name: repr(value)
+                    for name, value in sorted(record.facts.items())
+                },
+                "labels": list(record.labels),
+            }
+
+        return json.dumps(
+            {
+                "summary": self.summary_dict(),
+                "iterations": [
+                    {
+                        "clusters": sorted(
+                            sorted(map(list, cluster.row_ids()))
+                            for cluster in artifacts.clusters
+                        ),
+                        "entities": sorted(
+                            (entity(record) for record in artifacts.entities),
+                            key=lambda entry: entry["id"],
+                        ),
+                        "detection": {
+                            str(entity_id): [
+                                classification.name,
+                                repr(
+                                    artifacts.detection.best_scores.get(
+                                        entity_id
+                                    )
+                                ),
+                                artifacts.detection.correspondences.get(
+                                    entity_id
+                                ),
+                            ]
+                            for entity_id, classification in sorted(
+                                artifacts.detection.classifications.items()
+                            )
+                        },
+                    }
+                    for artifacts in self.iterations
+                ],
+            },
+            sort_keys=True,
+        )
 
     def summary(self) -> str:
         """A short human-readable report."""

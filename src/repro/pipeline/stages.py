@@ -46,6 +46,7 @@ from repro.newdetect.detector import (
     NewDetector,
 )
 from repro.newdetect.metrics import make_entity_metrics
+from repro.parallel import Executor, ExecutorObserver
 from repro.pipeline.result import IterationArtifacts
 from repro.webtables.corpus import TableCorpus
 from repro.webtables.table import RowId
@@ -86,6 +87,10 @@ class PipelineState:
     evidence: DuplicateEvidence | None = None
     #: Schema matcher shared across iterations (keeps its analysis caches).
     matcher: SchemaMatcher | None = None
+    #: Execution backend for the parallel hot paths, set per run by the
+    #: orchestrator from ``config.executor``/``config.workers`` (None
+    #: means serial).  Stages hand it to the components they build.
+    executor: Executor | None = None
 
     # Stage outputs ----------------------------------------------------
     mapping: SchemaMapping | None = None
@@ -154,18 +159,37 @@ class PipelineObserver:
         pass
 
 
-class TimingObserver(PipelineObserver):
-    """Collects per-stage wall-clock time across runs."""
+class TimingObserver(PipelineObserver, ExecutorObserver):
+    """Collects per-stage wall-clock time across runs.
+
+    Also an :class:`~repro.parallel.ExecutorObserver`: when a run uses a
+    parallel executor, per-chunk in-worker compute seconds are
+    aggregated per parallel task (``chunk_seconds``), alongside the
+    stage wall clock — comparing the two shows how much compute the pool
+    absorbed.
+    """
 
     def __init__(self) -> None:
         #: (class_name, iteration, stage_name) -> seconds
         self.timings: dict[tuple[str, int, str], float] = {}
+        #: parallel task name -> summed in-worker chunk seconds
+        self.chunk_seconds: dict[str, float] = {}
+        #: parallel task name -> chunks completed
+        self.chunk_counts: dict[str, int] = {}
 
     def on_stage_finished(
         self, class_name: str, iteration: int, stage_name: str, seconds: float
     ) -> None:
         key = (class_name, iteration, stage_name)
         self.timings[key] = self.timings.get(key, 0.0) + seconds
+
+    def on_chunk_finished(
+        self, task_name: str, chunk_index: int, n_items: int, seconds: float
+    ) -> None:
+        self.chunk_seconds[task_name] = (
+            self.chunk_seconds.get(task_name, 0.0) + seconds
+        )
+        self.chunk_counts[task_name] = self.chunk_counts.get(task_name, 0) + 1
 
     def by_stage(self) -> dict[str, float]:
         """Total seconds per stage name, summed over classes/iterations."""
@@ -178,7 +202,7 @@ class TimingObserver(PipelineObserver):
         return sum(self.timings.values())
 
     def report(self) -> str:
-        """Aligned per-stage timing table."""
+        """Aligned per-stage timing table (plus parallel task chunks)."""
         totals = self.by_stage()
         if not totals:
             return "(no stages timed)"
@@ -188,6 +212,16 @@ class TimingObserver(PipelineObserver):
             for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1])
         ]
         lines.append(f"{'total':<{width}}  {self.total():8.3f}s")
+        if self.chunk_seconds:
+            lines.append("parallel tasks (in-worker chunk seconds):")
+            task_width = max(len(name) for name in self.chunk_seconds)
+            for name, seconds in sorted(
+                self.chunk_seconds.items(), key=lambda kv: -kv[1]
+            ):
+                lines.append(
+                    f"  {name:<{task_width}}  {seconds:8.3f}s "
+                    f"({self.chunk_counts[name]} chunks)"
+                )
         return "\n".join(lines)
 
 
@@ -255,6 +289,9 @@ class SchemaMatchStage:
     def run(self, state: PipelineState) -> PipelineState:
         if state.matcher is None:
             state.matcher = SchemaMatcher(state.kb, state.models.schema_models)
+        # The matcher outlives runs (it rides the artifact cache), but
+        # executors are per-run resources — rebind every time.
+        state.matcher.executor = state.executor
         state.mapping = state.matcher.match_corpus(
             state.corpus,
             evidence=state.evidence,
@@ -304,6 +341,7 @@ class ClusterStage:
             seed=config.seed + state.iteration,
             use_klj=config.use_klj,
             use_blocking=config.use_blocking,
+            executor=state.executor,
         )
         state.clusters = clusterer.cluster(state.records)
         return state
@@ -374,5 +412,5 @@ class DetectStage:
             state.models.new_threshold,
             state.models.existing_threshold,
         )
-        state.detection = detector.detect(state.entities)
+        state.detection = detector.detect(state.entities, executor=state.executor)
         return state

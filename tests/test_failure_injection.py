@@ -10,10 +10,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.clustering.clusterer import RowClusterer
+from repro.clustering.similarity import RowSimilarity
 from repro.datatypes import DataType, detect_column_type, normalize_value
 from repro.datatypes.normalization import NormalizationError
 from repro.matching import SchemaMatcher, build_row_records
-from repro.pipeline.pipeline import LongTailPipeline
+from repro.matching.records import RowRecord
+from repro.ml.aggregation import StaticWeightedAggregator
+from repro.parallel import ExecutorError, ProcessExecutor, ThreadExecutor
+from repro.pipeline.pipeline import LongTailPipeline, PipelineConfig
 from repro.webtables import TableCorpus, WebTable
 
 
@@ -93,6 +98,97 @@ class TestPipelineRobustness:
         result = pipeline.run(TableCorpus(tables), "Song")
         # The real tables should still produce records.
         assert len(result.final.records) > 0
+
+
+class BoobyTrappedTable(WebTable):
+    """A table whose column access explodes — simulates a worker crash.
+
+    Module-level so instances pickle into process-pool workers.
+    """
+
+    def column(self, index):
+        raise RuntimeError("corrupted payload")
+
+
+class ExplodingRowMetric:
+    """Row metric that fails on a poisoned label (picklable)."""
+
+    name = "BOOM"
+
+    def compute(self, a, b):
+        if "poison" in (a.norm_label, b.norm_label):
+            raise RuntimeError("metric blew up")
+        return 1.0, 1.0
+
+
+def _plain_record(number: int, label: str) -> RowRecord:
+    return RowRecord(
+        row_id=(f"t{number}", 0),
+        table_id=f"t{number}",
+        label=label,
+        norm_label=label,
+        tokens=frozenset(label.split()),
+        values={},
+        label_tokens=tuple(label.split()),
+    )
+
+
+class TestParallelFailurePropagation:
+    """Worker exceptions must surface with the originating chunk/table id."""
+
+    @pytest.fixture(
+        scope="class", params=["thread", "process"], ids=["thread", "process"]
+    )
+    def pool(self, request):
+        executor = (
+            ThreadExecutor(2) if request.param == "thread" else ProcessExecutor(2)
+        )
+        yield executor
+        executor.close()
+
+    def test_schema_matching_worker_crash_names_table(self, tiny_world, pool):
+        tables = pathological_tables()
+        tables.insert(3, BoobyTrappedTable("trapped", ("a", "b"), [("x", "y")]))
+        corpus = TableCorpus(tables)
+        matcher = SchemaMatcher(tiny_world.knowledge_base, executor=pool)
+        with pytest.raises(ExecutorError) as caught:
+            matcher.match_corpus(corpus)
+        error = caught.value
+        assert error.task_name == "schema_match/analyze"
+        assert "trapped" in error.item_labels
+        assert "corrupted payload" in str(error)
+
+    def test_clustering_worker_crash_names_block(self, pool):
+        records = [
+            _plain_record(0, "poison"),
+            _plain_record(1, "poison"),
+            _plain_record(2, "fine"),
+        ]
+        similarity = RowSimilarity(
+            [ExplodingRowMetric()], StaticWeightedAggregator({"BOOM": 1.0}, 0.5)
+        )
+        clusterer = RowClusterer(similarity, executor=pool)
+        with pytest.raises(ExecutorError) as caught:
+            clusterer.cluster(records)
+        error = caught.value
+        assert error.task_name == "cluster/block_similarity"
+        assert any(label.startswith("block:") for label in error.item_labels)
+        assert "metric blew up" in str(error)
+
+    def test_pipeline_on_garbage_corpus_parallel_matches_serial(
+        self, tiny_world, pool
+    ):
+        """Graceful degradation holds under pools, with identical output."""
+        corpus = TableCorpus(pathological_tables())
+        serial = LongTailPipeline.default(
+            tiny_world.knowledge_base,
+            PipelineConfig(executor="serial"),
+        ).run(corpus, "Song")
+        parallel = LongTailPipeline.default(
+            tiny_world.knowledge_base,
+            PipelineConfig(executor=pool.name, workers=2),
+        ).run(corpus, "Song")
+        assert serial.canonical_json() == parallel.canonical_json()
 
 
 class TestNormalizationRobustness:

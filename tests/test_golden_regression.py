@@ -1,0 +1,78 @@
+"""Golden regression: the default pipeline on a committed fixed corpus.
+
+``tests/golden/`` holds a small committed world (corpus + knowledge
+base, built once with ``build_world(seed=11, scale=0.08,
+classes=["Song"])``) and the canonical JSON the default pipeline
+produced on it.  The tests rerun the pipeline and diff byte-for-byte:
+
+* against the committed expectation — any semantic drift in matching,
+  clustering, fusion or detection shows up as a diff, not as a silently
+  shifted metric;
+* across executors — serial, thread and process (workers=2) runs must
+  produce identical artifacts (the acceptance criterion of the parallel
+  execution engine).
+
+To regenerate after an *intentional* behaviour change::
+
+    PYTHONPATH=src python -c "
+    from pathlib import Path
+    from repro.api import RunSession
+    session = RunSession.from_directory('tests/golden/world')
+    blob = session.run('Song', use_cache=False).canonical_json()
+    Path('tests/golden/expected_Song.json').write_text(blob)"
+
+and explain the diff in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunSession
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+WORLD_DIR = GOLDEN_DIR / "world"
+EXPECTED_FILE = GOLDEN_DIR / "expected_Song.json"
+
+
+@pytest.fixture(scope="module")
+def golden_session():
+    return RunSession.from_directory(WORLD_DIR)
+
+
+@pytest.fixture(scope="module")
+def expected_blob() -> str:
+    return EXPECTED_FILE.read_text(encoding="utf-8")
+
+
+def test_fixture_is_committed_and_wellformed(expected_blob):
+    assert (WORLD_DIR / "corpus.jsonl").exists()
+    assert (WORLD_DIR / "knowledge_base.json").exists()
+    document = json.loads(expected_blob)
+    assert document["summary"]["class_name"] == "Song"
+    assert document["summary"]["entities"] > 0
+
+
+def test_default_pipeline_matches_golden(golden_session, expected_blob):
+    """The serial default pipeline reproduces the committed artifacts."""
+    result = golden_session.run("Song", executor="serial", use_cache=False)
+    assert result.canonical_json() == expected_blob
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_parallel_runs_byte_identical_to_golden(
+    golden_session, expected_blob, executor
+):
+    """Thread/process runs (workers=2) agree with the golden bytes.
+
+    Equality against the *same committed string* the serial test uses is
+    exactly the "serial and parallel runs produce byte-identical
+    artifacts" acceptance criterion.
+    """
+    result = golden_session.run(
+        "Song", executor=executor, workers=2, use_cache=False
+    )
+    assert result.canonical_json() == expected_blob

@@ -1,0 +1,306 @@
+"""The parallel execution engine: ordering, failure provenance, env
+defaults, observer plumbing — and the determinism contract, asserted
+property-based across Serial/Thread/Process executors on random inputs
+and random corpora.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import RunSession, config_hash
+from repro.clustering.clusterer import RowClusterer
+from repro.clustering.context import RowMetricContext, make_row_metrics
+from repro.clustering.similarity import RowSimilarity
+from repro.matching.records import build_row_records
+from repro.matching.schema_matcher import SchemaMatcher
+from repro.ml.aggregation import StaticWeightedAggregator
+from repro.parallel import (
+    EXECUTOR_NAMES,
+    ExecutorError,
+    ExecutorObserver,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    default_executor_name,
+    default_worker_count,
+    make_executor,
+)
+from repro.pipeline.pipeline import PipelineConfig
+from repro.webtables import TableCorpus, WebTable
+
+
+# -- module-level batch functions (picklable for process pools) ---------
+def square_batch(chunk: list[int]) -> list[int]:
+    return [value * value for value in chunk]
+
+
+def bad_count_batch(chunk: list[int]) -> list[int]:
+    return chunk[:-1]  # one result short
+
+
+def explode_on_seven(chunk: list[int]) -> list[int]:
+    for value in chunk:
+        if value == 7:
+            raise ValueError("seven is right out")
+    return chunk
+
+
+@pytest.fixture(scope="module")
+def executors():
+    """One instance of each executor, pools shared across tests."""
+    built = [SerialExecutor(), ThreadExecutor(2), ProcessExecutor(2)]
+    yield built
+    for executor in built:
+        executor.close()
+
+
+# -- map_batches mechanics ---------------------------------------------
+class TestMapBatches:
+    def test_empty_items(self, executors):
+        for executor in executors:
+            assert executor.map_batches(square_batch, []) == []
+
+    @pytest.mark.parametrize("chunk_size", [1, 3, 7, 100])
+    def test_order_preserved(self, executors, chunk_size):
+        items = list(range(29))
+        expected = [value * value for value in items]
+        for executor in executors:
+            assert (
+                executor.map_batches(square_batch, items, chunk_size=chunk_size)
+                == expected
+            )
+
+    def test_result_count_mismatch_rejected(self, executors):
+        for executor in executors:
+            with pytest.raises(ValueError, match="returned 3 results"):
+                executor.map_batches(bad_count_batch, [1, 2, 3, 4], chunk_size=4)
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            SerialExecutor(0)
+
+    def test_observer_sees_every_item(self, executors):
+        class Recorder(ExecutorObserver):
+            def __init__(self):
+                self.started = []
+                self.chunks = []
+                self.finished = []
+
+            def on_map_started(self, task_name, n_items, n_chunks):
+                self.started.append((task_name, n_items, n_chunks))
+
+            def on_chunk_finished(self, task_name, chunk_index, n_items, seconds):
+                self.chunks.append((chunk_index, n_items))
+                assert seconds >= 0.0
+
+            def on_map_finished(self, task_name, n_items, seconds):
+                self.finished.append((task_name, n_items))
+
+        for executor in executors:
+            recorder = Recorder()
+            executor.observers.append(recorder)
+            try:
+                executor.map_batches(
+                    square_batch, list(range(10)), chunk_size=3, task_name="obs"
+                )
+            finally:
+                executor.observers.remove(recorder)
+            assert recorder.started == [("obs", 10, 4)]
+            assert sorted(recorder.chunks) == [(0, 3), (1, 3), (2, 3), (3, 1)]
+            assert recorder.finished == [("obs", 10)]
+
+
+# -- failure provenance -------------------------------------------------
+class TestFailurePropagation:
+    def test_error_names_task_chunk_and_items(self, executors):
+        for executor in executors:
+            with pytest.raises(ExecutorError) as caught:
+                executor.map_batches(
+                    explode_on_seven,
+                    list(range(12)),
+                    chunk_size=4,
+                    task_name="demo",
+                    label=lambda value: f"item-{value}",
+                )
+            error = caught.value
+            assert error.task_name == "demo"
+            assert error.chunk_index == 1  # 7 lives in [4, 5, 6, 7]
+            assert "item-7" in error.item_labels
+            assert "seven is right out" in str(error)
+            assert isinstance(error.__cause__, ValueError)
+
+
+# -- env-driven defaults & config plumbing ------------------------------
+class TestDefaults:
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_executor_name() == "thread"
+        assert default_worker_count() == 3
+        config = PipelineConfig()
+        assert config.executor == "thread"
+        assert config.workers == 3
+        executor = make_executor()
+        assert isinstance(executor, ThreadExecutor)
+        assert executor.workers == 3
+
+    def test_env_unset_means_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_executor_name() == "serial"
+        assert default_worker_count() >= 1
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "gpu")
+        with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+            default_executor_name()
+        monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_worker_count()
+
+    def test_config_validates_executor(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            PipelineConfig(executor="gpu")
+        with pytest.raises(ValueError, match="workers"):
+            PipelineConfig(workers=0)
+
+    def test_make_executor_names(self):
+        for name in EXECUTOR_NAMES:
+            executor = make_executor(name, workers=2)
+            try:
+                assert executor.name == name
+            finally:
+                executor.close()
+        with pytest.raises(ValueError, match="unknown executor"):
+            make_executor("gpu")
+
+    def test_config_hash_ignores_executor_knobs(self):
+        base = PipelineConfig(executor="serial", workers=1)
+        parallel = dataclasses.replace(base, executor="process", workers=8)
+        semantically_different = dataclasses.replace(base, iterations=1)
+        assert config_hash(base) == config_hash(parallel)
+        assert config_hash(base) != config_hash(semantically_different)
+
+
+# -- property-based: cross-executor equivalence -------------------------
+@given(
+    items=st.lists(st.integers(min_value=-1000, max_value=1000), max_size=60),
+    chunk_size=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_map_batches_equivalent(executors, items, chunk_size):
+    """All executors return identical, identically-ordered results."""
+    outputs = [
+        executor.map_batches(square_batch, items, chunk_size=chunk_size)
+        for executor in executors
+    ]
+    assert outputs[0] == outputs[1] == outputs[2]
+    assert outputs[0] == [value * value for value in items]
+
+
+_WORDS = ("alpha", "beta", "gamma", "delta", "omega", "river", "stone")
+
+
+@st.composite
+def random_tables(draw) -> list[WebTable]:
+    """Small random two-column tables with word-ish labels."""
+    n_tables = draw(st.integers(min_value=1, max_value=3))
+    tables = []
+    for table_number in range(n_tables):
+        n_rows = draw(st.integers(min_value=1, max_value=4))
+        rows = []
+        for __ in range(n_rows):
+            words = draw(
+                st.lists(st.sampled_from(_WORDS), min_size=1, max_size=3)
+            )
+            year = draw(st.integers(min_value=1900, max_value=2020))
+            rows.append((" ".join(words), str(year)))
+        tables.append(
+            WebTable(f"rand-{table_number:03d}", ("name", "year"), rows)
+        )
+    return tables
+
+
+@given(tables=random_tables(), n_real=st.integers(min_value=1, max_value=4))
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_stage_outputs_equivalent(
+    executors, tiny_world, tables, n_real
+):
+    """Schema matching + clustering agree across executors on random corpora.
+
+    Random junk tables are mixed with real Song tables so both the
+    mapped and the unmapped code paths run.
+    """
+    real_ids = tiny_world.tables_of_class("Song")[:n_real]
+    corpus = TableCorpus(
+        tables + [tiny_world.corpus.get(table_id) for table_id in real_ids]
+    )
+    kb = tiny_world.knowledge_base
+
+    mappings = []
+    clusterings = []
+    for executor in executors:
+        matcher = SchemaMatcher(kb, executor=executor)
+        mapping = matcher.match_corpus(corpus)
+        mappings.append(
+            [
+                (
+                    table_id,
+                    table_mapping.class_name,
+                    table_mapping.class_score,
+                    table_mapping.label_column,
+                    sorted(
+                        (column, link.property_name, link.score)
+                        for column, link in table_mapping.attributes.items()
+                    ),
+                )
+                for table_id, table_mapping in sorted(mapping.by_table.items())
+            ]
+        )
+        records = build_row_records(corpus, mapping, "Song")
+        context = RowMetricContext.build(kb, "Song", records)
+        similarity = RowSimilarity(
+            make_row_metrics(PipelineConfig().row_metric_names, context),
+            StaticWeightedAggregator(
+                {
+                    name: 1.0 / len(PipelineConfig().row_metric_names)
+                    for name in PipelineConfig().row_metric_names
+                },
+                threshold=0.6,
+            ),
+        )
+        clusterer = RowClusterer(similarity, executor=executor)
+        clusterings.append(
+            sorted(sorted(cluster.row_ids()) for cluster in clusterer.cluster(records))
+        )
+    assert mappings[0] == mappings[1] == mappings[2]
+    assert clusterings[0] == clusterings[1] == clusterings[2]
+
+
+@given(n_real=st.integers(min_value=2, max_value=6), seed=st.integers(0, 3))
+@settings(max_examples=4, deadline=None)
+def test_property_full_pipeline_equivalent(tiny_world, n_real, seed):
+    """The full default pipeline is byte-identical across executors."""
+    table_ids = tiny_world.tables_of_class("Song")[: n_real + 2]
+    corpus = TableCorpus(
+        [tiny_world.corpus.get(table_id) for table_id in table_ids]
+    )
+    blobs = []
+    for name in EXECUTOR_NAMES:
+        session = RunSession(
+            knowledge_base=tiny_world.knowledge_base,
+            corpus=corpus,
+            config=PipelineConfig(executor=name, workers=2, seed=seed),
+        )
+        blobs.append(session.run("Song", use_cache=False).canonical_json())
+    assert blobs[0] == blobs[1] == blobs[2]
