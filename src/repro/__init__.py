@@ -89,6 +89,11 @@ __all__ = [
     "StoredCorpusView",
     "CorpusLabelIndex",
     "IngestReport",
+    "ArtifactStore",
+    "IncrementalRunReport",
+    "CorpusDelta",
+    "InvalidationFrontier",
+    "diff_corpus_states",
     "open_table_stream",
     "Executor",
     "ExecutorError",
@@ -100,7 +105,7 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 # Lazy attribute resolution keeps `import repro.text` cheap and lets the
 # submodules stay independent.
@@ -133,6 +138,17 @@ _LAZY_EXPORTS = {
     "StoredCorpusView": ("repro.corpus.view", "StoredCorpusView"),
     "CorpusLabelIndex": ("repro.corpus.indexing", "CorpusLabelIndex"),
     "IngestReport": ("repro.corpus.store", "IngestReport"),
+    "ArtifactStore": ("repro.pipeline.artifacts", "ArtifactStore"),
+    "IncrementalRunReport": (
+        "repro.pipeline.artifacts",
+        "IncrementalRunReport",
+    ),
+    "CorpusDelta": ("repro.pipeline.delta", "CorpusDelta"),
+    "InvalidationFrontier": (
+        "repro.pipeline.delta",
+        "InvalidationFrontier",
+    ),
+    "diff_corpus_states": ("repro.pipeline.delta", "diff_corpus_states"),
     "open_table_stream": ("repro.corpus.readers", "open_table_stream"),
     "Executor": ("repro.parallel", "Executor"),
     "ExecutorError": ("repro.parallel", "ExecutorError"),

@@ -33,6 +33,23 @@ from typing import Iterable, Sequence
 
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.newdetect.detector import DetectionResult
+from repro.pipeline.artifacts import (
+    ARTIFACTS_DIRNAME,
+    ArtifactStore,
+    IncrementalBackend,
+    IncrementalRunReport,
+    PERSISTED_FIELDS,
+)
+from repro.pipeline.delta import (
+    CorpusDelta,
+    corpus_state,
+    diff_corpus_states,
+    digest,
+    fingerprint_corpus_state,
+    fingerprint_kb,
+    invalidation_frontier,
+    pickle_digest,
+)
 from repro.pipeline.pipeline import (
     LongTailPipeline,
     PipelineConfig,
@@ -112,6 +129,46 @@ def _fork(value):
             best_scores=dict(value.best_scores),
         )
     return value
+
+
+class _PersistentStage:
+    """Wraps a default stage with the on-disk artifact store.
+
+    Only registry-resolved default stages are wrapped (their inputs are
+    exactly fingerprintable); the key embeds every input's digest, so a
+    hit is byte-identical to recomputing by the purity invariant of
+    :mod:`repro.pipeline.artifacts`.  On a miss the inner stage runs —
+    with its per-table/per-entity caches warmed by the same backend —
+    and the fresh artifact is persisted.
+    """
+
+    def __init__(self, inner: PipelineStage, backend: IncrementalBackend) -> None:
+        self.inner = inner
+        self.name = inner.name
+        self.provides = inner.provides
+        self._backend = backend
+        self._fields = PERSISTED_FIELDS[inner.name]
+
+    def run(self, state: PipelineState) -> PipelineState:
+        key = self._backend.stage_key(self.name, state)
+        if key is None:  # pragma: no cover - defensive; names are vetted
+            return self.inner.run(state)
+        cached = self._backend.store.get(key)
+        if cached is not None:
+            for field_name, value in cached.items():
+                setattr(state, field_name, value)
+            self._backend.record_stage(self.name, state.iteration, "hit")
+            return state
+        self._backend.record_stage(self.name, state.iteration, "miss")
+        state = self.inner.run(state)
+        self._backend.store.put(
+            key,
+            {
+                field_name: getattr(state, field_name)
+                for field_name in self._fields
+            },
+        )
+        return state
 
 
 class _CachedStage:
@@ -208,6 +265,15 @@ class RunSession:
         #: Strong references keep cache-key identity tokens stable.
         self._identity_registry: list[object] = []
         self._default_models: dict[str, PipelineModels] = {}
+        #: Persistent artifact store for incremental runs (see
+        #: :meth:`attach_artifact_store`); ``None`` keeps the session
+        #: purely in-memory.
+        self.artifact_store: ArtifactStore | None = None
+        #: Reuse/recompute statistics of the latest incremental run.
+        self.last_incremental_report: IncrementalRunReport | None = None
+        self._corpus_epoch: str | None = None
+        self._kb_fp: str | None = None
+        self._models_fps: dict[int, str] = {}
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -256,6 +322,7 @@ class RunSession:
         cache_size: int = 256,
         config: PipelineConfig | None = None,
         observers: Iterable[PipelineObserver] = (),
+        artifacts: bool = True,
     ) -> "RunSession":
         """Serve runs over a sharded on-disk corpus (``repro ingest``).
 
@@ -265,6 +332,9 @@ class RunSession:
         materializes it.  The knowledge base comes from
         ``knowledge_base=``, ``kb_path=``, or — by convention — a
         ``knowledge_base.json`` saved inside the store directory.
+        ``artifacts`` (default on) attaches the persistent artifact store
+        conventionally located at ``<store directory>/artifacts``, which
+        is what makes :meth:`run_incremental` work out of the box.
         """
         from repro.corpus.store import CorpusStore
         from repro.io import load_knowledge_base
@@ -283,12 +353,47 @@ class RunSession:
                     )
                 kb_path = candidate
             knowledge_base = load_knowledge_base(kb_path)
-        return cls(
+        session = cls(
             knowledge_base=knowledge_base,
             corpus=store.as_corpus(cache_size=cache_size),
             config=config,
             observers=observers,
         )
+        if artifacts:
+            session.attach_artifact_store(
+                Path(store.directory) / ARTIFACTS_DIRNAME
+            )
+        return session
+
+    # -- incremental execution ------------------------------------------
+    def attach_artifact_store(
+        self, store: ArtifactStore | str | Path
+    ) -> ArtifactStore:
+        """Attach (creating if needed) the persistent artifact store.
+
+        Any session can be made incremental — store-backed sessions get
+        this automatically under the corpus-store directory; in-memory
+        sessions may point it anywhere.
+        """
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.artifact_store = store
+        return store
+
+    def run_incremental(self, class_name: str, **kwargs) -> PipelineResult:
+        """Run one class, recomputing only what the corpus delta requires.
+
+        Exactly :meth:`run` with ``incremental=True``: every stage first
+        consults the persistent artifact store under keys that fingerprint
+        *all* of its inputs, schema matching re-analyzes only tables whose
+        content changed since artifacts were last stored, and detection
+        re-classifies only entities whose content changed.  The result is
+        byte-identical (``PipelineResult.canonical_json()``) to a
+        from-scratch run over the same corpus — served artifacts are pure
+        functions of their keys.  Reuse statistics land in
+        :attr:`last_incremental_report`.
+        """
+        return self.run(class_name, incremental=True, **kwargs)
 
     # -- running --------------------------------------------------------
     def run(
@@ -305,6 +410,7 @@ class RunSession:
         use_cache: bool = True,
         executor: str | None = None,
         workers: int | None = None,
+        incremental: bool = False,
     ) -> PipelineResult:
         """Run the pipeline for one class over the session's world.
 
@@ -315,7 +421,8 @@ class RunSession:
         the determinism contract makes any choice produce identical
         results, so they are *excluded* from artifact-cache keys (a
         serial run may be served artifacts a parallel run computed, and
-        vice versa).
+        vice versa).  ``incremental`` routes the run through the
+        persistent artifact store (see :meth:`run_incremental`).
         """
         config = config if config is not None else self.config
         if executor is not None or workers is not None:
@@ -332,12 +439,24 @@ class RunSession:
             DEFAULT_STAGE_NAMES
         )
         stage_list: list[PipelineStage] = STAGES.resolve(stage_specs)
+        restriction = self._restriction_key(table_ids, row_ids, known_classes)
+        backend: IncrementalBackend | None = None
+        if incremental:
+            backend = self._make_backend(
+                class_name, config, models, restriction
+            )
+            stage_list = [
+                _PersistentStage(stage, backend)
+                if isinstance(spec, str) and spec in PERSISTED_FIELDS
+                else stage
+                for spec, stage in zip(stage_specs, stage_list)
+            ]
         if use_cache:
             key_base = (
                 class_name,
                 config_hash(config),
                 self._identity_token(models),
-                self._restriction_key(table_ids, row_ids, known_classes),
+                restriction,
             )
             lineage: list = []
             stage_list = [
@@ -346,7 +465,7 @@ class RunSession:
                 )
                 for spec, stage in zip(stage_specs, stage_list)
             ]
-        return pipeline.run(
+        result = pipeline.run(
             self.corpus,
             class_name,
             table_ids=table_ids,
@@ -354,7 +473,14 @@ class RunSession:
             known_classes=known_classes,
             stages=stage_list,
             observers=[*self.observers, *observers],
+            incremental=backend,
         )
+        if backend is not None:
+            self.artifact_store.meta_save(
+                "last_corpus_state", {"state": backend.corpus_state}
+            )
+            self.last_incremental_report = backend.report
+        return result
 
     def run_many(
         self,
@@ -385,6 +511,76 @@ class RunSession:
         self.cache_misses = 0
 
     # -- internals ------------------------------------------------------
+    def _make_backend(
+        self,
+        class_name: str,
+        config: PipelineConfig,
+        models: PipelineModels,
+        restriction: tuple,
+    ) -> IncrementalBackend:
+        """Snapshot the corpus and build this run's incremental backend.
+
+        Also the session's corpus-epoch guard: when the snapshot differs
+        from the previous one, the in-memory artifact cache (which keys
+        by session state, not corpus content) is cleared and a live
+        store-backed corpus view drops its table cache — the persistent
+        store alone carries reuse across deltas, under content-exact
+        keys.
+        """
+        if self.artifact_store is None:
+            raise RuntimeError(
+                "incremental runs need a persistent artifact store; "
+                "construct the session via from_corpus_store (attached "
+                "automatically) or call attach_artifact_store(path)"
+            )
+        state = corpus_state(self.corpus)
+        epoch = fingerprint_corpus_state(state, order=list(state))
+        if epoch != self._corpus_epoch:
+            # Also taken on the session's *first* incremental run
+            # (``_corpus_epoch`` starts as None): earlier plain runs may
+            # have populated the in-memory cache and the view's LRU
+            # before the store mutated, and nothing vouches for them.
+            self.clear_cache()
+            invalidate = getattr(self.corpus, "invalidate", None)
+            if invalidate is not None:
+                invalidate()
+            self._corpus_epoch = epoch
+        backend = IncrementalBackend(
+            self.artifact_store,
+            corpus_state=state,
+            kb_fp=self._kb_fingerprint(),
+            models_fp=self._models_fingerprint(models),
+            config_fp=config_hash(config),
+            restriction_fp=digest(list(map(repr, restriction))),
+            class_name=class_name,
+        )
+        previous = self.artifact_store.meta_load("last_corpus_state")
+        if previous is not None:
+            delta = diff_corpus_states(previous["state"], state)
+        else:
+            # First incremental run against this store: everything is new.
+            delta = CorpusDelta(added=tuple(sorted(state)))
+        backend.report.frontier = invalidation_frontier(delta)
+        return backend
+
+    def _kb_fingerprint(self) -> str:
+        """The session KB's structural digest, computed once.
+
+        Sessions treat the knowledge base as immutable (every run shares
+        it); mutating it mid-session requires a fresh session.
+        """
+        if self._kb_fp is None:
+            self._kb_fp = fingerprint_kb(self.knowledge_base)
+        return self._kb_fp
+
+    def _models_fingerprint(self, models: PipelineModels) -> str:
+        token = self._identity_token(models)
+        fingerprint = self._models_fps.get(token)
+        if fingerprint is None:
+            fingerprint = pickle_digest(models)
+            self._models_fps[token] = fingerprint
+        return fingerprint
+
     def _resolve_models(
         self, models: PipelineModels | None, config: PipelineConfig
     ) -> PipelineModels:

@@ -8,13 +8,18 @@ Commands:
   classes through a :class:`repro.api.RunSession` and print the
   summaries (``--json`` for machine-readable output, ``--stages`` to
   substitute the stage sequence, ``--fusion`` / ``--iterations`` to
-  change the paper knobs).
+  change the paper knobs).  ``--store`` runs over an ingested corpus
+  store instead of the synthetic world, and ``--incremental`` serves
+  unchanged artifacts from the store's persistent artifact cache.
 * ``experiment`` — regenerate one paper table/figure by experiment id
   (``table01`` … ``table12``, ``figure01``, ``ranked_eval``).
 * ``ingest`` — stream web tables (JSONL / CSV directory / WDC JSON) into
   a sharded on-disk corpus store with optional ingest-time filtering,
   incremental label indexing, and multiprocess shard writes; the result
-  serves ``RunSession.from_corpus_store``.
+  serves ``RunSession.from_corpus_store``.  ``--then-run`` chains an
+  incremental pipeline run for the named classes straight after the
+  ingest — the ingest→run loop of a continuously growing corpus in one
+  command.
 """
 
 from __future__ import annotations
@@ -46,6 +51,28 @@ def _cmd_build_world(args: argparse.Namespace) -> int:
     return 0
 
 
+def _incremental_report_dict(report) -> dict:
+    """JSON-safe reuse statistics of one incremental run."""
+    document = {
+        "stage_hits": report.stage_hits(),
+        "stage_misses": report.stage_misses(),
+        "analyses_loaded": report.analysis_loaded,
+        "analyses_computed": report.analysis_computed,
+        "attributes_loaded": report.attributes_loaded,
+        "attributes_computed": report.attributes_computed,
+        "entities_loaded": report.entities_loaded,
+        "entities_computed": report.entities_computed,
+    }
+    if report.frontier is not None:
+        delta = report.frontier.delta
+        document["delta"] = {
+            "added": len(delta.added),
+            "removed": len(delta.removed),
+            "changed": len(delta.changed),
+        }
+    return document
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import ProgressObserver, RunSession
     from repro.pipeline.pipeline import PipelineConfig
@@ -58,6 +85,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             known = ", ".join(STAGES.names())
             print(f"error: unknown stage(s) {', '.join(unknown)}; "
                   f"registered stages: {known}")
+            return 2
+    if args.incremental and not args.store:
+        print("error: --incremental needs --store <corpus-store-dir> "
+              "(the persistent artifact store lives inside it)")
+        return 2
+    if not args.store:
+        unknown = [name for name in args.classes if name not in CLASS_CHOICES]
+        if unknown:
+            print(f"error: unknown class(es) {', '.join(unknown)}; "
+                  f"the synthetic world holds {', '.join(CLASS_CHOICES)}")
             return 2
     overrides = {}
     if args.executor is not None:
@@ -76,11 +113,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     observers = [] if args.quiet else [ProgressObserver()]
     timer = TimingObserver()
-    session = RunSession.from_seed(
-        seed=args.seed, scale=args.scale, config=config,
-        observers=[*observers, timer],
-    )
-    results = session.run_many(args.classes, stages=stages)
+    try:
+        if args.store:
+            session = RunSession.from_corpus_store(
+                args.store, kb_path=args.kb, config=config,
+                observers=[*observers, timer],
+            )
+        else:
+            session = RunSession.from_seed(
+                seed=args.seed, scale=args.scale, config=config,
+                observers=[*observers, timer],
+            )
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}")
+        return 2
+    results = {}
+    reports = {}
+    for class_name in dict.fromkeys(args.classes):
+        results[class_name] = session.run(
+            class_name, stages=stages, incremental=args.incremental
+        )
+        if args.incremental:
+            reports[class_name] = session.last_incremental_report
     if args.as_json:
         document = {
             "seed": args.seed,
@@ -93,9 +147,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 for name, seconds in timer.by_stage().items()
             },
         }
+        if args.store:
+            document["store"] = args.store
+        if reports:
+            document["incremental"] = {
+                class_name: _incremental_report_dict(report)
+                for class_name, report in reports.items()
+            }
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print("\n\n".join(result.summary() for result in results.values()))
+        for class_name, report in reports.items():
+            print(f"\nincremental [{class_name}]:")
+            print(report.summary())
     return 0
 
 
@@ -147,6 +211,19 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}")
         return 2
+    run_results = {}
+    run_reports = {}
+    if args.then_run:
+        from repro.api import RunSession
+
+        try:
+            session = RunSession.from_corpus_store(store, kb_path=args.kb)
+        except (ValueError, FileNotFoundError) as error:
+            print(f"error: --then-run failed: {error}")
+            return 2
+        for class_name in dict.fromkeys(args.then_run):
+            run_results[class_name] = session.run_incremental(class_name)
+            run_reports[class_name] = session.last_incremental_report
     if args.as_json:
         document = {
             "store": str(store.directory),
@@ -165,6 +242,14 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         if index is not None:
             document["indexed_tables"] = len(index)
             document["indexed_labels"] = index.n_labels()
+        if run_results:
+            document["results"] = [
+                result.summary_dict() for result in run_results.values()
+            ]
+            document["incremental"] = {
+                class_name: _incremental_report_dict(run_report)
+                for class_name, run_report in run_reports.items()
+            }
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print(f"ingested into {store.directory} "
@@ -174,6 +259,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         if index is not None:
             print(f"label index: {len(index)} tables, "
                   f"{index.n_labels()} distinct labels")
+        for class_name, result in run_results.items():
+            print()
+            print(result.summary())
+            print(f"incremental [{class_name}]:")
+            print(run_reports[class_name].summary())
     return 0
 
 
@@ -206,10 +296,24 @@ def build_parser() -> argparse.ArgumentParser:
     build.set_defaults(handler=_cmd_build_world)
 
     run = subparsers.add_parser("run", help="run the default pipeline")
-    run.add_argument("classes", nargs="+", choices=CLASS_CHOICES,
-                     metavar="class", help=f"one or more of {CLASS_CHOICES}")
+    run.add_argument("classes", nargs="+",
+                     metavar="class",
+                     help=f"one or more of {CLASS_CHOICES} (any KB class "
+                          f"with --store)")
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--scale", type=float, default=0.25)
+    run.add_argument("--store", default=None,
+                     help="run over an ingested corpus store directory "
+                          "instead of the synthetic seed world "
+                          "(--seed/--scale are ignored)")
+    run.add_argument("--kb", default=None,
+                     help="knowledge base JSON for --store (default: "
+                          "knowledge_base.json inside the store)")
+    run.add_argument("--incremental", action="store_true",
+                     help="serve unchanged artifacts from the persistent "
+                          "store under --store and recompute only what "
+                          "the corpus delta invalidates (results are "
+                          "byte-identical to a full run)")
     run.add_argument("--iterations", type=int, default=2,
                      help="pipeline iterations (paper default: 2)")
     run.add_argument("--fusion", choices=("voting", "kbt", "matching"),
@@ -261,6 +365,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="keep only tables matching these KB classes")
     ingest.add_argument("--index", action="store_true",
                         help="maintain the incremental label index")
+    ingest.add_argument("--then-run", nargs="+", default=None,
+                        metavar="CLASS", dest="then_run",
+                        help="after ingesting, run the pipeline "
+                             "incrementally for these classes (needs a "
+                             "knowledge base via --kb or "
+                             "knowledge_base.json in the store)")
     ingest.add_argument("--json", action="store_true", dest="as_json")
     ingest.set_defaults(handler=_cmd_ingest)
 

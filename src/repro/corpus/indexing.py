@@ -77,6 +77,41 @@ class CorpusLabelIndex:
         for label, row_index in entries:
             self._index.remove(label, (table_id, row_index))
 
+    def discard_table(self, table_id: str) -> bool:
+        """Tolerant :meth:`remove_table`: ``False`` when never indexed.
+
+        The removal path of an incremental corpus (store deltas may name
+        tables an ingest-time filter rejected, which therefore never
+        contributed postings) calls this instead of guarding membership.
+        """
+        if table_id not in self._contributions:
+            return False
+        self.remove_table(table_id)
+        return True
+
+    def apply_ingest_report(self, report) -> None:
+        """Assert this index saw an ingest report's delta; raise if not.
+
+        Insertions and replacements are indexed *during* ingest (the
+        store drives :meth:`add_table` / :meth:`remove_table` per
+        outcome), so there is nothing to apply after the fact — but a
+        caller holding only an :class:`~repro.corpus.store.IngestReport`
+        can verify the index was actually wired into that ingest.
+        Raises :class:`KeyError` naming the missing tables when it was
+        not.
+        """
+        missing = [
+            table_id for table_id in report.dirty_ids
+            if table_id not in self._contributions
+        ]
+        if missing:
+            raise KeyError(
+                "label index out of sync with ingest report; missing "
+                f"table(s): {missing[:5]!r}{'…' if len(missing) > 5 else ''} "
+                "(pass index= to CorpusStore.ingest so postings are "
+                "maintained during the ingest itself)"
+            )
+
     def __contains__(self, table_id: str) -> bool:
         return table_id in self._contributions
 

@@ -40,10 +40,25 @@ def _pad(cells: Iterable[object], width: int) -> tuple[str | None, ...]:
 
 
 def table_from_record(record: dict, *, table_id: str | None = None) -> WebTable:
-    """Build a :class:`WebTable` from a jsonl-style record."""
+    """Build a :class:`WebTable` from a jsonl-style record.
+
+    Malformed records raise :class:`ValueError` naming the defect (a
+    missing field, a non-object) instead of leaking raw ``KeyError`` /
+    ``TypeError`` from deep inside the construction.
+    """
+    if not isinstance(record, dict):
+        raise ValueError(
+            f"table record must be a JSON object, got {type(record).__name__}"
+        )
     identifier = table_id or record.get("table_id")
     if not identifier:
         raise ValueError("table record has no table_id")
+    missing = [key for key in ("header", "rows") if key not in record]
+    if missing:
+        raise ValueError(
+            f"table record {identifier!r} is missing required "
+            f"field(s): {', '.join(missing)}"
+        )
     header = tuple(str(cell) for cell in record["header"])
     return WebTable(
         table_id=str(identifier),
@@ -54,7 +69,12 @@ def table_from_record(record: dict, *, table_id: str | None = None) -> WebTable:
 
 
 def iter_jsonl(path: str | Path) -> Iterator[WebTable]:
-    """Stream tables from a JSON-lines corpus file."""
+    """Stream tables from a JSON-lines corpus file.
+
+    Every parse or shape defect raises :class:`ValueError` carrying the
+    file and line number of the offending record, so a bad line in a
+    multi-gigabyte dump is locatable without bisection.
+    """
     path = Path(path)
     with open(path, encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
@@ -66,7 +86,12 @@ def iter_jsonl(path: str | Path) -> Iterator[WebTable]:
                 raise ValueError(
                     f"{path}:{line_number}: invalid JSON ({error})"
                 ) from None
-            yield table_from_record(record)
+            try:
+                yield table_from_record(record)
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: {error}"
+                ) from None
 
 
 def iter_csv_directory(path: str | Path, pattern: str = "*.csv") -> Iterator[WebTable]:
@@ -74,12 +99,20 @@ def iter_csv_directory(path: str | Path, pattern: str = "*.csv") -> Iterator[Web
 
     The first row of each file is the header; the file stem is the table
     id.  Files are visited in sorted order so ingestion is deterministic.
-    Empty files are skipped.
+    Empty *files* are skipped; a directory with no matching files at all
+    raises — a silently empty corpus source is almost always a mistyped
+    path or pattern.
     """
     directory = Path(path)
     if not directory.is_dir():
         raise ValueError(f"not a directory: {directory}")
-    for csv_path in sorted(directory.glob(pattern)):
+    matched = sorted(directory.glob(pattern))
+    if not matched:
+        raise ValueError(
+            f"no {pattern} tables in directory {directory}; "
+            f"check the path (or pass a different pattern)"
+        )
+    for csv_path in matched:
         with open(csv_path, newline="", encoding="utf-8") as handle:
             reader = csv.reader(handle)
             try:
@@ -126,11 +159,27 @@ def _wdc_table(record: dict, fallback_id: str) -> WebTable | None:
 
 
 def iter_wdc(path: str | Path, pattern: str = "*.json") -> Iterator[WebTable]:
-    """Stream tables from a WDC-style dump (directory or JSON-lines file)."""
+    """Stream tables from a WDC-style dump (directory or JSON-lines file).
+
+    Truncated or otherwise invalid JSON raises :class:`ValueError`
+    naming the offending file (and line, for line-oriented dumps)
+    instead of a bare parse error.
+    """
     path = Path(path)
     if path.is_dir():
-        for json_path in sorted(path.glob(pattern)):
-            record = json.loads(json_path.read_text(encoding="utf-8"))
+        matched = sorted(path.glob(pattern))
+        if not matched:
+            raise ValueError(
+                f"no {pattern} tables in directory {path}; "
+                f"check the path (or pass a different pattern)"
+            )
+        for json_path in matched:
+            try:
+                record = json.loads(json_path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{json_path}: invalid or truncated WDC JSON ({error})"
+                ) from None
             table = _wdc_table(record, fallback_id=json_path.stem)
             if table is not None:
                 yield table
@@ -140,7 +189,14 @@ def iter_wdc(path: str | Path, pattern: str = "*.json") -> Iterator[WebTable]:
         for line_number, line in enumerate(handle, start=1):
             if not line.strip():
                 continue
-            table = _wdc_table(json.loads(line), fallback_id=f"{stem}-{line_number}")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid or truncated WDC JSON "
+                    f"({error})"
+                ) from None
+            table = _wdc_table(record, fallback_id=f"{stem}-{line_number}")
             if table is not None:
                 yield table
 

@@ -209,7 +209,13 @@ def _scan_conflicts(shard_path: str, records: list[dict]) -> None:
 
 @dataclass
 class IngestReport:
-    """Counts of what one :meth:`CorpusStore.ingest` call did."""
+    """Counts of what one :meth:`CorpusStore.ingest` call did.
+
+    ``inserted_ids`` / ``replaced_ids`` name the tables the call actually
+    wrote — the *delta* an incremental pipeline run must recompute for
+    (identical re-ingests and conflicts change nothing, so they carry no
+    ids).
+    """
 
     seen: int = 0
     inserted: int = 0
@@ -217,10 +223,17 @@ class IngestReport:
     replaced: int = 0
     conflicts: int = 0
     filtered: dict[str, int] = field(default_factory=dict)
+    inserted_ids: list[str] = field(default_factory=list)
+    replaced_ids: list[str] = field(default_factory=list)
 
     @property
     def filtered_total(self) -> int:
         return sum(self.filtered.values())
+
+    @property
+    def dirty_ids(self) -> list[str]:
+        """Table ids whose stored content this ingest created or changed."""
+        return [*self.inserted_ids, *self.replaced_ids]
 
     def merge(self, other: "IngestReport") -> None:
         self.seen += other.seen
@@ -230,6 +243,8 @@ class IngestReport:
         self.conflicts += other.conflicts
         for name, count in other.filtered.items():
             self.filtered[name] = self.filtered.get(name, 0) + count
+        self.inserted_ids.extend(other.inserted_ids)
+        self.replaced_ids.extend(other.replaced_ids)
 
     def summary(self) -> str:
         parts = [
@@ -422,10 +437,12 @@ class CorpusStore:
             ):
                 if outcome == "inserted":
                     report.inserted += 1
+                    report.inserted_ids.append(table_id)
                 elif outcome == "identical":
                     report.identical += 1
                 elif outcome == "replaced":
                     report.replaced += 1
+                    report.replaced_ids.append(table_id)
                 else:
                     report.conflicts += 1
                 if index is not None and outcome != "conflict":
@@ -436,7 +453,60 @@ class CorpusStore:
                         index.remove_table(table_id)
                     index.add_table(table, analysis)
 
+    def remove_tables(
+        self, table_ids: Iterable[str], *, index=None, missing_ok: bool = False
+    ) -> list[str]:
+        """Delete tables from the store; returns the ids actually removed.
+
+        Corpora shrink too — a source retracts a page, a filter policy
+        tightens — and incremental runs treat removal as a first-class
+        delta.  ``index`` is an optional incremental index (e.g.
+        :class:`~repro.corpus.indexing.CorpusLabelIndex`) whose postings
+        are withdrawn alongside.  Unknown ids raise ``KeyError`` unless
+        ``missing_ok``.
+        """
+        removed: list[str] = []
+        for table_id in table_ids:
+            shard = shard_of(table_id, self.n_shards)
+            with self._connection(shard) as connection:
+                cursor = connection.execute(
+                    "DELETE FROM tables WHERE table_id = ?", (table_id,)
+                )
+            if cursor.rowcount == 0:
+                if missing_ok:
+                    continue
+                raise KeyError(
+                    f"cannot remove {table_id!r}: not in corpus store "
+                    f"{self.directory}"
+                )
+            removed.append(table_id)
+            if index is not None and table_id in index:
+                index.remove_table(table_id)
+        return removed
+
     # -- read API -------------------------------------------------------
+    def content_hashes(self) -> dict[str, str]:
+        """``{table_id: content_hash}`` for every table, in ingest order.
+
+        Served straight from the shard metadata — no payload is decoded —
+        so snapshotting the corpus for delta computation is cheap even at
+        web scale.
+        """
+        entries: list[tuple[int, str, str]] = []
+        for shard in range(self.n_shards):
+            entries.extend(
+                self._connection(shard).execute(
+                    "SELECT seq, table_id, content_hash FROM tables"
+                )
+            )
+        entries.sort()
+        return {table_id: chash for _seq, table_id, chash in entries}
+
+    def state(self) -> dict[str, str]:
+        """Alias of :meth:`content_hashes` — the delta-snapshot input of
+        :func:`repro.pipeline.delta.diff_corpus_states`."""
+        return self.content_hashes()
+
     def get(self, table_id: str) -> WebTable:
         row = self._connection(shard_of(table_id, self.n_shards)).execute(
             "SELECT url, payload FROM tables WHERE table_id = ?", (table_id,)

@@ -11,7 +11,7 @@ table order, which is what makes the two paths produce identical results.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.corpus.store import CorpusStore
 from repro.webtables.corpus import TableCorpus
@@ -85,6 +85,20 @@ class StoredCorpusView(TableCorpus):
 
     def total_rows(self) -> int:
         return self.store.total_rows()
+
+    def invalidate(self, table_ids: Iterable[str] | None = None) -> None:
+        """Drop cached tables after the backing store mutated.
+
+        Incremental ingestion rewrites store content underneath a live
+        view; the view must not keep serving pre-delta tables.  With no
+        argument the whole cache is dropped (the safe call after any
+        delta); with ``table_ids`` only those entries are evicted.
+        """
+        if table_ids is None:
+            self._cache.clear()
+            return
+        for table_id in table_ids:
+            self._cache.pop(table_id, None)
 
     # -- diagnostics ----------------------------------------------------
     def cache_info(self) -> dict[str, int]:

@@ -39,7 +39,7 @@ from repro.matching.matchers import (
     MATCHER_NAMES_SECOND_ITERATION,
 )
 from repro.matching.table_class import TableClassMatcher
-from repro.parallel import Executor
+from repro.parallel import Executor, dispatch_dirty
 from repro.webtables.corpus import TableCorpus
 from repro.webtables.table import WebTable
 
@@ -233,6 +233,11 @@ class SchemaMatcher:
         self.candidate_limit = candidate_limit
         self.table_class_matcher = TableClassMatcher(kb, candidate_limit)
         self.executor = executor
+        #: Optional persistent per-table attribute cache (the incremental
+        #: engine binds a
+        #: :class:`repro.pipeline.artifacts._MatcherAttributeCache`);
+        #: ``None`` keeps the stateless legacy path.
+        self.attribute_cache = None
         self._analysis_cache: dict[
             str, tuple[dict[int, DataType], int | None]
         ] = {}
@@ -358,6 +363,7 @@ class SchemaMatcher:
         known_classes = frozenset(
             kb_class.name for kb_class in self.kb.schema.classes()
         )
+        cache = self.attribute_cache
         batch = _AttributeBatch(self.kb, self.models, mode, feedback_by_class)
         mapping = SchemaMapping()
         entries = list(base.items())
@@ -371,16 +377,39 @@ class SchemaMatcher:
                 if table_mapping.class_name is not None
                 and table_mapping.class_name in known_classes
             ]
-            items = [
-                (corpus.get(table_id), table_mapping)
-                for table_id, table_mapping in to_match
+            cached: list[dict | None] = [
+                cache.load(mode, table_mapping, feedback_by_class)
+                if cache is not None
+                else None
+                for __, table_mapping in to_match
             ]
-            attribute_maps = self._run_batches(
+            # Only the dirty subset is worth a corpus fetch — a table
+            # served from the attribute cache is never even decoded.
+            items = [
+                (
+                    corpus.get(table_id)
+                    if cached[position] is None
+                    else None,
+                    table_mapping,
+                )
+                for position, (table_id, table_mapping) in enumerate(to_match)
+            ]
+            attribute_maps = dispatch_dirty(
                 batch,
                 items,
+                cached,
+                executor=self.executor,
                 task_name=f"schema_match/attributes[{mode}]",
-                label=lambda item: item[0].table_id,
+                label=lambda item: item[1].table_id,
             )
+            if cache is not None:
+                for (__, table_mapping), was_cached, attributes in zip(
+                    to_match, cached, attribute_maps
+                ):
+                    if was_cached is None:
+                        cache.save(
+                            mode, table_mapping, feedback_by_class, attributes
+                        )
             attributes_by_id = {
                 table_id: attributes
                 for (table_id, __), attributes in zip(to_match, attribute_maps)

@@ -19,7 +19,7 @@ from repro.kb.instance import KBInstance
 from repro.ml.aggregation import MetricVector, ScoreAggregator
 from repro.newdetect.candidates import CandidateSelector
 from repro.newdetect.metrics import EntityInstanceMetric
-from repro.parallel import Executor
+from repro.parallel import Executor, dispatch_dirty
 
 
 class Classification(str, Enum):
@@ -166,8 +166,17 @@ class NewDetector:
         self,
         entities: Sequence[Entity],
         executor: Executor | None = None,
+        cache=None,
     ) -> DetectionResult:
-        """Classify every entity; any executor yields identical results."""
+        """Classify every entity; any executor yields identical results.
+
+        ``cache`` is an optional per-entity artifact cache (``get(entity)
+        -> triple | None`` / ``put(entity, triple)``, e.g. the incremental
+        engine's detection cache): entities it resolves skip candidate
+        retrieval and feature extraction entirely, and only the dirty
+        remainder is dispatched.  The cached triple is a pure function of
+        entity content, so results are identical with or without it.
+        """
         batch = _DetectBatch(
             self.selector,
             self.similarity,
@@ -175,15 +184,23 @@ class NewDetector:
             self.existing_threshold,
         )
         entities = list(entities)
-        if executor is not None:
-            outcomes = executor.map_batches(
-                batch,
-                entities,
-                task_name="detect/entities",
-                label=lambda entity: entity.entity_id,
-            )
-        else:
-            outcomes = batch(entities)
+        cached: list[tuple | None] = (
+            [cache.get(entity) for entity in entities]
+            if cache is not None
+            else [None] * len(entities)
+        )
+        outcomes = dispatch_dirty(
+            batch,
+            entities,
+            cached,
+            executor=executor,
+            task_name="detect/entities",
+            label=lambda entity: entity.entity_id,
+        )
+        if cache is not None:
+            for entity, was_cached, outcome in zip(entities, cached, outcomes):
+                if was_cached is None:
+                    cache.put(entity, outcome)
         result = DetectionResult()
         for entity, (classification, correspondence, best_score) in zip(
             entities, outcomes

@@ -12,6 +12,7 @@ from repro.parallel.executor import (
     ThreadExecutor,
     default_executor_name,
     default_worker_count,
+    dispatch_dirty,
     make_executor,
 )
 
@@ -25,5 +26,6 @@ __all__ = [
     "ThreadExecutor",
     "default_executor_name",
     "default_worker_count",
+    "dispatch_dirty",
     "make_executor",
 ]

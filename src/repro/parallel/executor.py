@@ -262,6 +262,56 @@ class Executor:
         raise NotImplementedError
 
 
+def dispatch_dirty(
+    func: Callable[[list[ItemT]], list[ResultT]],
+    items: Sequence[ItemT],
+    cached: Sequence[ResultT | None],
+    *,
+    executor: "Executor | None" = None,
+    task_name: str = "map",
+    label: Callable[[ItemT], str] | None = None,
+) -> list[ResultT]:
+    """Run a batch function over the *dirty subset* of an item sequence.
+
+    The incremental engine resolves most work from caches; only the
+    items whose cached result is ``None`` (the dirty set) are dispatched
+    — through ``executor`` when one is configured, directly otherwise —
+    and the results are merged back into input order.  With an all-dirty
+    cache row this degenerates to a plain ``map_batches`` call, and with
+    an all-clean one the executor is never touched, so cache-hit runs
+    pay zero dispatch overhead.
+
+    ``cached`` must align with ``items``; ``None`` is therefore not a
+    representable cached value (no pipeline unit produces bare ``None``).
+    """
+    items = list(items)
+    if len(items) != len(cached):
+        raise ValueError(
+            f"dispatch_dirty: {len(items)} items but {len(cached)} cached "
+            f"slots for task {task_name!r}"
+        )
+    dirty_positions = [
+        position for position, value in enumerate(cached) if value is None
+    ]
+    merged: list[ResultT | None] = list(cached)
+    if dirty_positions:
+        dirty_items = [items[position] for position in dirty_positions]
+        if executor is not None:
+            fresh = executor.map_batches(
+                func, dirty_items, task_name=task_name, label=label
+            )
+        else:
+            fresh = func(dirty_items)
+        if len(fresh) != len(dirty_items):
+            raise ValueError(
+                f"batch function returned {len(fresh)} results for "
+                f"{len(dirty_items)} dirty items in task {task_name!r}"
+            )
+        for position, result in zip(dirty_positions, fresh):
+            merged[position] = result
+    return merged  # type: ignore[return-value]
+
+
 class _ChunkFailure(Exception):
     """Internal: a chunk's exception plus which chunk raised it."""
 

@@ -9,6 +9,18 @@ in Figure 1.  The evaluation modules implement Section 4
 evaluation).
 """
 
+from repro.pipeline.artifacts import (
+    ArtifactStore,
+    IncrementalBackend,
+    IncrementalRunReport,
+)
+from repro.pipeline.delta import (
+    CorpusDelta,
+    InvalidationFrontier,
+    corpus_state,
+    diff_corpus_states,
+    invalidation_frontier,
+)
 from repro.pipeline.pipeline import (
     LongTailPipeline,
     PipelineConfig,
@@ -49,6 +61,14 @@ from repro.pipeline.dedup import DedupResult, deduplicate_entities
 from repro.pipeline.slotfill import SlotFillingReport, slot_filling_report
 
 __all__ = [
+    "ArtifactStore",
+    "IncrementalBackend",
+    "IncrementalRunReport",
+    "CorpusDelta",
+    "InvalidationFrontier",
+    "corpus_state",
+    "diff_corpus_states",
+    "invalidation_frontier",
     "LongTailPipeline",
     "PipelineConfig",
     "PipelineModels",

@@ -1,0 +1,575 @@
+"""Persistent, content-addressed pipeline artifacts.
+
+This module promotes :class:`repro.api.RunSession`'s in-memory
+lineage-keyed artifact cache to an on-disk store that survives the
+process — the substrate of incremental pipeline execution:
+
+* :class:`ArtifactStore` — a small content-addressed object store under
+  a directory (by convention ``<corpus-store>/artifacts``).  Keys are
+  canonical-JSON structures digesting every input of the stored value;
+  values are pickles written atomically.  There is deliberately no
+  invalidation API: a key embeds the fingerprints of all its inputs, so
+  stale entries are simply never addressed again.
+* :class:`IncrementalBackend` — one run's view of the store.  It holds
+  the fingerprints shared by every key (knowledge base, models, config,
+  corpus snapshot, restrictions) and hands out the three cache layers:
+
+  1. **stage artifacts** — whole stage outputs keyed by exact input
+     fingerprints (:meth:`stage_key`), the coarse layer that lets an
+     untouched downstream stage load in one read;
+  2. **per-table matcher artifacts** — schema analysis (column types,
+     label column, class decision) and attribute-pass correspondences
+     keyed by table *content hash*, so a corpus delta re-analyzes only
+     the dirty tables (:meth:`warm_matcher` / the attribute cache);
+  3. **per-entity detection artifacts** — classification triples keyed
+     by entity content, so only entities in dirty blocks re-detect.
+
+Correctness invariant (the one every key must uphold): a stored value is
+a **pure function of its key**.  Under that invariant, serving from the
+store is byte-identical to recomputing — which the differential harness
+(``tests/test_incremental_equivalence.py``) checks end to end through
+:meth:`~repro.pipeline.result.PipelineResult.canonical_json`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.pipeline.delta import (
+    CorpusDelta,
+    InvalidationFrontier,
+    digest,
+    fingerprint_clusters,
+    fingerprint_corpus_state,
+    fingerprint_entities,
+    fingerprint_entity,
+    fingerprint_mapping,
+    fingerprint_records,
+    fingerprint_tables,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.matching.attribute_property import MatcherFeedback
+    from repro.matching.correspondences import TableMapping
+    from repro.matching.matchers import DuplicateEvidence
+    from repro.matching.schema_matcher import SchemaMatcher
+    from repro.pipeline.stages import PipelineState
+
+__all__ = [
+    "ArtifactStore",
+    "IncrementalBackend",
+    "IncrementalRunReport",
+    "ARTIFACTS_DIRNAME",
+]
+
+#: Conventional artifact-store directory inside a corpus-store directory.
+ARTIFACTS_DIRNAME = "artifacts"
+
+MANIFEST_NAME = "artifact_store.json"
+STORE_VERSION = 1
+
+#: State fields persisted per default stage.  ``schema_match`` excludes
+#: ``matcher`` (a live object with executor bindings — rebuilt on demand
+#: and re-warmed from the per-table layer instead).
+PERSISTED_FIELDS: dict[str, tuple[str, ...]] = {
+    "schema_match": ("mapping", "target_tables", "records"),
+    "cluster": ("context", "clusters"),
+    "fuse": ("entities",),
+    "detect": ("detection",),
+}
+
+
+class ArtifactStore:
+    """A directory of content-addressed pickled artifacts.
+
+    Layout::
+
+        <directory>/artifact_store.json     # version manifest
+        <directory>/objects/ab/<digest>.pkl # one pickle per artifact
+        <directory>/meta/<name>.json        # named JSON documents
+                                            # (corpus snapshots, reports)
+
+    Writes are atomic (temp file + rename), so a crashed run leaves at
+    worst an unreferenced temp file, never a truncated artifact.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        manifest = self.directory / MANIFEST_NAME
+        if manifest.exists():
+            document = json.loads(manifest.read_text(encoding="utf-8"))
+            if document.get("version") != STORE_VERSION:
+                raise ValueError(
+                    "unsupported artifact store version "
+                    f"{document.get('version')!r} at {self.directory}"
+                )
+        else:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            manifest.write_text(
+                json.dumps({"version": STORE_VERSION}), encoding="utf-8"
+            )
+        (self.directory / "objects").mkdir(exist_ok=True)
+        (self.directory / "meta").mkdir(exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- object API -----------------------------------------------------
+    def get(self, key: object) -> object | None:
+        """The stored value for a key, or ``None`` on a miss.
+
+        ``None`` is not a storable value — every pipeline artifact is a
+        non-``None`` mapping or tuple, which keeps the miss signal
+        unambiguous.
+        """
+        path = self._object_path(self.key_digest(key))
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(blob)
+
+    def put(self, key: object, value: object) -> str:
+        """Store a value under a key; returns the key digest."""
+        if value is None:
+            raise ValueError("ArtifactStore cannot store None (miss marker)")
+        key_digest = self.key_digest(key)
+        path = self._object_path(key_digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(value, protocol=4)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return key_digest
+
+    def __contains__(self, key: object) -> bool:
+        return self._object_path(self.key_digest(key)).exists()
+
+    def __len__(self) -> int:
+        objects = self.directory / "objects"
+        return sum(1 for _ in objects.glob("*/*.pkl"))
+
+    @staticmethod
+    def key_digest(key: object) -> str:
+        return digest(key)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    # -- named metadata -------------------------------------------------
+    def meta_load(self, name: str) -> dict | None:
+        path = self.directory / "meta" / f"{name}.json"
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def meta_save(self, name: str, payload: dict) -> None:
+        path = self.directory / "meta" / f"{name}.json"
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- internals ------------------------------------------------------
+    def _object_path(self, key_digest: str) -> Path:
+        return (
+            self.directory / "objects" / key_digest[:2] / f"{key_digest}.pkl"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Structured fingerprints of matcher feedback (hash-seed independent)
+# ---------------------------------------------------------------------------
+
+def _evidence_payload(evidence: "DuplicateEvidence | None") -> object:
+    if evidence is None:
+        return None
+    return [
+        sorted(
+            [list(row_id), uri]
+            for row_id, uri in evidence.row_instance.items()
+        ),
+        sorted(
+            [list(row_id), cluster_id]
+            for row_id, cluster_id in evidence.cluster_of_row.items()
+        ),
+        sorted(
+            [
+                cluster_id,
+                property_name,
+                sorted([repr(value), table_id] for value, table_id in values),
+            ]
+            for (cluster_id, property_name), values
+            in evidence.cluster_values.items()
+        ),
+    ]
+
+
+def fingerprint_evidence(evidence: "DuplicateEvidence | None") -> str:
+    """Digest of the cross-iteration duplicate feedback."""
+    return digest(_evidence_payload(evidence))
+
+
+def _feedback_payload(feedback: "MatcherFeedback | None") -> object:
+    if feedback is None:
+        return None
+    header_stats = feedback.header_stats
+    return [
+        sorted(
+            [header, property_name, repr(score)]
+            for (header, property_name), score in header_stats.scores.items()
+        )
+        if header_stats is not None
+        else None,
+        _evidence_payload(feedback.evidence),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The per-run backend
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IncrementalRunReport:
+    """What one incremental run reused versus recomputed."""
+
+    frontier: InvalidationFrontier | None = None
+    #: ``(stage name, iteration, "hit" | "miss")`` in execution order.
+    stage_events: list[tuple[str, int, str]] = field(default_factory=list)
+    analysis_loaded: int = 0
+    analysis_computed: int = 0
+    attributes_loaded: int = 0
+    attributes_computed: int = 0
+    entities_loaded: int = 0
+    entities_computed: int = 0
+
+    def stage_hits(self) -> int:
+        return sum(1 for *_, kind in self.stage_events if kind == "hit")
+
+    def stage_misses(self) -> int:
+        return sum(1 for *_, kind in self.stage_events if kind == "miss")
+
+    def summary(self) -> str:
+        lines = []
+        if self.frontier is not None:
+            lines.append(self.frontier.summary())
+        lines.append(
+            f"stages: {self.stage_hits()} served from store, "
+            f"{self.stage_misses()} recomputed"
+        )
+        lines.append(
+            f"tables: {self.analysis_loaded} analyses loaded, "
+            f"{self.analysis_computed} computed; "
+            f"{self.attributes_loaded} attribute maps loaded, "
+            f"{self.attributes_computed} computed"
+        )
+        lines.append(
+            f"entities: {self.entities_loaded} detections loaded, "
+            f"{self.entities_computed} computed"
+        )
+        return "\n".join(lines)
+
+
+class IncrementalBackend:
+    """One run's handle on the artifact store.
+
+    Instances are cheap and per-run: they pin the corpus snapshot taken
+    at run start (a run must never observe a half-applied delta) and the
+    session-level fingerprints, and collect the reuse statistics for the
+    :class:`IncrementalRunReport`.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        *,
+        corpus_state: Mapping[str, str],
+        kb_fp: str,
+        models_fp: str,
+        config_fp: str,
+        restriction_fp: str,
+        class_name: str,
+    ) -> None:
+        self.store = store
+        self.corpus_state = dict(corpus_state)
+        self.corpus_fp = fingerprint_corpus_state(
+            self.corpus_state, order=list(self.corpus_state)
+        )
+        self.kb_fp = kb_fp
+        self.models_fp = models_fp
+        self.config_fp = config_fp
+        self.restriction_fp = restriction_fp
+        self.class_name = class_name
+        self.report = IncrementalRunReport()
+        self._attribute_cache = _MatcherAttributeCache(self)
+        self._warmed_analysis: set[str] = set()
+
+    # -- stage-level artifacts ------------------------------------------
+    def _base_key(self, stage_name: str, iteration: int) -> list:
+        return [
+            "stage",
+            stage_name,
+            self.class_name,
+            "config",
+            self.config_fp,
+            "models",
+            self.models_fp,
+            "kb",
+            self.kb_fp,
+            "restrict",
+            self.restriction_fp,
+            "iter",
+            iteration,
+        ]
+
+    def stage_key(self, stage_name: str, state: "PipelineState") -> list | None:
+        """The exact-input key of one stage artifact, or ``None`` when the
+        stage is not one of the four known default stages (custom stages
+        opt out of persistence — their inputs cannot be fingerprinted)."""
+        key = self._base_key(stage_name, state.iteration)
+        if stage_name == "schema_match":
+            key += [
+                "corpus",
+                self.corpus_fp,
+                "evidence",
+                fingerprint_evidence(state.evidence),
+            ]
+            return key
+        if stage_name == "cluster":
+            key += ["records", fingerprint_records(state.records)]
+            return key
+        if stage_name == "fuse":
+            key += [
+                "clusters",
+                fingerprint_clusters(state.clusters),
+                "mapping",
+                fingerprint_mapping(state.mapping, state.target_tables)
+                if state.mapping is not None
+                else None,
+                "tables",
+                fingerprint_tables(self.corpus_state, state.target_tables),
+            ]
+            return key
+        if stage_name == "detect":
+            key += [
+                "entities",
+                fingerprint_entities(state.entities),
+                "records",
+                fingerprint_records(state.records),
+            ]
+            return key
+        return None
+
+    def record_stage(self, stage_name: str, iteration: int, kind: str) -> None:
+        self.report.stage_events.append((stage_name, iteration, kind))
+
+    # -- per-table matcher artifacts ------------------------------------
+    def _analysis_key(
+        self, matcher: "SchemaMatcher", table_id: str, content: str
+    ) -> list:
+        return [
+            "analysis",
+            self.kb_fp,
+            matcher.candidate_limit,
+            table_id,
+            content,
+        ]
+
+    def warm_matcher(self, matcher: "SchemaMatcher") -> None:
+        """Load per-table analyses into a matcher's caches.
+
+        Only tables present in the run's corpus snapshot are considered,
+        and each is warmed at most once per backend — the second
+        iteration's call is a no-op for everything iteration one warmed
+        or computed.
+        """
+        matcher.attribute_cache = self._attribute_cache
+        for table_id, content in self.corpus_state.items():
+            if table_id in self._warmed_analysis:
+                continue
+            if table_id in matcher._analysis_cache and (
+                table_id in matcher._class_cache
+            ):
+                continue
+            artifact = self.store.get(
+                self._analysis_key(matcher, table_id, content)
+            )
+            if artifact is None:
+                continue
+            column_types, label_column, decision = artifact
+            matcher._analysis_cache[table_id] = (column_types, label_column)
+            if decision is not None:
+                matcher._class_cache[table_id] = decision
+            self._warmed_analysis.add(table_id)
+            self.report.analysis_loaded += 1
+
+    def harvest_matcher(self, matcher: "SchemaMatcher") -> None:
+        """Persist analyses the matcher computed this run."""
+        for table_id, analysis in matcher._analysis_cache.items():
+            if table_id in self._warmed_analysis:
+                continue
+            content = self.corpus_state.get(table_id)
+            if content is None:
+                continue
+            decision = matcher._class_cache.get(table_id)
+            self.store.put(
+                self._analysis_key(matcher, table_id, content),
+                (analysis[0], analysis[1], decision),
+            )
+            self._warmed_analysis.add(table_id)
+            self.report.analysis_computed += 1
+
+    # -- per-entity detection artifacts ---------------------------------
+    def detection_cache(
+        self,
+        implicit_by_table: Mapping[str, Mapping[str, object]],
+    ) -> "_DetectionCache":
+        return _DetectionCache(self, implicit_by_table)
+
+
+class _MatcherAttributeCache:
+    """Per-table attribute-pass cache, bound into a
+    :class:`~repro.matching.schema_matcher.SchemaMatcher`.
+
+    An attribute map is a pure function of (KB, models, pass mode, table
+    content, class assignment, pass feedback).  The feedback — header
+    statistics plus duplicate evidence — is *global*: a delta that
+    shifts it widens the invalidation frontier to every table of that
+    pass, which is exactly what byte-equality demands.
+    """
+
+    def __init__(self, backend: IncrementalBackend) -> None:
+        self._backend = backend
+        #: class name -> digest, memoized per (mode, feedback) pass.
+        self._feedback_fps: dict[tuple[str, str], str] = {}
+
+    def _key(
+        self,
+        mode: str,
+        table_mapping: "TableMapping",
+        feedback_by_class: Mapping[str, "MatcherFeedback"],
+    ) -> list | None:
+        content = self._backend.corpus_state.get(table_mapping.table_id)
+        if content is None or table_mapping.class_name is None:
+            return None
+        memo = (mode, table_mapping.class_name)
+        feedback_fp = self._feedback_fps.get(memo)
+        if feedback_fp is None:
+            feedback_fp = digest(
+                _feedback_payload(
+                    feedback_by_class.get(table_mapping.class_name)
+                )
+            )
+            self._feedback_fps[memo] = feedback_fp
+        return [
+            "attributes",
+            self._backend.kb_fp,
+            self._backend.models_fp,
+            mode,
+            table_mapping.table_id,
+            content,
+            table_mapping.class_name,
+            table_mapping.label_column,
+            "feedback",
+            feedback_fp,
+        ]
+
+    def load(
+        self,
+        mode: str,
+        table_mapping: "TableMapping",
+        feedback_by_class: Mapping[str, "MatcherFeedback"],
+    ) -> dict | None:
+        key = self._key(mode, table_mapping, feedback_by_class)
+        if key is None:
+            return None
+        artifact = self._backend.store.get(key)
+        if artifact is None:
+            return None
+        self._backend.report.attributes_loaded += 1
+        return artifact["attributes"]
+
+    def save(
+        self,
+        mode: str,
+        table_mapping: "TableMapping",
+        feedback_by_class: Mapping[str, "MatcherFeedback"],
+        attributes: dict,
+    ) -> None:
+        key = self._key(mode, table_mapping, feedback_by_class)
+        if key is None:
+            return
+        self._backend.store.put(key, {"attributes": attributes})
+        self._backend.report.attributes_computed += 1
+
+
+class _DetectionCache:
+    """Per-entity detection cache consumed by
+    :meth:`repro.newdetect.detector.NewDetector.detect`.
+
+    The cached value is the pure classification triple
+    ``(classification, correspondence, best_score)`` — entity ids stay
+    *outside* the key (they are creation-order counters), so an entity
+    whose content survived a delta is served even when its id moved.
+    """
+
+    def __init__(
+        self,
+        backend: IncrementalBackend,
+        implicit_by_table: Mapping[str, Mapping[str, object]],
+    ) -> None:
+        self._backend = backend
+        self._implicit = implicit_by_table
+
+    def _key(self, entity) -> list:
+        return [
+            "detect-entity",
+            self._backend.kb_fp,
+            self._backend.models_fp,
+            self._backend.config_fp,
+            self._backend.class_name,
+            fingerprint_entity(entity, self._implicit),
+        ]
+
+    def get(self, entity) -> tuple | None:
+        artifact = self._backend.store.get(self._key(entity))
+        if artifact is None:
+            return None
+        self._backend.report.entities_loaded += 1
+        return artifact
+
+    def put(self, entity, triple: tuple) -> None:
+        self._backend.store.put(self._key(entity), tuple(triple))
+        self._backend.report.entities_computed += 1

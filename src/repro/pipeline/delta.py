@@ -1,0 +1,412 @@
+"""Corpus deltas, input fingerprints, and the invalidation frontier.
+
+The incremental engine never *reasons* its way to cache validity — it
+hashes.  Every persisted artifact is a pure function of inputs that this
+module fingerprints exactly; an artifact is served only when the digest
+of *all* of its inputs matches, so an incremental run is byte-identical
+to a from-scratch run **by construction** (the equality witness is
+:meth:`repro.pipeline.result.PipelineResult.canonical_json`).
+
+Three layers live here:
+
+* **Corpus deltas** — :func:`diff_corpus_states` compares two
+  ``{table_id: content_hash}`` snapshots (see
+  :meth:`repro.corpus.store.CorpusStore.state`) into a
+  :class:`CorpusDelta` of added / removed / changed table ids.
+* **Fingerprints** — canonical digests for every stage input: the corpus
+  (order-sensitive — greedy clustering shuffles *positions*, so ingest
+  order is semantic), row records, schema mappings, clusters, entities,
+  and arbitrary picklable model state.
+* **The invalidation frontier** — :func:`invalidation_frontier` turns a
+  delta into the per-stage work plan an incremental run expects to
+  execute: which tables re-analyze, whether the downstream stages can
+  possibly be served whole, and why.  The frontier is *advisory*
+  (reporting, benchmarks, dirty-set dispatch sizing); correctness always
+  rests on the fingerprint keys alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.clustering.greedy import Cluster
+from repro.fusion.entity import Entity
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.matching.correspondences import SchemaMapping
+from repro.matching.records import RowRecord
+
+__all__ = [
+    "CorpusDelta",
+    "InvalidationFrontier",
+    "corpus_state",
+    "diff_corpus_states",
+    "fingerprint_corpus_state",
+    "fingerprint_records",
+    "fingerprint_mapping",
+    "fingerprint_clusters",
+    "fingerprint_entities",
+    "fingerprint_entity",
+    "fingerprint_kb",
+    "fingerprint_tables",
+    "pickle_digest",
+    "digest",
+]
+
+
+# ---------------------------------------------------------------------------
+# Digest primitives
+# ---------------------------------------------------------------------------
+
+def digest(payload: object) -> str:
+    """SHA-1 hex digest of a canonical-JSON rendering of ``payload``.
+
+    ``payload`` must be built from JSON-safe scalars and containers;
+    anything else falls back to ``repr`` — callers are responsible for
+    passing structures whose ``repr`` is value-determined (normalized
+    values, enums), never identity-determined.
+    """
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=repr
+    )
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+
+
+def pickle_digest(obj: object) -> str:
+    """SHA-1 of an object's pickle — the fingerprint of last resort.
+
+    Used for fitted model state (aggregators, matcher models, header
+    statistics, duplicate evidence) whose construction is deterministic.
+    A spurious *mismatch* merely recomputes; a match implies identical
+    unpickled state, so it can never serve a wrong artifact.
+    """
+    return hashlib.sha1(pickle.dumps(obj, protocol=4)).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Corpus snapshots and deltas
+# ---------------------------------------------------------------------------
+
+def corpus_state(corpus) -> dict[str, str]:
+    """``{table_id: content_hash}`` snapshot of any corpus backend.
+
+    Store-backed corpora answer from SQL without decoding payloads;
+    in-memory corpora hash each table's canonical content.
+    """
+    store = getattr(corpus, "store", None)
+    if store is not None and hasattr(store, "content_hashes"):
+        return store.content_hashes()
+    if hasattr(corpus, "content_hashes"):
+        return corpus.content_hashes()
+    from repro.corpus.store import content_hash
+
+    return {
+        table_id: content_hash(corpus.get(table_id))
+        for table_id in corpus.table_ids()
+    }
+
+
+def fingerprint_corpus_state(
+    state: Mapping[str, str], order: Sequence[str] | None = None
+) -> str:
+    """Digest of a corpus snapshot, sensitive to ingest order.
+
+    Ingest order is part of pipeline semantics (it fixes the record
+    order the clustering shuffle permutes), so two stores holding the
+    same tables in different orders must not share artifacts.
+    """
+    ids = list(order) if order is not None else list(state)
+    return digest([[table_id, state[table_id]] for table_id in ids])
+
+
+@dataclass(frozen=True)
+class CorpusDelta:
+    """What changed between two corpus snapshots."""
+
+    added: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    changed: tuple[str, ...] = ()
+
+    @property
+    def dirty(self) -> tuple[str, ...]:
+        """Tables whose per-table artifacts must recompute (added+changed)."""
+        return self.added + self.changed
+
+    def __bool__(self) -> bool:
+        return bool(self.added or self.removed or self.changed)
+
+    def summary(self) -> str:
+        return (
+            f"+{len(self.added)} added, -{len(self.removed)} removed, "
+            f"~{len(self.changed)} changed"
+        )
+
+
+def diff_corpus_states(
+    old: Mapping[str, str], new: Mapping[str, str]
+) -> CorpusDelta:
+    """The :class:`CorpusDelta` turning snapshot ``old`` into ``new``."""
+    added = tuple(sorted(set(new) - set(old)))
+    removed = tuple(sorted(set(old) - set(new)))
+    changed = tuple(
+        sorted(
+            table_id
+            for table_id, content in new.items()
+            if table_id in old and old[table_id] != content
+        )
+    )
+    return CorpusDelta(added=added, removed=removed, changed=changed)
+
+
+# ---------------------------------------------------------------------------
+# Stage-input fingerprints
+# ---------------------------------------------------------------------------
+
+def _record_payload(record: RowRecord) -> list:
+    """Canonical, value-determined rendering of one row record."""
+    return [
+        list(record.row_id),
+        record.table_id,
+        record.label,
+        record.norm_label,
+        sorted(record.tokens),
+        sorted(
+            (name, repr(value)) for name, value in record.values.items()
+        ),
+        list(record.label_tokens),
+    ]
+
+
+def fingerprint_records(records: Sequence[RowRecord]) -> str:
+    """Order-sensitive digest of a record list.
+
+    Order matters: greedy clustering shuffles record *positions*, so the
+    same records in a different order legitimately cluster differently.
+    """
+    return digest([_record_payload(record) for record in records])
+
+
+def fingerprint_mapping(
+    mapping: SchemaMapping, table_ids: Iterable[str] | None = None
+) -> str:
+    """Digest of a schema mapping, optionally restricted to a table set.
+
+    The restriction is what lets fusion reuse its artifact when a delta
+    only touched tables outside the class's target set.
+    """
+    ids = (
+        sorted(table_ids)
+        if table_ids is not None
+        else list(mapping.by_table)
+    )
+    payload = []
+    for table_id in ids:
+        table_mapping = mapping.table(table_id)
+        if table_mapping is None:
+            payload.append([table_id, None])
+            continue
+        payload.append(
+            [
+                table_id,
+                table_mapping.class_name,
+                repr(table_mapping.class_score),
+                table_mapping.label_column,
+                sorted(
+                    (column, data_type.name)
+                    for column, data_type in table_mapping.column_types.items()
+                ),
+                sorted(
+                    (
+                        column,
+                        corr.property_name,
+                        repr(corr.score),
+                        corr.data_type.name,
+                    )
+                    for column, corr in table_mapping.attributes.items()
+                ),
+            ]
+        )
+    return digest(payload)
+
+
+def fingerprint_clusters(clusters: Sequence[Cluster]) -> str:
+    """Order-sensitive digest of a clustering (entity ids derive from it)."""
+    return digest(
+        [
+            [
+                cluster.cluster_id,
+                [_record_payload(record) for record in cluster.members],
+                sorted(cluster.blocks),
+            ]
+            for cluster in clusters
+        ]
+    )
+
+
+def _entity_payload(entity: Entity, include_id: bool = True) -> list:
+    payload = [
+        entity.class_name,
+        list(entity.labels),
+        sorted((name, repr(value)) for name, value in entity.facts.items()),
+        [_record_payload(record) for record in entity.rows],
+    ]
+    if include_id:
+        payload.insert(0, entity.entity_id)
+    return payload
+
+
+def fingerprint_entities(entities: Sequence[Entity]) -> str:
+    """Order-sensitive digest of an entity list (detection keys by id)."""
+    return digest([_entity_payload(entity) for entity in entities])
+
+
+def fingerprint_entity(
+    entity: Entity,
+    implicit_by_table: Mapping[str, Mapping[str, object]] | None = None,
+) -> str:
+    """Content digest of one entity for the per-entity detection cache.
+
+    Excludes the entity id (a creation-order counter — two corpus states
+    may assign different ids to the same content) and the provenance
+    (detection never reads it).  ``implicit_by_table`` folds in the
+    implicit attributes of the entity's tables, the only context the
+    IMPLICIT_ATT metric consults.
+    """
+    payload = _entity_payload(entity, include_id=False)
+    if implicit_by_table is not None:
+        tables = sorted({record.table_id for record in entity.rows})
+        payload.append(
+            [
+                [
+                    table_id,
+                    sorted(
+                        repr(attribute)
+                        for attribute in implicit_by_table.get(
+                            table_id, {}
+                        ).values()
+                    ),
+                ]
+                for table_id in tables
+            ]
+        )
+    return digest(payload)
+
+
+def fingerprint_tables(state: Mapping[str, str], table_ids: Iterable[str]) -> str:
+    """Digest of the stored content of a table subset (sorted by id)."""
+    return digest(
+        sorted([table_id, state.get(table_id)] for table_id in set(table_ids))
+    )
+
+
+def fingerprint_kb(kb: KnowledgeBase) -> str:
+    """Structural digest of a knowledge base (schema + instances).
+
+    Walks value-determined fields only — the KB's lazy caches (label
+    index, search memo) never leak into the digest.
+    """
+    classes = sorted(kb.schema.classes(), key=lambda kb_class: kb_class.name)
+    schema_payload = [
+        [
+            kb_class.name,
+            kb_class.parent,
+            sorted(
+                [
+                    name,
+                    prop.data_type.name,
+                    repr(prop.tolerance),
+                    list(prop.all_labels()),
+                ]
+                for name, prop in kb_class.properties.items()
+            ),
+        ]
+        for kb_class in classes
+    ]
+    instances = sorted(
+        (
+            instance
+            for kb_class in classes
+            for instance in kb.instances_of(
+                kb_class.name, include_subclasses=False
+            )
+        ),
+        key=lambda instance: instance.uri,
+    )
+    instance_payload = [
+        [
+            instance.uri,
+            instance.class_name,
+            list(instance.labels),
+            sorted(
+                (name, repr(value)) for name, value in instance.facts.items()
+            ),
+            instance.abstract,
+            instance.page_links,
+        ]
+        for instance in instances
+    ]
+    return digest([schema_payload, instance_payload])
+
+
+# ---------------------------------------------------------------------------
+# The invalidation frontier
+# ---------------------------------------------------------------------------
+
+@dataclass
+class InvalidationFrontier:
+    """The per-stage work plan a corpus delta implies.
+
+    ``analyze_tables`` is the dirty set re-entering per-table schema
+    analysis; every unchanged table is served from the artifact store.
+    The downstream booleans are *expectations*: clustering only re-runs
+    when the class's record list actually changed, fusion when the
+    clusters or the target tables' mappings changed, detection when the
+    entity list changed — each decided at run time by exact input
+    fingerprints, of which this plan is the human-readable shadow.
+    """
+
+    delta: CorpusDelta
+    #: Tables whose analysis/attribute artifacts must recompute.
+    analyze_tables: tuple[str, ...] = ()
+    #: Whether the stage-level schema_match artifact can possibly be
+    #: served whole (no delta at all).
+    schema_match_reusable: bool = False
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        lines = [f"corpus delta: {self.delta.summary()}"]
+        if self.schema_match_reusable:
+            lines.append(
+                "frontier: empty — every stage artifact may be served whole"
+            )
+        else:
+            lines.append(
+                f"frontier: {len(self.analyze_tables)} table(s) re-analyze; "
+                "downstream stages re-run only where input fingerprints "
+                "changed"
+            )
+        lines.extend(self.notes)
+        return "\n".join(lines)
+
+
+def invalidation_frontier(delta: CorpusDelta) -> InvalidationFrontier:
+    """Plan the incremental work a corpus delta requires.
+
+    Removals contribute no per-table recomputation (their artifacts are
+    simply never requested again) but they do invalidate the corpus
+    fingerprint, so the stage-level schema_match artifact re-merges.
+    """
+    frontier = InvalidationFrontier(
+        delta=delta,
+        analyze_tables=delta.dirty,
+        schema_match_reusable=not delta,
+    )
+    if delta.removed and not delta.dirty:
+        frontier.notes.append(
+            "removal-only delta: schema matching re-merges cached per-table "
+            "artifacts without recomputing any of them"
+        )
+    return frontier

@@ -170,6 +170,7 @@ class LongTailPipeline:
         *,
         stages: list[PipelineStage | str] | None = None,
         observers: list[PipelineObserver] | tuple[PipelineObserver, ...] = (),
+        incremental=None,
     ) -> PipelineResult:
         """Run the full pipeline for one class.
 
@@ -179,6 +180,10 @@ class LongTailPipeline:
         ``stages`` substitutes the stage sequence (names resolved against
         :data:`~repro.pipeline.stages.STAGES`, instances used as-is);
         ``observers`` receive per-stage progress and timing events.
+        ``incremental`` (an
+        :class:`~repro.pipeline.artifacts.IncrementalBackend`) makes the
+        default stages serve per-table and per-entity artifacts from a
+        persistent store — the results are byte-identical either way.
 
         Failures in work dispatched through the executor surface as
         :class:`~repro.parallel.ExecutorError` naming the task, chunk
@@ -213,6 +218,7 @@ class LongTailPipeline:
             row_ids=row_ids,
             known_classes=known_classes,
             executor=executor,
+            incremental=incremental,
         )
         result = PipelineResult(class_name=class_name)
         for observer in observers:

@@ -52,6 +52,7 @@ from repro.webtables.corpus import TableCorpus
 from repro.webtables.table import RowId
 
 if TYPE_CHECKING:  # pragma: no cover - type-only, avoids a circular import
+    from repro.pipeline.artifacts import IncrementalBackend
     from repro.pipeline.pipeline import PipelineConfig, PipelineModels
     from repro.pipeline.result import PipelineResult
 
@@ -91,6 +92,12 @@ class PipelineState:
     #: orchestrator from ``config.executor``/``config.workers`` (None
     #: means serial).  Stages hand it to the components they build.
     executor: Executor | None = None
+    #: Incremental-run backend
+    #: (:class:`repro.pipeline.artifacts.IncrementalBackend`), set by the
+    #: orchestrator for ``RunSession.run_incremental`` runs.  Stages use
+    #: it to serve per-table and per-entity artifacts from the persistent
+    #: store; ``None`` (the default) keeps every stage fully stateless.
+    incremental: "IncrementalBackend | None" = None
 
     # Stage outputs ----------------------------------------------------
     mapping: SchemaMapping | None = None
@@ -290,14 +297,22 @@ class SchemaMatchStage:
         if state.matcher is None:
             state.matcher = SchemaMatcher(state.kb, state.models.schema_models)
         # The matcher outlives runs (it rides the artifact cache), but
-        # executors are per-run resources — rebind every time.
+        # executors and incremental backends are per-run resources —
+        # rebind every time.
         state.matcher.executor = state.executor
+        state.matcher.attribute_cache = None
+        if state.incremental is not None:
+            # Serve unchanged tables' analyses and attribute maps from
+            # the persistent store; only the corpus delta recomputes.
+            state.incremental.warm_matcher(state.matcher)
         state.mapping = state.matcher.match_corpus(
             state.corpus,
             evidence=state.evidence,
             table_ids=state.table_ids,
             known_classes=state.known_classes,
         )
+        if state.incremental is not None:
+            state.incremental.harvest_matcher(state.matcher)
         state.target_tables = self._target_tables(state)
         state.records = build_row_records(
             state.corpus,
@@ -412,5 +427,12 @@ class DetectStage:
             state.models.new_threshold,
             state.models.existing_threshold,
         )
-        state.detection = detector.detect(state.entities, executor=state.executor)
+        cache = (
+            state.incremental.detection_cache(context.implicit_by_table)
+            if state.incremental is not None
+            else None
+        )
+        state.detection = detector.detect(
+            state.entities, executor=state.executor, cache=cache
+        )
         return state

@@ -1,0 +1,140 @@
+"""Corpus reader error paths: descriptive exceptions, not raw parse errors.
+
+Real web-table dumps are dirty — truncated downloads, half-written
+lines, mistyped paths.  Every reader must turn those into a
+:class:`ValueError` that names the file (and line, where there is one)
+and the defect, so a bad record in a multi-gigabyte corpus is locatable
+without bisection.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus.readers import (
+    iter_csv_directory,
+    iter_jsonl,
+    iter_wdc,
+    open_table_stream,
+    table_from_record,
+)
+
+
+class TestJsonlErrors:
+    def test_invalid_json_names_file_and_line(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(
+            '{"table_id": "t1", "header": ["a"], "rows": [["1"]]}\n'
+            "{not json at all\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(ValueError, match=r"corpus\.jsonl:2: invalid JSON"):
+            list(iter_jsonl(path))
+
+    def test_missing_fields_name_record_and_line(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(
+            '{"table_id": "t1", "header": ["a"], "rows": [["1"]]}\n'
+            '{"table_id": "t2", "header": ["a"]}\n',
+            encoding="utf-8",
+        )
+        with pytest.raises(
+            ValueError, match=r"corpus\.jsonl:2: .*'t2'.*rows"
+        ):
+            list(iter_jsonl(path))
+
+    def test_missing_table_id_names_line(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(
+            '{"header": ["a"], "rows": []}\n', encoding="utf-8"
+        )
+        with pytest.raises(
+            ValueError, match=r"corpus\.jsonl:1: .*no table_id"
+        ):
+            list(iter_jsonl(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text('["not", "an", "object"]\n', encoding="utf-8")
+        with pytest.raises(
+            ValueError, match=r"corpus\.jsonl:1: .*JSON object.*list"
+        ):
+            list(iter_jsonl(path))
+
+    def test_error_is_lazy_good_prefix_still_streams(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text(
+            '{"table_id": "ok", "header": ["a"], "rows": [["1"]]}\n'
+            "garbage\n",
+            encoding="utf-8",
+        )
+        stream = iter_jsonl(path)
+        assert next(stream).table_id == "ok"
+        with pytest.raises(ValueError, match=":2:"):
+            next(stream)
+
+
+class TestRecordErrors:
+    def test_record_must_be_mapping(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            table_from_record(["nope"])  # type: ignore[arg-type]
+
+    def test_missing_fields_enumerated(self):
+        with pytest.raises(ValueError, match="header, rows"):
+            table_from_record({"table_id": "t"})
+
+
+class TestCsvDirectoryErrors:
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="not a directory"):
+            list(iter_csv_directory(tmp_path / "missing"))
+
+    def test_directory_without_tables_rejected(self, tmp_path):
+        (tmp_path / "readme.txt").write_text("no tables", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"no \*\.csv tables"):
+            list(iter_csv_directory(tmp_path))
+
+    def test_empty_files_skipped_but_counted_as_present(self, tmp_path):
+        (tmp_path / "empty.csv").write_text("", encoding="utf-8")
+        # A present-but-empty file is a skip, not a configuration error.
+        assert list(iter_csv_directory(tmp_path)) == []
+
+
+class TestWdcErrors:
+    def test_truncated_file_in_directory(self, tmp_path):
+        good = {"relation": [["name", "x"]], "hasHeader": True}
+        (tmp_path / "a.json").write_text(json.dumps(good), encoding="utf-8")
+        (tmp_path / "b.json").write_text(
+            json.dumps(good)[:-7], encoding="utf-8"
+        )
+        with pytest.raises(
+            ValueError, match=r"b\.json: invalid or truncated WDC JSON"
+        ):
+            list(iter_wdc(tmp_path))
+
+    def test_truncated_line_in_dump(self, tmp_path):
+        good = {"relation": [["name", "x"]], "hasHeader": True}
+        path = tmp_path / "dump.json"
+        path.write_text(
+            json.dumps(good) + "\n" + json.dumps(good)[:-3] + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(
+            ValueError, match=r"dump\.json:2: invalid or truncated WDC JSON"
+        ):
+            list(iter_wdc(path))
+
+    def test_directory_without_tables_rejected(self, tmp_path):
+        (tmp_path / "notes.md").write_text("x", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"no \*\.json tables"):
+            list(iter_wdc(tmp_path))
+
+
+class TestStreamEntryPoint:
+    def test_open_table_stream_propagates_context(self, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        path.write_text("{broken\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"corpus\.jsonl:1"):
+            list(open_table_stream(path))

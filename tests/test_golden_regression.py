@@ -1,25 +1,37 @@
-"""Golden regression: the default pipeline on a committed fixed corpus.
+"""Golden regression: the default pipeline on committed fixed corpora.
 
-``tests/golden/`` holds a small committed world (corpus + knowledge
-base, built once with ``build_world(seed=11, scale=0.08,
-classes=["Song"])``) and the canonical JSON the default pipeline
-produced on it.  The tests rerun the pipeline and diff byte-for-byte:
+``tests/golden/`` holds two small committed worlds (corpus + knowledge
+base) and the canonical JSON the default pipeline produced on them:
+
+* ``world`` / ``expected_Song.json`` — built with ``build_world(seed=11,
+  scale=0.08, classes=["Song"])``;
+* ``world_settlement`` / ``expected_Settlement.json`` — built with
+  ``build_world(seed=23, scale=0.07, classes=["Settlement"])``, a second
+  entity class so schema drift that only affects one class profile still
+  trips a fixture.
+
+The tests rerun the pipeline and diff byte-for-byte:
 
 * against the committed expectation — any semantic drift in matching,
   clustering, fusion or detection shows up as a diff, not as a silently
   shifted metric;
 * across executors — serial, thread and process (workers=2) runs must
-  produce identical artifacts (the acceptance criterion of the parallel
-  execution engine).
+  produce identical artifacts (the parallel engine's acceptance
+  criterion);
+* under ``--incremental`` — runs served from the persistent artifact
+  store must reproduce the committed bytes on every backend (the
+  incremental engine's acceptance criterion).
 
 To regenerate after an *intentional* behaviour change::
 
     PYTHONPATH=src python -c "
     from pathlib import Path
     from repro.api import RunSession
-    session = RunSession.from_directory('tests/golden/world')
-    blob = session.run('Song', use_cache=False).canonical_json()
-    Path('tests/golden/expected_Song.json').write_text(blob)"
+    for world, cls in [('world', 'Song'),
+                       ('world_settlement', 'Settlement')]:
+        session = RunSession.from_directory(f'tests/golden/{world}')
+        blob = session.run(cls, use_cache=False).canonical_json()
+        Path(f'tests/golden/expected_{cls}.json').write_text(blob)"
 
 and explain the diff in the commit message.
 """
@@ -32,39 +44,84 @@ from pathlib import Path
 import pytest
 
 from repro.api import RunSession
+from repro.corpus.store import CorpusStore
+from repro.io import load_world_directory, save_knowledge_base
+from repro.io.serialize import WORLD_KB_FILE
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
-WORLD_DIR = GOLDEN_DIR / "world"
-EXPECTED_FILE = GOLDEN_DIR / "expected_Song.json"
+
+#: class name -> (world directory, expected canonical JSON file)
+GOLDEN_CASES = {
+    "Song": (GOLDEN_DIR / "world", GOLDEN_DIR / "expected_Song.json"),
+    "Settlement": (
+        GOLDEN_DIR / "world_settlement",
+        GOLDEN_DIR / "expected_Settlement.json",
+    ),
+}
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module", params=sorted(GOLDEN_CASES))
+def golden_case(request):
+    class_name = request.param
+    world_dir, expected_file = GOLDEN_CASES[class_name]
+    return class_name, world_dir, expected_file
 
 
 @pytest.fixture(scope="module")
-def golden_session():
-    return RunSession.from_directory(WORLD_DIR)
+def golden_session(golden_case):
+    __, world_dir, __ = golden_case
+    return RunSession.from_directory(world_dir)
 
 
 @pytest.fixture(scope="module")
-def expected_blob() -> str:
-    return EXPECTED_FILE.read_text(encoding="utf-8")
+def expected_blob(golden_case) -> str:
+    *__, expected_file = golden_case
+    return expected_file.read_text(encoding="utf-8")
 
 
-def test_fixture_is_committed_and_wellformed(expected_blob):
-    assert (WORLD_DIR / "corpus.jsonl").exists()
-    assert (WORLD_DIR / "knowledge_base.json").exists()
+@pytest.fixture(scope="module")
+def golden_store(golden_case, tmp_path_factory):
+    """The golden world ingested into an on-disk corpus store."""
+    class_name, world_dir, __ = golden_case
+    knowledge_base, corpus = load_world_directory(world_dir)
+    store = CorpusStore.create(
+        tmp_path_factory.mktemp(f"golden_store_{class_name}"), shards=2
+    )
+    store.ingest(iter(corpus))
+    save_knowledge_base(knowledge_base, store.directory / WORLD_KB_FILE)
+    return store
+
+
+@pytest.fixture(scope="module")
+def incremental_session(golden_store):
+    return RunSession.from_corpus_store(golden_store)
+
+
+def test_fixture_is_committed_and_wellformed(golden_case, expected_blob):
+    class_name, world_dir, __ = golden_case
+    assert (world_dir / "corpus.jsonl").exists()
+    assert (world_dir / "knowledge_base.json").exists()
     document = json.loads(expected_blob)
-    assert document["summary"]["class_name"] == "Song"
+    assert document["summary"]["class_name"] == class_name
     assert document["summary"]["entities"] > 0
 
 
-def test_default_pipeline_matches_golden(golden_session, expected_blob):
+def test_default_pipeline_matches_golden(
+    golden_case, golden_session, expected_blob
+):
     """The serial default pipeline reproduces the committed artifacts."""
-    result = golden_session.run("Song", executor="serial", use_cache=False)
+    class_name = golden_case[0]
+    result = golden_session.run(
+        class_name, executor="serial", use_cache=False
+    )
     assert result.canonical_json() == expected_blob
 
 
 @pytest.mark.parametrize("executor", ["thread", "process"])
 def test_parallel_runs_byte_identical_to_golden(
-    golden_session, expected_blob, executor
+    golden_case, golden_session, expected_blob, executor
 ):
     """Thread/process runs (workers=2) agree with the golden bytes.
 
@@ -72,7 +129,42 @@ def test_parallel_runs_byte_identical_to_golden(
     exactly the "serial and parallel runs produce byte-identical
     artifacts" acceptance criterion.
     """
+    class_name = golden_case[0]
     result = golden_session.run(
-        "Song", executor=executor, workers=2, use_cache=False
+        class_name, executor=executor, workers=2, use_cache=False
     )
     assert result.canonical_json() == expected_blob
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_incremental_runs_byte_identical_to_golden(
+    golden_case, incremental_session, expected_blob, executor
+):
+    """Store-served incremental runs reproduce the committed bytes.
+
+    All three backends share one persistent artifact store (executor
+    knobs are excluded from artifact keys by the determinism contract),
+    so after the first backend populates it the others are largely
+    *served* the same artifacts — byte-equality here proves both the
+    executor contract and the store's purity invariant at once.
+    """
+    class_name = golden_case[0]
+    result = incremental_session.run_incremental(
+        class_name, executor=executor, workers=2, use_cache=False
+    )
+    assert result.canonical_json() == expected_blob
+
+
+def test_incremental_store_serves_second_backend(
+    golden_case, incremental_session
+):
+    """After the matrix above, a rerun is fully store-served."""
+    class_name = golden_case[0]
+    incremental_session.run_incremental(
+        class_name, executor="serial", use_cache=False
+    )
+    report = incremental_session.last_incremental_report
+    assert report.stage_misses() == 0
+    assert report.analysis_computed == 0
+    assert report.attributes_computed == 0
+    assert report.entities_computed == 0

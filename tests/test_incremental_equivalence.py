@@ -1,0 +1,517 @@
+"""Differential harness: incremental runs ≡ full rebuilds, byte for byte.
+
+The incremental engine's correctness claim is *equivalence by
+construction*: every artifact served from the persistent store is a pure
+function of fingerprinted inputs, so an incremental run over any corpus
+history must produce exactly the bytes a from-scratch run over the final
+corpus produces.  This module attacks that claim three ways:
+
+* a **hypothesis-driven mutation harness** — random sequences of corpus
+  mutations (add / remove / replace tables) with interleaved incremental
+  runs, each checked byte-for-byte (``canonical_json``) against a fresh
+  full rebuild, across serial and thread executors;
+* a **scripted lifecycle** covering the canonical ingest → run → delta →
+  run → shrink → run sequence per executor;
+* **unit coverage** of the building blocks: the artifact store, corpus
+  snapshots/deltas, fingerprint sensitivity, dirty-set dispatch, and the
+  store's removal API.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api import RunSession
+from repro.corpus.indexing import CorpusLabelIndex
+from repro.corpus.store import CorpusStore
+from repro.io import save_knowledge_base
+from repro.io.serialize import WORLD_KB_FILE
+from repro.parallel import dispatch_dirty, make_executor
+from repro.pipeline.artifacts import ArtifactStore, fingerprint_evidence
+from repro.pipeline.delta import (
+    CorpusDelta,
+    corpus_state,
+    diff_corpus_states,
+    fingerprint_corpus_state,
+    fingerprint_records,
+    invalidation_frontier,
+)
+from repro.synthesis.api import build_world
+from repro.synthesis.profiles import WorldScale
+from repro.webtables.table import WebTable
+
+CLASS_NAME = "Song"
+
+#: Tables ingested before the first run; the rest form the mutation pool.
+N_BASE = 16
+
+
+@pytest.fixture(scope="module")
+def song_world():
+    """A small single-class world whose tables the harness permutes."""
+    return build_world(seed=11, scale=WorldScale(0.08), classes=[CLASS_NAME])
+
+
+@pytest.fixture(scope="module")
+def world_tables(song_world):
+    return list(song_world.corpus)
+
+
+def _mutated(table: WebTable, salt: int) -> WebTable:
+    """The same table id with deterministically perturbed content."""
+    rows = [list(row) for row in table.rows]
+    if rows and rows[0]:
+        cell = rows[0][0]
+        rows[0][0] = f"{cell} (rev {salt})" if cell is not None else f"rev {salt}"
+    rows.append(tuple(f"filler {salt}" for _ in table.header))
+    return WebTable(
+        table_id=table.table_id,
+        header=table.header,
+        rows=[tuple(row) for row in rows],
+        url=table.url,
+    )
+
+
+def _make_store(tmp_path, world, tables):
+    store = CorpusStore.create(tmp_path / "store", shards=2)
+    store.ingest(tables)
+    save_knowledge_base(
+        world.knowledge_base, store.directory / WORLD_KB_FILE
+    )
+    return store
+
+
+def _assert_equivalent(store, incremental_result) -> str:
+    """Byte-compare an incremental result against a fresh full rebuild."""
+    oracle = RunSession.from_corpus_store(store, artifacts=False)
+    full = oracle.run(CLASS_NAME, use_cache=False, executor="serial")
+    incremental_blob = incremental_result.canonical_json()
+    assert incremental_blob == full.canonical_json()
+    return incremental_blob
+
+
+class TestScriptedLifecycle:
+    """ingest → run → grow → run → mutate → run → shrink → run."""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_full_lifecycle_byte_identical(
+        self, tmp_path, song_world, world_tables, executor
+    ):
+        base, pool = world_tables[:N_BASE], world_tables[N_BASE:]
+        store = _make_store(tmp_path, song_world, base)
+        session = RunSession.from_corpus_store(store)
+
+        first = session.run_incremental(CLASS_NAME, executor=executor)
+        _assert_equivalent(store, first)
+        report = session.last_incremental_report
+        assert report.frontier is not None
+        assert len(report.frontier.delta.added) == N_BASE
+
+        # Identical corpus: the whole run must be served from the store.
+        again = session.run_incremental(
+            CLASS_NAME, executor=executor, use_cache=False
+        )
+        assert again.canonical_json() == first.canonical_json()
+        assert session.last_incremental_report.stage_misses() == 0
+        assert session.last_incremental_report.frontier.schema_match_reusable
+
+        # Grow.
+        grow = store.ingest(pool[:2])
+        assert sorted(grow.dirty_ids) == sorted(
+            table.table_id for table in pool[:2]
+        )
+        grown = session.run_incremental(CLASS_NAME, executor=executor)
+        _assert_equivalent(store, grown)
+        frontier = session.last_incremental_report.frontier
+        assert set(frontier.analyze_tables) == set(grow.dirty_ids)
+
+        # Mutate one table in place.
+        victim = base[0]
+        replace = store.ingest(
+            [_mutated(victim, salt=1)], on_conflict="replace"
+        )
+        assert replace.replaced_ids == [victim.table_id]
+        mutated = session.run_incremental(CLASS_NAME, executor=executor)
+        _assert_equivalent(store, mutated)
+
+        # Shrink.
+        removed = store.remove_tables([base[1].table_id])
+        assert removed == [base[1].table_id]
+        shrunk = session.run_incremental(CLASS_NAME, executor=executor)
+        _assert_equivalent(store, shrunk)
+        delta = session.last_incremental_report.frontier.delta
+        assert delta.removed == (base[1].table_id,)
+
+    def test_cold_session_over_warm_store(
+        self, tmp_path, song_world, world_tables
+    ):
+        """A new process (fresh session) reuses the persisted artifacts."""
+        store = _make_store(tmp_path, song_world, world_tables[:N_BASE])
+        warm = RunSession.from_corpus_store(store)
+        expected = warm.run_incremental(CLASS_NAME).canonical_json()
+
+        cold = RunSession.from_corpus_store(store)
+        result = cold.run_incremental(CLASS_NAME, use_cache=False)
+        assert result.canonical_json() == expected
+        report = cold.last_incremental_report
+        assert report.stage_misses() == 0
+        assert report.analysis_computed == 0
+        assert report.entities_computed == 0
+
+
+#: One mutation step: an op code plus an index resolved against the
+#: current store/pool state (modulo arithmetic keeps any draw valid).
+_STEPS = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "replace", "run"]),
+        st.integers(min_value=0, max_value=63),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+@given(steps=_STEPS, executor=st.sampled_from(["serial", "thread"]))
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.function_scoped_fixture,
+        HealthCheck.too_slow,
+    ],
+)
+def test_random_mutation_sequences_stay_equivalent(
+    tmp_path_factory, song_world, world_tables, steps, executor
+):
+    """Any mutation history ends byte-identical to a from-scratch run.
+
+    The artifact store persists *across* steps, so later runs are served
+    a mixture of artifacts computed under earlier corpus states — the
+    exact situation where an unsound cache key would leak stale bytes.
+    """
+    tmp_path = tmp_path_factory.mktemp("mutseq")
+    base, pool = world_tables[:N_BASE], list(world_tables[N_BASE:])
+    store = _make_store(tmp_path, song_world, base)
+    session = RunSession.from_corpus_store(store)
+    present = [table.table_id for table in base]
+    revision = 0
+    ran = False
+
+    for op, raw_index in steps:
+        if op == "add" and pool:
+            table = pool.pop(raw_index % len(pool))
+            store.ingest([table])
+            present.append(table.table_id)
+        elif op == "remove" and len(present) > 2:
+            table_id = present.pop(raw_index % len(present))
+            store.remove_tables([table_id])
+        elif op == "replace" and present:
+            table_id = present[raw_index % len(present)]
+            revision += 1
+            store.ingest(
+                [_mutated(store.get(table_id), salt=revision)],
+                on_conflict="replace",
+            )
+        elif op == "run":
+            result = session.run_incremental(CLASS_NAME, executor=executor)
+            _assert_equivalent(store, result)
+            ran = True
+    if not ran:
+        result = session.run_incremental(CLASS_NAME, executor=executor)
+        _assert_equivalent(store, result)
+
+
+class TestArtifactStore:
+    def test_roundtrip_and_stats(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        key = ["stage", "cluster", "records", "abc123"]
+        assert store.get(key) is None
+        digest = store.put(key, {"clusters": [1, 2, 3]})
+        assert len(digest) == 40
+        assert store.get(key) == {"clusters": [1, 2, 3]}
+        assert key in store
+        assert len(store) == 1
+        assert store.stats() == {"hits": 1, "misses": 1, "writes": 1}
+
+    def test_distinct_keys_do_not_collide(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        store.put(["a", 1], "one")
+        store.put(["a", 2], "two")
+        assert store.get(["a", 1]) == "one"
+        assert store.get(["a", 2]) == "two"
+
+    def test_none_is_not_storable(self, tmp_path):
+        store = ArtifactStore(tmp_path / "artifacts")
+        with pytest.raises(ValueError, match="None"):
+            store.put(["key"], None)
+
+    def test_reopen_preserves_objects_and_meta(self, tmp_path):
+        first = ArtifactStore(tmp_path / "artifacts")
+        first.put(["key"], (1, "two"))
+        first.meta_save("last_corpus_state", {"state": {"t1": "hash"}})
+        second = ArtifactStore(tmp_path / "artifacts")
+        assert second.get(["key"]) == (1, "two")
+        assert second.meta_load("last_corpus_state") == {
+            "state": {"t1": "hash"}
+        }
+        assert second.meta_load("never-written") is None
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        directory = tmp_path / "artifacts"
+        ArtifactStore(directory)
+        manifest = directory / "artifact_store.json"
+        manifest.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(ValueError, match="version"):
+            ArtifactStore(directory)
+
+
+class TestCorpusDeltas:
+    def test_diff_classifies_all_change_kinds(self):
+        old = {"a": "1", "b": "2", "c": "3"}
+        new = {"b": "2", "c": "9", "d": "4"}
+        delta = diff_corpus_states(old, new)
+        assert delta.added == ("d",)
+        assert delta.removed == ("a",)
+        assert delta.changed == ("c",)
+        assert delta.dirty == ("d", "c")
+        assert bool(delta)
+        assert not diff_corpus_states(old, dict(old))
+
+    def test_snapshot_fingerprint_is_order_sensitive(self):
+        forward = {"a": "1", "b": "2"}
+        backward = {"b": "2", "a": "1"}
+        assert fingerprint_corpus_state(forward) != fingerprint_corpus_state(
+            backward
+        )
+        assert fingerprint_corpus_state(
+            forward, order=["a", "b"]
+        ) == fingerprint_corpus_state(backward, order=["a", "b"])
+
+    def test_frontier_plans_dirty_set(self):
+        delta = CorpusDelta(added=("x",), changed=("y",))
+        frontier = invalidation_frontier(delta)
+        assert frontier.analyze_tables == ("x", "y")
+        assert not frontier.schema_match_reusable
+        empty = invalidation_frontier(CorpusDelta())
+        assert empty.schema_match_reusable
+        assert "empty" in empty.summary()
+
+    def test_store_state_matches_generic_snapshot(self, tmp_path):
+        table = WebTable(
+            table_id="t1", header=("name",), rows=[("a",)], url="u"
+        )
+        store = CorpusStore.create(tmp_path / "store", shards=2)
+        store.ingest([table])
+        assert store.state() == store.content_hashes()
+        assert corpus_state(store.as_corpus()) == store.state()
+
+    def test_evidence_fingerprint_distinguishes_feedback(self):
+        from repro.matching.matchers import DuplicateEvidence
+
+        empty = DuplicateEvidence()
+        loaded = DuplicateEvidence(row_instance={("t", 0): "uri:x"})
+        assert fingerprint_evidence(None) != fingerprint_evidence(empty)
+        assert fingerprint_evidence(empty) != fingerprint_evidence(loaded)
+
+    def test_record_fingerprint_is_order_sensitive(self, song_world):
+        from repro.matching.records import RowRecord
+
+        records = [
+            RowRecord(
+                row_id=("t", index),
+                table_id="t",
+                label=f"l{index}",
+                norm_label=f"l{index}",
+                tokens=frozenset({f"l{index}"}),
+            )
+            for index in range(2)
+        ]
+        assert fingerprint_records(records) != fingerprint_records(
+            records[::-1]
+        )
+
+
+class TestDirtySetDispatch:
+    @pytest.mark.parametrize("executor_name", [None, "serial", "thread"])
+    def test_merges_cached_and_fresh(self, executor_name):
+        calls: list[list[int]] = []
+
+        def double(items):
+            calls.append(list(items))
+            return [item * 2 for item in items]
+
+        executor = (
+            make_executor(executor_name, 2) if executor_name else None
+        )
+        try:
+            merged = dispatch_dirty(
+                double,
+                [1, 2, 3, 4],
+                [None, 40, None, 80],
+                executor=executor,
+                task_name="test",
+            )
+        finally:
+            if executor is not None:
+                executor.close()
+        assert merged == [2, 40, 6, 80]
+        assert [item for chunk in calls for item in chunk] == [1, 3]
+
+    def test_all_clean_never_calls_function(self):
+        def boom(items):  # pragma: no cover - must not run
+            raise AssertionError("dispatched despite clean cache")
+
+        assert dispatch_dirty(boom, [1, 2], [10, 20]) == [10, 20]
+
+    def test_misaligned_cache_rejected(self):
+        with pytest.raises(ValueError, match="cached slots"):
+            dispatch_dirty(lambda items: items, [1, 2], [None])
+
+    def test_wrong_result_count_rejected(self):
+        with pytest.raises(ValueError, match="returned"):
+            dispatch_dirty(lambda items: [], [1], [None])
+
+
+class TestStoreRemoval:
+    def _store(self, tmp_path, n=3):
+        tables = [
+            WebTable(
+                table_id=f"t{index}",
+                header=("name", "year"),
+                rows=[(f"row {index}", str(2000 + index))],
+                url=f"http://x/{index}",
+            )
+            for index in range(n)
+        ]
+        store = CorpusStore.create(tmp_path / "store", shards=2)
+        store.ingest(tables)
+        return store, tables
+
+    def test_remove_updates_reads_and_state(self, tmp_path):
+        store, tables = self._store(tmp_path)
+        assert store.remove_tables(["t1"]) == ["t1"]
+        assert "t1" not in store
+        assert len(store) == 2
+        assert "t1" not in store.state()
+        with pytest.raises(KeyError):
+            store.get("t1")
+
+    def test_remove_unknown_raises_unless_missing_ok(self, tmp_path):
+        store, __ = self._store(tmp_path)
+        with pytest.raises(KeyError, match="nope"):
+            store.remove_tables(["nope"])
+        assert store.remove_tables(["nope"], missing_ok=True) == []
+
+    def test_remove_withdraws_index_postings(self, tmp_path):
+        store, tables = self._store(tmp_path)
+        index = CorpusLabelIndex.build(tables)
+        assert "t0" in index
+        store.remove_tables(["t0"], index=index)
+        assert "t0" not in index
+        assert index.rows_for("row 0") == ()
+
+    def test_view_invalidate_drops_stale_tables(self, tmp_path):
+        store, tables = self._store(tmp_path)
+        view = store.as_corpus()
+        assert view.get("t0").rows[0][0] == "row 0"
+        mutated = WebTable(
+            table_id="t0",
+            header=("name", "year"),
+            rows=[("changed", "1999")],
+            url="http://x/0",
+        )
+        store.ingest([mutated], on_conflict="replace")
+        # The LRU still holds the pre-delta table until invalidated.
+        assert view.get("t0").rows[0][0] == "row 0"
+        view.invalidate(["t0"])
+        assert view.get("t0").rows[0][0] == "changed"
+        view.invalidate()
+        assert view.cache_info()["size"] == 0
+
+    def test_ingest_report_carries_delta_ids(self, tmp_path):
+        store, tables = self._store(tmp_path)
+        report = store.ingest(
+            [
+                tables[0],  # identical
+                WebTable(
+                    table_id="t1",
+                    header=("name", "year"),
+                    rows=[("rewritten", "1990")],
+                    url="http://x/1",
+                ),
+                WebTable(
+                    table_id="t9",
+                    header=("name", "year"),
+                    rows=[("fresh", "2024")],
+                    url="http://x/9",
+                ),
+            ],
+            on_conflict="replace",
+        )
+        assert report.inserted_ids == ["t9"]
+        assert report.replaced_ids == ["t1"]
+        assert report.dirty_ids == ["t9", "t1"]
+        index = CorpusLabelIndex.build(iter(store))
+        index.apply_ingest_report(report)  # in-sync: no raise
+
+    def test_label_index_discard_is_tolerant(self):
+        index = CorpusLabelIndex()
+        assert index.discard_table("ghost") is False
+        table = WebTable(
+            table_id="t", header=("name",), rows=[("a",)], url="u"
+        )
+        index.add_table(table)
+        assert index.discard_table("t") is True
+        assert "t" not in index
+
+
+class TestSessionGuards:
+    def test_incremental_needs_artifact_store(self, song_world):
+        session = RunSession(song_world)
+        with pytest.raises(RuntimeError, match="artifact store"):
+            session.run_incremental(CLASS_NAME)
+
+    def test_in_memory_session_can_attach_store(
+        self, tmp_path, song_world
+    ):
+        session = RunSession(song_world)
+        session.attach_artifact_store(tmp_path / "artifacts")
+        result = session.run_incremental(CLASS_NAME)
+        fresh = RunSession(song_world)
+        expected = fresh.run(CLASS_NAME, use_cache=False)
+        assert result.canonical_json() == expected.canonical_json()
+
+    def test_plain_run_before_first_incremental_is_not_trusted(
+        self, tmp_path, song_world, world_tables
+    ):
+        """A mutated-store session's first incremental run must not serve
+        artifacts a pre-delta plain ``run()`` left in the in-memory cache
+        (regression: the epoch guard used to only arm on the *second*
+        incremental run)."""
+        store = _make_store(tmp_path, song_world, world_tables[:N_BASE])
+        session = RunSession.from_corpus_store(store)
+        stale = session.run(CLASS_NAME)  # plain run fills the caches
+        store.ingest(world_tables[N_BASE : N_BASE + 2])
+        result = session.run_incremental(CLASS_NAME)
+        assert result.canonical_json() != stale.canonical_json()
+        _assert_equivalent(store, result)
+
+    def test_epoch_change_clears_in_memory_cache(
+        self, tmp_path, song_world, world_tables
+    ):
+        store = _make_store(tmp_path, song_world, world_tables[:N_BASE])
+        session = RunSession.from_corpus_store(store)
+        session.run_incremental(CLASS_NAME)
+        assert session.cache_info()["entries"] > 0
+        store.ingest(world_tables[N_BASE : N_BASE + 1])
+        session.run_incremental(CLASS_NAME)
+        # The pre-delta in-memory artifacts were dropped, then repopulated
+        # by the post-delta run.
+        info = session.cache_info()
+        assert info["entries"] > 0
+        delta = session.last_incremental_report.frontier.delta
+        assert delta.added == (world_tables[N_BASE].table_id,)
