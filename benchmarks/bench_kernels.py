@@ -1,0 +1,79 @@
+"""Benchmark: the similarity-kernel optimization layer.
+
+Three claims, each verified against the kept-verbatim reference
+implementation (value equality is asserted *before* any timing is
+trusted — see :mod:`repro.perf.bench`):
+
+1. **Fuzzy token expansion** — the SymSpell-style deletion-neighborhood
+   lookup inside :meth:`InvertedIndex.similar_tokens` returns exactly
+   the prefix-bucket scan's result set and is ≥ 3× faster
+   (``REPRO_BENCH_MIN_FUZZY_SPEEDUP``) on a 20k-token vocabulary.
+2. **Bounded edit distance** — ``levenshtein_within(a, b, 1)`` equals
+   thresholding the full distance and is faster.
+3. **Block-local pair scoring** — the memoized LABEL kernel scores the
+   within-block pairs of a 5 000-table record set identically to the
+   unmemoized bundle and ≥ 2× faster
+   (``REPRO_BENCH_MIN_PAIR_SPEEDUP``).
+
+The measured numbers are persisted to ``BENCH_kernels.json`` at the repo
+root — the perf trajectory future PRs (and the CI perf-smoke gate)
+compare against.  ``REPRO_BENCH_CORPUS_TABLES`` / ``REPRO_BENCH_VOCAB``
+scale the workload; ``REPRO_BENCH_OUTPUT`` redirects the artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.perf.bench import (
+    KERNEL_BENCH_FILE,
+    compare_with_baseline,
+    load_bench_file,
+    run_kernel_benchmarks,
+    write_bench_file,
+)
+
+N_TABLES = int(os.environ.get("REPRO_BENCH_CORPUS_TABLES", "5000"))
+VOCAB = int(os.environ.get("REPRO_BENCH_VOCAB", "20000"))
+MIN_FUZZY_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_FUZZY_SPEEDUP", "3.0"))
+MIN_PAIR_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_PAIR_SPEEDUP", "2.0"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = Path(os.environ.get("REPRO_BENCH_OUTPUT", REPO_ROOT / KERNEL_BENCH_FILE))
+
+
+def test_kernel_benchmarks_meet_floors_and_persist_trajectory():
+    document = run_kernel_benchmarks(n_tables=N_TABLES, vocabulary_size=VOCAB)
+    benchmarks = document["benchmarks"]
+    for name, entry in benchmarks.items():
+        print(
+            f"\n{name}: reference {entry['reference_seconds']:.3f}s vs "
+            f"optimized {entry['optimized_seconds']:.3f}s "
+            f"→ {entry['speedup']:.2f}×"
+        )
+
+    fuzzy = benchmarks["similar_tokens"]["speedup"]
+    assert fuzzy >= MIN_FUZZY_SPEEDUP, (
+        f"fuzzy expansion speedup {fuzzy:.2f}x fell below the "
+        f"{MIN_FUZZY_SPEEDUP}x floor"
+    )
+    pair = benchmarks["pair_scoring"]["speedup"]
+    assert pair >= MIN_PAIR_SPEEDUP, (
+        f"block-local pair scoring speedup {pair:.2f}x fell below the "
+        f"{MIN_PAIR_SPEEDUP}x floor"
+    )
+    bounded = benchmarks["levenshtein_within"]["speedup"]
+    assert bounded >= 1.0, (
+        f"bounded levenshtein is slower than the reference ({bounded:.2f}x)"
+    )
+
+    # Trajectory gate: measured speedups must not collapse to less than
+    # half of the committed baseline's (ratios are machine-portable, so
+    # this also holds on CI runners with different absolute seconds).
+    failures = compare_with_baseline(
+        document, load_bench_file(REPO_ROOT / KERNEL_BENCH_FILE)
+    )
+    assert not failures, "; ".join(failures)
+
+    written = write_bench_file(OUTPUT, document)
+    print(f"trajectory written to {written}")

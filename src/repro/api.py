@@ -33,6 +33,7 @@ from typing import Iterable, Sequence
 
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.newdetect.detector import DetectionResult
+from repro.perf.kernels import KernelCache
 from repro.pipeline.artifacts import (
     ARTIFACTS_DIRNAME,
     ArtifactStore,
@@ -262,6 +263,10 @@ class RunSession:
         self.cache_hits = 0
         self.cache_misses = 0
         self._artifacts: dict = {}
+        #: Session-scoped kernel memos (token-pair similarities plus the
+        #: registered row-pair caches) shared by every run; cleared at
+        #: the corpus-epoch guard because pair caches key on row ids.
+        self.kernels = KernelCache()
         #: Strong references keep cache-key identity tokens stable.
         self._identity_registry: list[object] = []
         self._default_models: dict[str, PipelineModels] = {}
@@ -474,6 +479,7 @@ class RunSession:
             stages=stage_list,
             observers=[*self.observers, *observers],
             incremental=backend,
+            kernels=self.kernels,
         )
         if backend is not None:
             self.artifact_store.meta_save(
@@ -499,6 +505,8 @@ class RunSession:
 
     # -- cache administration ------------------------------------------
     def cache_info(self) -> dict[str, int]:
+        """Artifact-cache statistics (kernel memos report through
+        ``session.kernels.cache_info()``)."""
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
@@ -509,6 +517,7 @@ class RunSession:
         self._artifacts.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.kernels.clear()
 
     # -- internals ------------------------------------------------------
     def _make_backend(
@@ -522,10 +531,11 @@ class RunSession:
 
         Also the session's corpus-epoch guard: when the snapshot differs
         from the previous one, the in-memory artifact cache (which keys
-        by session state, not corpus content) is cleared and a live
-        store-backed corpus view drops its table cache — the persistent
-        store alone carries reuse across deltas, under content-exact
-        keys.
+        by session state, not corpus content) is cleared — along with
+        the kernel caches, whose row-pair scores key on row *ids* that a
+        replaced table reuses for new content — and a live store-backed
+        corpus view drops its table cache.  The persistent store alone
+        carries reuse across deltas, under content-exact keys.
         """
         if self.artifact_store is None:
             raise RuntimeError(

@@ -11,6 +11,10 @@ Commands:
   change the paper knobs).  ``--store`` runs over an ingested corpus
   store instead of the synthetic world, and ``--incremental`` serves
   unchanged artifacts from the store's persistent artifact cache.
+* ``profile`` — run the pipeline under the perf harness and print the
+  per-stage wall clock plus the kernel counters (calls, memo hits,
+  early exits); ``--output BENCH_pipeline.json`` persists the
+  trajectory document future PRs compare against.
 * ``experiment`` — regenerate one paper table/figure by experiment id
   (``table01`` … ``table12``, ``figure01``, ``ranked_eval``).
 * ``ingest`` — stream web tables (JSONL / CSV directory / WDC JSON) into
@@ -160,6 +164,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for class_name, report in reports.items():
             print(f"\nincremental [{class_name}]:")
             print(report.summary())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.api import RunSession
+    from repro.perf.bench import pipeline_profile_document, write_bench_file
+    from repro.pipeline.pipeline import PipelineConfig
+    from repro.pipeline.stages import TimingObserver
+
+    unknown = [name for name in args.classes if name not in CLASS_CHOICES]
+    if unknown:
+        print(f"error: unknown class(es) {', '.join(unknown)}; "
+              f"the synthetic world holds {', '.join(CLASS_CHOICES)}")
+        return 2
+    overrides = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    try:
+        config = PipelineConfig(iterations=args.iterations, **overrides)
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+    timer = TimingObserver()
+    session = RunSession.from_seed(
+        seed=args.seed, scale=args.scale, config=config, observers=[timer]
+    )
+    started = time.perf_counter()
+    session.run_many(dict.fromkeys(args.classes))
+    total_seconds = time.perf_counter() - started
+    document = pipeline_profile_document(
+        classes=list(dict.fromkeys(args.classes)),
+        seed=args.seed,
+        scale=args.scale,
+        config=config,
+        timer=timer,
+        total_seconds=total_seconds,
+    )
+    if args.as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(timer.report())
+        print(f"wall clock (incl. world build reuse): {total_seconds:.3f}s")
+    if args.output:
+        path = write_bench_file(args.output, document)
+        print(f"trajectory written to {path}")
     return 0
 
 
@@ -337,6 +390,28 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--dedup", action="store_true",
                      help="deduplicate new entities (Section 5 extension)")
     run.set_defaults(handler=_cmd_run)
+
+    profile = subparsers.add_parser(
+        "profile", help="run the pipeline under the perf harness"
+    )
+    profile.add_argument("classes", nargs="+", metavar="class",
+                         help=f"one or more of {CLASS_CHOICES}")
+    profile.add_argument("--seed", type=int, default=7)
+    profile.add_argument("--scale", type=float, default=0.25)
+    profile.add_argument("--iterations", type=int, default=2)
+    profile.add_argument("--executor", choices=("serial", "thread", "process"),
+                         default=None,
+                         help="parallel backend (note: process pools keep "
+                              "their kernel counters in the workers; the "
+                              "report then shows the in-process share)")
+    profile.add_argument("--workers", type=int, default=None)
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the trajectory document instead of "
+                              "the aligned report")
+    profile.add_argument("--output", default=None, metavar="PATH",
+                         help="also write the trajectory JSON (convention: "
+                              "BENCH_pipeline.json at the repo root)")
+    profile.set_defaults(handler=_cmd_profile)
 
     ingest = subparsers.add_parser(
         "ingest", help="stream web tables into a sharded corpus store"

@@ -9,11 +9,22 @@ only compares cluster pairs sharing a block.
 
 from __future__ import annotations
 
+from weakref import WeakKeyDictionary
 from typing import Protocol, Sequence
 
 from repro.index import LabelIndex
 from repro.matching.records import RowRecord
+from repro.perf.counters import bump
 from repro.webtables.table import RowId
+
+#: Per-index block cache: index object → (generation, max_similar,
+#: {label → block keys}).  Weakly keyed so a dropped index frees its
+#: entry; keyed by the index's ``generation`` so any mutation
+#: invalidates it — an unchanged persistent index (the incremental-run
+#: steady state) serves every repeated label without re-searching.
+_SHARED_LABEL_BLOCKS: "WeakKeyDictionary[object, tuple[int, int, dict[str, frozenset[str]]]]" = (
+    WeakKeyDictionary()
+)
 
 
 class SupportsLabelSearch(Protocol):
@@ -51,14 +62,46 @@ def build_blocks(
                 seen.add(record.norm_label)
                 fresh.add(record.norm_label, record.norm_label)
         index = fresh
+        cache: dict[str, frozenset[str]] = {}
+    else:
+        cache = _label_block_cache(index, max_similar)
     blocks: dict[RowId, frozenset[str]] = {}
-    cache: dict[str, frozenset[str]] = {}
     for record in records:
         label = record.norm_label
-        if label not in cache:
+        keys = cache.get(label)
+        if keys is None:
+            bump("blocking.label_searches")
             matches = index.search(label, max_similar)
-            keys = {match.label for match in matches}
-            keys.add(label)
-            cache[label] = frozenset(keys)
-        blocks[record.row_id] = cache[label]
+            keys = frozenset({match.label for match in matches} | {label})
+            cache[label] = keys
+        else:
+            bump("blocking.label_cache_hits")
+        blocks[record.row_id] = keys
     return blocks
+
+
+def _label_block_cache(
+    index: SupportsLabelSearch, max_similar: int
+) -> dict[str, frozenset[str]]:
+    """The per-label block cache to use for a caller-supplied index.
+
+    Indexes exposing a ``generation`` mutation counter (``LabelIndex``,
+    :class:`~repro.corpus.indexing.CorpusLabelIndex`) get a cache that
+    *persists across calls* and survives exactly as long as the index
+    content does: an incremental run over an unchanged label index
+    reuses every previously searched label, while any add/remove bumps
+    the generation and starts a fresh cache.  Other indexes fall back
+    to a per-call cache (still deduplicating repeated labels).
+    """
+    generation = getattr(index, "generation", None)
+    if generation is None:
+        return {}
+    try:
+        cached = _SHARED_LABEL_BLOCKS.get(index)
+    except TypeError:  # pragma: no cover - non-weakrefable index object
+        return {}
+    if cached is not None and cached[0] == generation and cached[1] == max_similar:
+        return cached[2]
+    cache: dict[str, frozenset[str]] = {}
+    _SHARED_LABEL_BLOCKS[index] = (generation, max_similar, cache)
+    return cache

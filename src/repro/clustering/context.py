@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.clustering.implicit import ImplicitAttribute, derive_implicit_attributes
 from repro.clustering.metrics import (
@@ -26,6 +26,9 @@ from repro.clustering.phi import PhiVectorizer
 from repro.datatypes.similarity import TypedSimilarity
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.matching.records import RowRecord
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.perf.kernels import KernelCache
 
 
 @dataclass
@@ -67,11 +70,21 @@ class RowMetricContext:
 
 
 def make_row_metrics(
-    names: Sequence[str], context: RowMetricContext
+    names: Sequence[str],
+    context: RowMetricContext,
+    kernels: "KernelCache | None" = None,
 ) -> list[RowMetric]:
-    """Instantiate metrics by canonical name, in the given order."""
+    """Instantiate metrics by canonical name, in the given order.
+
+    ``kernels`` (a :class:`repro.perf.KernelCache`) shares the session's
+    token-pair similarity memo with the LABEL metric; omitting it leaves
+    each metric instance to memoize privately.  Either way the scores
+    are identical — the memo only removes repeated work.
+    """
     factory = {
-        "LABEL": lambda: LabelMetric(),
+        "LABEL": lambda: LabelMetric(
+            memo=kernels.token_sim if kernels is not None else None
+        ),
         "BOW": lambda: BowMetric(),
         "PHI": lambda: PhiMetric(context.phi),
         "ATTRIBUTE": lambda: AttributeMetric(context.similarities),

@@ -29,6 +29,7 @@ from repro.clustering.similarity import RowSimilarity
 from repro.matching.records import RowRecord
 from repro.ml.aggregation import ScoreAggregator
 from repro.parallel import Executor
+from repro.perf.counters import bump
 from repro.webtables.table import RowId
 
 #: One worker item: a block key plus its member records, each carrying
@@ -112,4 +113,5 @@ def precompute_block_similarities(
     for scores in chunk_results:
         merged.update(scores)
     similarity.preload(merged)
+    bump("parallel_sim.pairs_precomputed", len(merged))
     return len(merged)

@@ -14,7 +14,16 @@ class RowSimilarity:
     """Computes the aggregated similarity of two rows, in [-1, 1].
 
     Wraps the metric bundle and a fitted aggregator; pair scores are cached
-    because KLj revisits the same pairs repeatedly.
+    under the canonical (sorted) row-id pair because KLj revisits the same
+    pairs repeatedly — each pair runs each metric kernel at most once per
+    run, whether it is first scored lazily (greedy/KLj) or by the parallel
+    block-local precompute.
+
+    The cache is keyed by row *identity*, not content, so it must not
+    survive a corpus mutation: sessions register instances with their
+    :class:`~repro.perf.KernelCache`, whose :meth:`~repro.perf.KernelCache.clear`
+    runs at the corpus-epoch guard.  :meth:`cache_info` / :meth:`clear`
+    expose the same controls directly.
     """
 
     def __init__(
@@ -23,6 +32,8 @@ class RowSimilarity:
         self.metrics = list(metrics)
         self.aggregator = aggregator
         self._cache: dict[tuple[RowId, RowId], float] = {}
+        self._hits = 0
+        self._misses = 0
 
     def metric_vector(self, a: RowRecord, b: RowRecord) -> MetricVector:
         """Raw metric outputs for a pair (used at training time too)."""
@@ -35,8 +46,11 @@ class RowSimilarity:
         key = (a.row_id, b.row_id) if a.row_id <= b.row_id else (b.row_id, a.row_id)
         cached = self._cache.get(key)
         if cached is None:
+            self._misses += 1
             cached = self.aggregator.score(self.metric_vector(a, b))
             self._cache[key] = cached
+        else:
+            self._hits += 1
         return cached
 
     def preload(self, scores: dict[tuple[RowId, RowId], float]) -> None:
@@ -52,3 +66,17 @@ class RowSimilarity:
 
     def cache_size(self) -> int:
         return len(self._cache)
+
+    def cache_info(self) -> dict[str, int]:
+        """Pair-cache statistics: entries held, lookup hits and misses."""
+        return {
+            "entries": len(self._cache),
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached pair score (the statistics reset with them)."""
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0

@@ -112,6 +112,11 @@ class CorpusLabelIndex:
                 "maintained during the ingest itself)"
             )
 
+    @property
+    def generation(self) -> int:
+        """The underlying label index's mutation counter (cache keying)."""
+        return self._index.generation
+
     def __contains__(self, table_id: str) -> bool:
         return table_id in self._contributions
 

@@ -6,6 +6,28 @@ import math
 from collections import defaultdict
 from typing import Callable, Hashable, Iterable
 
+from repro.perf.counters import bump
+
+#: Fuzzy candidates must be at least this long to leave the deletion
+#: index (and the prefix buckets) useful; queries below
+#: :data:`MIN_FUZZY_QUERY_LEN` only ever match exactly.
+MIN_FUZZY_QUERY_LEN = 4
+_MIN_CANDIDATE_LEN = MIN_FUZZY_QUERY_LEN - 1
+
+
+def deletion_neighborhood(token: str) -> list[str]:
+    """The token plus every string one character-deletion away.
+
+    The SymSpell invariant this index relies on: two strings are within
+    Levenshtein distance 1 iff their depth-1 deletion neighborhoods
+    intersect (an insertion's neighborhood contains the original, a
+    deletion's the result, and a substitution's both reach the string
+    with the touched position removed).
+    """
+    return [token] + [
+        token[:position] + token[position + 1 :] for position in range(len(token))
+    ]
+
 
 class InvertedIndex:
     """Maps tokens to the set of document ids containing them.
@@ -19,6 +41,16 @@ class InvertedIndex:
     corpus ingestion update an existing index batch by batch instead of
     rebuilding it.  ``strict=True`` restores the hard re-add error for
     callers that want double-indexing to be a bug.
+
+    Fuzzy token expansion (:meth:`similar_tokens`) is served by a
+    SymSpell-style deletion-neighborhood map for the common
+    ``max_distance=1`` case — a handful of hash lookups instead of a
+    linear scan over the prefix bucket — while reproducing the
+    prefix-bucket scan's result set *exactly* (the candidate set is
+    post-filtered to the same first-two-characters bucket and verified
+    with the bounded edit-distance kernel).  Larger distances fall back
+    to the bucket scan.  Both structures are maintained incrementally in
+    :meth:`add` / :meth:`remove`.
     """
 
     def __init__(self, *, strict: bool = False) -> None:
@@ -26,7 +58,35 @@ class InvertedIndex:
         self._doc_tokens: dict[Hashable, frozenset[str]] = {}
         # First-two-characters bucket used to bound fuzzy token expansion.
         self._prefix_buckets: dict[str, set[str]] = defaultdict(set)
+        # Deletion string -> indexed tokens whose depth-1 neighborhood
+        # contains it (only tokens long enough to ever match fuzzily).
+        self._delete_neighbors: dict[str, set[str]] = {}
         self._strict = strict
+
+    def _register_token(self, token: str) -> None:
+        """First occurrence of a token: enter the fuzzy structures."""
+        self._prefix_buckets[token[:2]].add(token)
+        if len(token) >= _MIN_CANDIDATE_LEN:
+            for delete in deletion_neighborhood(token):
+                bucket = self._delete_neighbors.get(delete)
+                if bucket is None:
+                    self._delete_neighbors[delete] = {token}
+                else:
+                    bucket.add(token)
+
+    def _unregister_token(self, token: str) -> None:
+        """Last posting of a token gone: leave the fuzzy structures."""
+        bucket = self._prefix_buckets[token[:2]]
+        bucket.discard(token)
+        if not bucket:
+            del self._prefix_buckets[token[:2]]
+        if len(token) >= _MIN_CANDIDATE_LEN:
+            for delete in deletion_neighborhood(token):
+                neighbors = self._delete_neighbors.get(delete)
+                if neighbors is not None:
+                    neighbors.discard(token)
+                    if not neighbors:
+                        del self._delete_neighbors[delete]
 
     def add(self, doc_id: Hashable, tokens: Iterable[str]) -> None:
         """Index a document under its tokens.
@@ -49,8 +109,9 @@ class InvertedIndex:
             )
         self._doc_tokens[doc_id] = token_set
         for token in token_set:
+            if token not in self._postings:
+                self._register_token(token)
             self._postings[token].add(doc_id)
-            self._prefix_buckets[token[:2]].add(token)
 
     def remove(self, doc_id: Hashable) -> None:
         """Drop a document and every posting that referenced it.
@@ -67,10 +128,7 @@ class InvertedIndex:
             posting.discard(doc_id)
             if not posting:
                 del self._postings[token]
-                bucket = self._prefix_buckets[token[:2]]
-                bucket.discard(token)
-                if not bucket:
-                    del self._prefix_buckets[token[:2]]
+                self._unregister_token(token)
 
     def add_or_replace(self, doc_id: Hashable, tokens: Iterable[str]) -> None:
         """Idempotently (re-)index a document, replacing prior content."""
@@ -82,8 +140,9 @@ class InvertedIndex:
             self.remove(doc_id)
         self._doc_tokens[doc_id] = token_set
         for token in token_set:
+            if token not in self._postings:
+                self._register_token(token)
             self._postings[token].add(doc_id)
-            self._prefix_buckets[token[:2]].add(token)
 
     def __len__(self) -> int:
         return len(self._doc_tokens)
@@ -110,15 +169,70 @@ class InvertedIndex:
         """Indexed tokens within ``max_distance`` edits of ``token``.
 
         Only tokens sharing the first two characters and of comparable
-        length are considered, which bounds the candidate set without a trie;
-        short tokens (< 4 chars) only match exactly, mirroring common fuzzy
-        search practice.
+        length are considered, which bounds the candidate set without a
+        trie; short tokens (< 4 chars) only match exactly, mirroring
+        common fuzzy search practice.  ``max_distance=1`` (the pipeline's
+        only fuzzy depth) resolves through the deletion-neighborhood map;
+        the result set is identical to :meth:`similar_tokens_reference`
+        for every input (the hypothesis suite in
+        ``tests/test_perf_kernels.py`` holds this under random
+        build/remove/replace sequences).
         """
         if token in self._postings:
             result = {token}
         else:
             result = set()
-        if len(token) < 4 or max_distance <= 0:
+        if len(token) < MIN_FUZZY_QUERY_LEN or max_distance <= 0:
+            return result
+        from repro.text.levenshtein import levenshtein_within
+
+        if max_distance == 1:
+            bump("similar_tokens.delete_lookups")
+            prefix = token[:2]
+            length = len(token)
+            candidates: set[str] = set()
+            for delete in deletion_neighborhood(token):
+                neighbors = self._delete_neighbors.get(delete)
+                if neighbors is not None:
+                    candidates.update(neighbors)
+            bump("similar_tokens.delete_candidates", len(candidates))
+            for candidate in candidates:
+                if candidate in result:
+                    continue
+                # The legacy scan only saw the query's own prefix bucket
+                # and rejected on the length gap; apply the same filters
+                # so the result set cannot shift.
+                if candidate[:2] != prefix:
+                    continue
+                if abs(len(candidate) - length) > 1:
+                    continue
+                if levenshtein_within(candidate, token, 1) is not None:
+                    result.add(candidate)
+            return result
+        bump("similar_tokens.bucket_scans")
+        for candidate in self._prefix_buckets.get(token[:2], ()):
+            if candidate in result:
+                continue
+            if abs(len(candidate) - len(token)) > max_distance:
+                continue
+            if levenshtein_within(candidate, token, max_distance) is not None:
+                result.add(candidate)
+        return result
+
+    def similar_tokens_reference(
+        self, token: str, max_distance: int = 1
+    ) -> set[str]:
+        """The pre-optimization prefix-bucket scan, kept verbatim.
+
+        The equivalence oracle for :meth:`similar_tokens` — the tests
+        assert both produce the same set, and ``benchmarks/
+        bench_kernels.py`` measures the speedup against it.
+        """
+        if token in self._postings:
+            result = {token}
+        else:
+            result = set()
+        if len(token) < MIN_FUZZY_QUERY_LEN or max_distance <= 0:
             return result
         from repro.text.levenshtein import levenshtein
 

@@ -33,6 +33,18 @@ class LabelIndex:
         self._index = InvertedIndex()
         self._payloads: dict[str, list[Hashable]] = defaultdict(list)
         self._fuzzy = fuzzy
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """A counter bumped by every mutation.
+
+        Caches of search results (e.g. the per-label block cache in
+        :func:`repro.clustering.blocking.build_blocks`) key on it:
+        unchanged generation ⇒ every previous :meth:`search` result is
+        still exact.
+        """
+        return self._generation
 
     def add(self, label: str, payload: Hashable) -> None:
         """Register ``payload`` (an instance URI, a row id, ...) under a label."""
@@ -42,6 +54,7 @@ class LabelIndex:
         if normalized not in self._payloads:
             self._index.add(normalized, tokenize(normalized))
         self._payloads[normalized].append(payload)
+        self._generation += 1
 
     def remove(self, label: str, payload: Hashable | None = None) -> None:
         """Unregister one payload occurrence — or the whole label.
@@ -67,9 +80,11 @@ class LabelIndex:
                     f"payload {payload!r} not registered under {label!r}"
                 ) from None
             if payloads:
+                self._generation += 1
                 return
             del self._payloads[normalized]
         self._index.remove(normalized)
+        self._generation += 1
 
     def __len__(self) -> int:
         """Number of distinct normalized labels."""

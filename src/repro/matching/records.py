@@ -59,6 +59,12 @@ def build_row_records(
     if table_ids is None:
         table_ids = mapping.tables_of_class(class_name)
     records: list[RowRecord] = []
+    # Intern the per-label derived features: web tables repeat the same
+    # entity labels across rows and tables, so distinct normalized labels
+    # are far fewer than rows — one shared token tuple per label avoids
+    # re-tokenizing and lets every equal-labelled record share objects
+    # (which also makes the Monge-Elkan memo keys pointer-equal).
+    label_tokens_by_label: dict[str, tuple[str, ...]] = {}
     for table_id in table_ids:
         table_mapping = mapping.table(table_id)
         if table_mapping is None or table_mapping.label_column is None:
@@ -74,6 +80,10 @@ def build_row_records(
             norm = normalize_label(raw_label)
             if not norm:
                 continue
+            label_tokens = label_tokens_by_label.get(norm)
+            if label_tokens is None:
+                label_tokens = tuple(tokenize(norm))
+                label_tokens_by_label[norm] = label_tokens
             values: dict[str, object] = {}
             for column, correspondence in table_mapping.attributes.items():
                 cell = row.cell(column)
@@ -93,7 +103,7 @@ def build_row_records(
                     norm_label=norm,
                     tokens=term_vector(row.cells),
                     values=values,
-                    label_tokens=tuple(tokenize(norm)),
+                    label_tokens=label_tokens,
                 )
             )
     return records

@@ -1,0 +1,32 @@
+"""The kernel optimization / perf-trajectory layer.
+
+Three pieces:
+
+* :mod:`repro.perf.counters` — process-wide kernel counters (calls,
+  cache hits, early exits) the optimized kernels bump on their hot
+  paths; :class:`~repro.pipeline.stages.TimingObserver` surfaces the
+  per-run deltas and ``repro profile`` prints them.
+* :mod:`repro.perf.kernels` — :class:`KernelCache`, the session-scoped
+  memo bundle (token-pair similarities + registered row-pair caches)
+  cleared at the corpus-epoch guard.
+* :mod:`repro.perf.bench` — the benchmark runners behind
+  ``benchmarks/bench_kernels.py`` and ``repro profile --output``, which
+  persist the measured trajectory to ``BENCH_kernels.json`` /
+  ``BENCH_pipeline.json`` at the repo root.
+"""
+
+from repro.perf.counters import (
+    bump,
+    counter_delta,
+    kernel_counters,
+    reset_kernel_counters,
+)
+from repro.perf.kernels import KernelCache
+
+__all__ = [
+    "KernelCache",
+    "bump",
+    "counter_delta",
+    "kernel_counters",
+    "reset_kernel_counters",
+]

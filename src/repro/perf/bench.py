@@ -1,0 +1,351 @@
+"""Benchmark runners for the kernel layer and the pipeline trajectory.
+
+Two measured artifacts anchor the repo's perf trajectory, both written
+at the repo root so successive PRs can compare against committed
+baselines:
+
+* ``BENCH_kernels.json`` — microbenchmarks of the optimized kernels
+  against their kept-verbatim reference implementations (fuzzy token
+  expansion, block-local pair scoring, bounded edit distance), produced
+  by :func:`run_kernel_benchmarks` via ``benchmarks/bench_kernels.py``.
+  Every comparison *asserts value equality* before it reports a
+  speedup — a benchmark whose fast path diverges from the reference is
+  a bug, not a result.
+* ``BENCH_pipeline.json`` — stage wall-clock and kernel-counter
+  trajectory of a full pipeline run, produced by ``repro profile
+  --output``.
+
+Absolute seconds move with the hardware; the ``speedup`` ratios are the
+stable, machine-portable part of the trajectory and what the CI
+perf-smoke gate compares (a ratio collapsing to half its committed
+baseline fails the build).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.clustering.metrics import BowMetric, LabelMetric, SameTableMetric
+from repro.clustering.similarity import RowSimilarity
+from repro.index.inverted import InvertedIndex
+from repro.matching.records import RowRecord
+from repro.ml.aggregation import StaticWeightedAggregator
+from repro.text.levenshtein import levenshtein, levenshtein_within
+from repro.text.monge_elkan import monge_elkan_symmetric
+from repro.text.tokenize import normalize_label, tokenize
+from repro.text.vectors import term_vector
+
+#: Schema tags stamped into the persisted JSON documents.
+KERNEL_BENCH_SCHEMA = "repro.bench.kernels/v1"
+PIPELINE_BENCH_SCHEMA = "repro.bench.pipeline/v1"
+
+KERNEL_BENCH_FILE = "BENCH_kernels.json"
+PIPELINE_BENCH_FILE = "BENCH_pipeline.json"
+
+
+class _UnmemoizedLabelMetric:
+    """The pre-optimization LABEL metric, kept as the scoring baseline.
+
+    Calls the two-directional :func:`monge_elkan_symmetric` exactly the
+    way ``LabelMetric`` did before the shared token-pair memo — the
+    benchmark's reference for the pair-scoring speedup claim.
+    """
+
+    name = "LABEL"
+
+    def compute(self, a: RowRecord, b: RowRecord):
+        return monge_elkan_symmetric(a.label_tokens, b.label_tokens), 1.0
+
+
+def _deterministic_vocabulary(size: int) -> list[str]:
+    """A vocabulary with realistic prefix skew (no RNG: stable numbers)."""
+    stems = (
+        "station", "garden", "branch", "record", "valley", "market",
+        "bridge", "harbor", "meadow", "turner", "walker", "fisher",
+    )
+    vocabulary = []
+    for number in range(size):
+        stem = stems[number % len(stems)]
+        vocabulary.append(f"{stem}{number // len(stems)}")
+    return vocabulary
+
+
+def _synthetic_records(n_tables: int, rows_per_table: int = 4) -> list[RowRecord]:
+    """Song-like row records at corpus scale, built without a pipeline.
+
+    Labels draw from a shared token pool with typo'd variants so the
+    workload has what real web tables have: heavy token reuse across
+    rows plus near-duplicate labels that blocking must bring together.
+    """
+    artists = [f"artist {number}" for number in range(max(1, n_tables // 5))]
+    records: list[RowRecord] = []
+    for table in range(n_tables):
+        table_id = f"bench-{table:07d}"
+        for row in range(rows_per_table):
+            entity = (table * rows_per_table + row) % (n_tables * 2)
+            artist = artists[(table + row) % len(artists)]
+            label = f"song number {entity} by {artist}"
+            if entity % 7 == 0:
+                label = label.replace("number", "numbre")  # a typo'd variant
+            norm = normalize_label(label)
+            records.append(
+                RowRecord(
+                    row_id=(table_id, row),
+                    table_id=table_id,
+                    label=label,
+                    norm_label=norm,
+                    tokens=term_vector([label, artist, str(1960 + entity % 60)]),
+                    values={},
+                    label_tokens=tuple(tokenize(norm)),
+                )
+            )
+    return records
+
+
+def _time(callable_: Callable[[], object]) -> tuple[float, object]:
+    started = time.perf_counter()
+    result = callable_()
+    return time.perf_counter() - started, result
+
+
+def bench_fuzzy_expansion(
+    vocabulary_size: int = 20_000, n_queries: int = 500
+) -> dict:
+    """Deletion-neighborhood fuzzy expansion vs the prefix-bucket scan."""
+    vocabulary = _deterministic_vocabulary(vocabulary_size)
+    index = InvertedIndex()
+    for position, token in enumerate(vocabulary):
+        index.add(f"doc-{position}", [token])
+    # Queries mix indexed tokens and typo'd variants of them.
+    queries = []
+    for number in range(n_queries):
+        token = vocabulary[(number * 37) % len(vocabulary)]
+        if number % 2:
+            position = number % max(1, len(token) - 1)
+            token = token[:position] + "x" + token[position + 1 :]
+        queries.append(token)
+
+    def run_reference() -> list[frozenset[str]]:
+        return [
+            frozenset(index.similar_tokens_reference(query)) for query in queries
+        ]
+
+    def run_optimized() -> list[frozenset[str]]:
+        return [frozenset(index.similar_tokens(query)) for query in queries]
+
+    reference_seconds, reference_results = _time(run_reference)
+    optimized_seconds, optimized_results = _time(run_optimized)
+    assert optimized_results == reference_results, (
+        "similar_tokens diverged from the reference prefix-bucket scan"
+    )
+    return {
+        "kernel": "similar_tokens",
+        "vocabulary": vocabulary_size,
+        "queries": n_queries,
+        "reference_seconds": round(reference_seconds, 4),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "speedup": round(reference_seconds / max(optimized_seconds, 1e-9), 2),
+    }
+
+
+def bench_bounded_levenshtein(n_pairs: int = 30_000) -> dict:
+    """``levenshtein_within(·, ·, 1)`` vs thresholding the full distance."""
+    vocabulary = _deterministic_vocabulary(600)
+    pairs = [
+        (vocabulary[number % len(vocabulary)],
+         vocabulary[(number * 13 + 1) % len(vocabulary)])
+        for number in range(n_pairs)
+    ]
+
+    def run_reference() -> list[int | None]:
+        out = []
+        for a, b in pairs:
+            distance = levenshtein(a, b)
+            out.append(distance if distance <= 1 else None)
+        return out
+
+    def run_optimized() -> list[int | None]:
+        return [levenshtein_within(a, b, 1) for a, b in pairs]
+
+    reference_seconds, reference_results = _time(run_reference)
+    optimized_seconds, optimized_results = _time(run_optimized)
+    assert optimized_results == reference_results, (
+        "levenshtein_within diverged from the thresholded reference"
+    )
+    return {
+        "kernel": "levenshtein_within",
+        "pairs": n_pairs,
+        "reference_seconds": round(reference_seconds, 4),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "speedup": round(reference_seconds / max(optimized_seconds, 1e-9), 2),
+    }
+
+
+def bench_pair_scoring(
+    n_tables: int = 5_000, max_pairs: int = 40_000
+) -> dict:
+    """Block-local pair scoring: memoized kernels vs the plain bundle.
+
+    Blocks are synthesized directly (records bucketed by shared label
+    structure, the way label blocking groups near-duplicate labels) so
+    the measurement isolates pair *scoring* from candidate retrieval —
+    every within-block pair is scored once by both bundles.
+    """
+    records = _synthetic_records(n_tables)
+    by_block: dict[int, list[RowRecord]] = {}
+    for position, record in enumerate(records):
+        by_block.setdefault(position % max(1, len(records) // 8), []).append(
+            record
+        )
+    pairs: list[tuple[RowRecord, RowRecord]] = []
+    for members in by_block.values():
+        if len(pairs) >= max_pairs:
+            break
+        for position, record_a in enumerate(members):
+            for record_b in members[position + 1 :]:
+                pairs.append((record_a, record_b))
+    pairs = pairs[:max_pairs]
+    weights = {"LABEL": 0.6, "BOW": 0.3, "SAME_TABLE": 0.1}
+    aggregator = StaticWeightedAggregator(weights, threshold=0.6)
+
+    def score_all(metrics: Sequence) -> list[float]:
+        similarity = RowSimilarity(metrics, aggregator)
+        return [
+            similarity.score(record_a, record_b) for record_a, record_b in pairs
+        ]
+
+    reference_seconds, reference_scores = _time(
+        lambda: score_all([_UnmemoizedLabelMetric(), BowMetric(), SameTableMetric()])
+    )
+    optimized_seconds, optimized_scores = _time(
+        lambda: score_all([LabelMetric(), BowMetric(), SameTableMetric()])
+    )
+    assert optimized_scores == reference_scores, (
+        "memoized pair scoring diverged from the unmemoized bundle"
+    )
+    return {
+        "kernel": "pair_scoring",
+        "tables": n_tables,
+        "records": len(records),
+        "pairs": len(pairs),
+        "reference_seconds": round(reference_seconds, 4),
+        "optimized_seconds": round(optimized_seconds, 4),
+        "speedup": round(reference_seconds / max(optimized_seconds, 1e-9), 2),
+    }
+
+
+def run_kernel_benchmarks(
+    n_tables: int = 5_000,
+    vocabulary_size: int = 20_000,
+) -> dict:
+    """All kernel benchmarks, as one persistable JSON document."""
+    results = [
+        bench_fuzzy_expansion(vocabulary_size=vocabulary_size),
+        bench_bounded_levenshtein(),
+        bench_pair_scoring(n_tables=n_tables),
+    ]
+    return {
+        "schema": KERNEL_BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "benchmarks": {entry["kernel"]: entry for entry in results},
+    }
+
+
+def pipeline_profile_document(
+    *,
+    classes: Sequence[str],
+    seed: int,
+    scale: float,
+    config,
+    timer,
+    total_seconds: float,
+) -> dict:
+    """The ``repro profile`` trajectory document (stages + kernels)."""
+    return {
+        "schema": PIPELINE_BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "classes": list(classes),
+        "seed": seed,
+        "scale": scale,
+        "iterations": config.iterations,
+        "executor": config.executor,
+        "workers": config.workers,
+        "total_seconds": round(total_seconds, 4),
+        "stage_seconds": {
+            name: round(seconds, 4)
+            for name, seconds in sorted(timer.by_stage().items())
+        },
+        "kernel_counters": dict(sorted(timer.kernel_counts.items())),
+    }
+
+
+def write_bench_file(path: str | Path, document: dict) -> Path:
+    """Persist a benchmark document (stable key order, trailing newline)."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_bench_file(path: str | Path) -> dict | None:
+    """Load a committed baseline, or ``None`` when absent."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def compare_with_baseline(
+    current: dict, baseline: dict | None, tolerance: float = 2.0
+) -> list[str]:
+    """Speedup regressions of ``current`` against a committed baseline.
+
+    Returns human-readable failure lines for every kernel whose measured
+    speedup fell below ``baseline / tolerance`` — the machine-portable
+    form of "more than ``tolerance``× slower than the committed
+    numbers".  An empty list means the trajectory held.  A kernel run
+    on a *different workload* than the committed one (scaled-down smoke
+    configurations) is skipped: its ratio is not comparable.
+    """
+    if baseline is None:
+        return []
+    workload_keys = ("tables", "records", "pairs", "queries", "vocabulary")
+    failures = []
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    for kernel, entry in current.get("benchmarks", {}).items():
+        committed = baseline_benchmarks.get(kernel)
+        if committed is None:
+            continue
+        if any(
+            entry.get(key) != committed.get(key) for key in workload_keys
+        ):
+            continue
+        floor = committed["speedup"] / tolerance
+        if entry["speedup"] < floor:
+            failures.append(
+                f"{kernel}: speedup {entry['speedup']:.2f}x fell below "
+                f"{floor:.2f}x (committed baseline "
+                f"{committed['speedup']:.2f}x / tolerance {tolerance}x)"
+            )
+    return failures
+
+
+__all__ = [
+    "KERNEL_BENCH_FILE",
+    "KERNEL_BENCH_SCHEMA",
+    "PIPELINE_BENCH_FILE",
+    "PIPELINE_BENCH_SCHEMA",
+    "bench_bounded_levenshtein",
+    "bench_fuzzy_expansion",
+    "bench_pair_scoring",
+    "compare_with_baseline",
+    "load_bench_file",
+    "pipeline_profile_document",
+    "run_kernel_benchmarks",
+    "write_bench_file",
+]

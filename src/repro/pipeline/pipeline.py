@@ -171,6 +171,7 @@ class LongTailPipeline:
         stages: list[PipelineStage | str] | None = None,
         observers: list[PipelineObserver] | tuple[PipelineObserver, ...] = (),
         incremental=None,
+        kernels=None,
     ) -> PipelineResult:
         """Run the full pipeline for one class.
 
@@ -184,6 +185,10 @@ class LongTailPipeline:
         :class:`~repro.pipeline.artifacts.IncrementalBackend`) makes the
         default stages serve per-table and per-entity artifacts from a
         persistent store — the results are byte-identical either way.
+        ``kernels`` (a :class:`repro.perf.KernelCache`) shares the
+        caller's kernel memos with the stages; by default each run gets
+        a fresh cache so its two iterations at least share token-pair
+        similarities.  Kernel memos never change results, only speed.
 
         Failures in work dispatched through the executor surface as
         :class:`~repro.parallel.ExecutorError` naming the task, chunk
@@ -198,6 +203,10 @@ class LongTailPipeline:
                 "pipeline has no fitted aggregators; use LongTailPipeline.default "
                 "or train models via repro.pipeline.training.train_models"
             )
+        if kernels is None:
+            from repro.perf.kernels import KernelCache
+
+            kernels = KernelCache()
         stage_list = STAGES.resolve(stages)
         executor = make_executor(
             self.config.executor,
@@ -219,6 +228,7 @@ class LongTailPipeline:
             known_classes=known_classes,
             executor=executor,
             incremental=incremental,
+            kernels=kernels,
         )
         result = PipelineResult(class_name=class_name)
         for observer in observers:

@@ -47,6 +47,8 @@ from repro.newdetect.detector import (
 )
 from repro.newdetect.metrics import make_entity_metrics
 from repro.parallel import Executor, ExecutorObserver
+from repro.perf.counters import counter_delta, kernel_counters
+from repro.perf.kernels import KernelCache
 from repro.pipeline.result import IterationArtifacts
 from repro.webtables.corpus import TableCorpus
 from repro.webtables.table import RowId
@@ -98,6 +100,11 @@ class PipelineState:
     #: it to serve per-table and per-entity artifacts from the persistent
     #: store; ``None`` (the default) keeps every stage fully stateless.
     incremental: "IncrementalBackend | None" = None
+    #: Session-scoped kernel memos (:class:`repro.perf.KernelCache`), set
+    #: by the orchestrator.  Stages share it with the similarity kernels
+    #: they build; ``None`` makes each stage memoize privately.  Purely a
+    #: speed lever — outputs are identical with or without it.
+    kernels: KernelCache | None = None
 
     # Stage outputs ----------------------------------------------------
     mapping: SchemaMapping | None = None
@@ -174,6 +181,13 @@ class TimingObserver(PipelineObserver, ExecutorObserver):
     aggregated per parallel task (``chunk_seconds``), alongside the
     stage wall clock — comparing the two shows how much compute the pool
     absorbed.
+
+    Kernel counters (:mod:`repro.perf.counters`) are snapshotted at
+    ``on_run_started`` and their per-run deltas accumulated into
+    :attr:`kernel_counts`, so the report shows how often the similarity
+    kernels ran, hit their memos, and early-exited — the perf trajectory
+    ``repro profile`` and the benchmark runners persist.  (Counters are
+    per-process: a process-pool run only surfaces the in-process share.)
     """
 
     def __init__(self) -> None:
@@ -183,6 +197,19 @@ class TimingObserver(PipelineObserver, ExecutorObserver):
         self.chunk_seconds: dict[str, float] = {}
         #: parallel task name -> chunks completed
         self.chunk_counts: dict[str, int] = {}
+        #: kernel counter name -> total accumulated across observed runs
+        self.kernel_counts: dict[str, int] = {}
+        self._kernel_baseline: dict[str, int] | None = None
+
+    def on_run_started(self, class_name: str, config: "PipelineConfig") -> None:
+        self._kernel_baseline = kernel_counters()
+
+    def on_run_finished(self, result: "PipelineResult") -> None:
+        if self._kernel_baseline is None:
+            return
+        for name, grown in counter_delta(self._kernel_baseline).items():
+            self.kernel_counts[name] = self.kernel_counts.get(name, 0) + grown
+        self._kernel_baseline = None
 
     def on_stage_finished(
         self, class_name: str, iteration: int, stage_name: str, seconds: float
@@ -228,6 +255,13 @@ class TimingObserver(PipelineObserver, ExecutorObserver):
                 lines.append(
                     f"  {name:<{task_width}}  {seconds:8.3f}s "
                     f"({self.chunk_counts[name]} chunks)"
+                )
+        if self.kernel_counts:
+            lines.append("kernel counters:")
+            counter_width = max(len(name) for name in self.kernel_counts)
+            for name in sorted(self.kernel_counts):
+                lines.append(
+                    f"  {name:<{counter_width}}  {self.kernel_counts[name]:>12,}"
                 )
         return "\n".join(lines)
 
@@ -347,9 +381,15 @@ class ClusterStage:
             state.kb, state.class_name, state.records
         )
         row_similarity = RowSimilarity(
-            make_row_metrics(config.row_metric_names, state.context),
+            make_row_metrics(
+                config.row_metric_names, state.context, kernels=state.kernels
+            ),
             state.models.row_aggregator,
         )
+        if state.kernels is not None:
+            # The pair cache is row-id-keyed; registering it lets the
+            # session's corpus-epoch guard drop it when ids go stale.
+            state.kernels.register(row_similarity)
         clusterer = RowClusterer(
             row_similarity,
             batch_size=config.batch_size,

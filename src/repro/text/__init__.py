@@ -8,8 +8,17 @@ compared by cosine similarity.
 """
 
 from repro.text.tokenize import clean_cell, normalize_label, tokenize
-from repro.text.levenshtein import levenshtein, levenshtein_similarity
-from repro.text.monge_elkan import monge_elkan, monge_elkan_symmetric, label_similarity
+from repro.text.levenshtein import (
+    levenshtein,
+    levenshtein_similarity,
+    levenshtein_within,
+)
+from repro.text.monge_elkan import (
+    label_similarity,
+    monge_elkan,
+    monge_elkan_symmetric,
+    monge_elkan_symmetric_memo,
+)
 from repro.text.vectors import binary_cosine, jaccard, term_vector
 
 __all__ = [
@@ -18,8 +27,10 @@ __all__ = [
     "tokenize",
     "levenshtein",
     "levenshtein_similarity",
+    "levenshtein_within",
     "monge_elkan",
     "monge_elkan_symmetric",
+    "monge_elkan_symmetric_memo",
     "label_similarity",
     "binary_cosine",
     "jaccard",

@@ -12,10 +12,17 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.perf.counters import bump
 from repro.text.levenshtein import levenshtein_similarity
 from repro.text.tokenize import tokenize
 
 InnerSimilarity = Callable[[str, str], float]
+
+#: A shared token-pair similarity memo: canonical ``(min, max)`` token
+#: pair → inner similarity.  Levenshtein similarity is symmetric and
+#: pure, so one entry serves both directions, every row pair of a run,
+#: and every metric that compares the same two tokens.
+TokenPairMemo = dict[tuple[str, str], float]
 
 
 def monge_elkan(
@@ -50,6 +57,60 @@ def monge_elkan_symmetric(
     """
     forward = monge_elkan(tokens_a, tokens_b, inner)
     backward = monge_elkan(tokens_b, tokens_a, inner)
+    return (forward + backward) / 2.0
+
+
+def monge_elkan_symmetric_memo(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    memo: TokenPairMemo,
+    inner: InnerSimilarity = levenshtein_similarity,
+) -> float:
+    """:func:`monge_elkan_symmetric` through a shared token-pair memo.
+
+    ``inner`` must be **symmetric** (``inner(a, b) == inner(b, a)``): the
+    memo keys on the canonical sorted token pair and serves one value for
+    both directions.  For any symmetric inner — in particular the default
+    Levenshtein similarity — the result is bit-identical to the plain
+    version (the hypothesis property in ``tests/test_text.py`` proves
+    it), while computing each inner similarity at most once: the ``n×m`` pair matrix is filled a single
+    time (the plain version evaluates it once per direction) and every
+    entry is first looked up in ``memo`` — labels within a block share
+    most of their tokens, so across the pairs of a clustering run the
+    memo absorbs the overwhelming majority of inner calls.
+    """
+    if not tokens_a or not tokens_b:
+        return 0.0
+    hits = 0
+    misses = 0
+    best_b = [0.0] * len(tokens_b)
+    first_row = True
+    forward_total = 0.0
+    for token_a in tokens_a:
+        best_a = float("-inf")
+        for position, token_b in enumerate(tokens_b):
+            key = (
+                (token_a, token_b)
+                if token_a <= token_b
+                else (token_b, token_a)
+            )
+            score = memo.get(key)
+            if score is None:
+                score = inner(token_a, token_b)
+                memo[key] = score
+                misses += 1
+            else:
+                hits += 1
+            if score > best_a:
+                best_a = score
+            if first_row or score > best_b[position]:
+                best_b[position] = score
+        first_row = False
+        forward_total += best_a
+    forward = forward_total / len(tokens_a)
+    backward = sum(best_b) / len(tokens_b)
+    bump("monge_elkan.pair_memo_hits", hits)
+    bump("monge_elkan.pair_memo_misses", misses)
     return (forward + backward) / 2.0
 
 

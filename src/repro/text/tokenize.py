@@ -10,6 +10,7 @@ whitespace collapsed.
 from __future__ import annotations
 
 import re
+import sys
 import unicodedata
 
 _WHITESPACE = re.compile(r"\s+")
@@ -53,8 +54,14 @@ def tokenize(raw: str | None) -> list[str]:
 
     Used to build bag-of-words vectors and Monge-Elkan token lists.  Empty
     input yields an empty list.
+
+    Tokens are interned: the vocabulary of a corpus is small relative to
+    the token *occurrences*, and every downstream structure (term-vector
+    sets, inverted-index postings, Monge-Elkan memo keys) keys on these
+    strings, so sharing one object per distinct token makes those hash
+    lookups pointer-fast and deduplicates the storage.
     """
     if raw is None:
         return []
     text = _fold_ascii(str(raw)).lower()
-    return [token for token in _TOKEN_SPLIT.split(text) if token]
+    return [sys.intern(token) for token in _TOKEN_SPLIT.split(text) if token]

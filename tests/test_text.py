@@ -13,8 +13,10 @@ from repro.text import (
     label_similarity,
     levenshtein,
     levenshtein_similarity,
+    levenshtein_within,
     monge_elkan,
     monge_elkan_symmetric,
+    monge_elkan_symmetric_memo,
     normalize_label,
     term_vector,
     tokenize,
@@ -87,6 +89,47 @@ class TestLevenshtein:
         assert 0.0 <= levenshtein_similarity(a, b) <= 1.0
 
 
+class TestLevenshteinWithin:
+    """The banded kernel must agree with the reference *everywhere*."""
+
+    def test_known_values(self):
+        assert levenshtein_within("kitten", "sitting", 3) == 3
+        assert levenshtein_within("kitten", "sitting", 2) is None
+        assert levenshtein_within("same", "same", 0) == 0
+        assert levenshtein_within("ab", "ba", 2) == 2
+
+    def test_negative_threshold(self):
+        assert levenshtein_within("a", "a", -1) is None
+
+    def test_length_gap_rejects_without_dp(self):
+        assert levenshtein_within("ab", "abcdef", 2) is None
+
+    def test_prefix_suffix_stripping(self):
+        # Only the middle differs; the band never sees the shared affixes.
+        assert levenshtein_within("prefix-A-suffix", "prefix-B-suffix", 1) == 1
+
+    @given(st.text(max_size=12), st.text(max_size=12),
+           st.integers(min_value=0, max_value=8))
+    def test_equivalent_to_thresholded_reference(self, a, b, k):
+        distance = levenshtein(a, b)
+        expected = distance if distance <= k else None
+        assert levenshtein_within(a, b, k) == expected
+
+    @given(st.text(max_size=12), st.text(max_size=12),
+           st.integers(min_value=0, max_value=8))
+    def test_symmetry(self, a, b, k):
+        assert levenshtein_within(a, b, k) == levenshtein_within(b, a, k)
+
+    @given(st.text(alphabet="ab", max_size=16),
+           st.text(alphabet="ab", max_size=16))
+    def test_small_alphabet_stresses_the_band(self, a, b):
+        # Dense near-matches exercise every band-edge branch.
+        for k in range(4):
+            distance = levenshtein(a, b)
+            expected = distance if distance <= k else None
+            assert levenshtein_within(a, b, k) == expected
+
+
 class TestMongeElkan:
     def test_reordered_tokens_score_high(self):
         assert label_similarity("John Smith", "Smith, John") > 0.9
@@ -117,6 +160,16 @@ class TestMongeElkan:
     @given(st.lists(st.text(min_size=1, max_size=6), min_size=1, max_size=4))
     def test_self_similarity_is_one(self, tokens):
         assert math.isclose(monge_elkan_symmetric(tokens, tokens), 1.0)
+
+    @given(
+        st.lists(st.text(min_size=1, max_size=6), max_size=4),
+        st.lists(st.text(min_size=1, max_size=6), max_size=4),
+    )
+    def test_memoized_version_is_bit_identical(self, a, b):
+        memo = {}
+        assert monge_elkan_symmetric_memo(a, b, memo) == monge_elkan_symmetric(a, b)
+        # A warm memo must not change the value either.
+        assert monge_elkan_symmetric_memo(a, b, memo) == monge_elkan_symmetric(a, b)
 
 
 class TestTermVectors:
