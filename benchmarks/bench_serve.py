@@ -1,0 +1,202 @@
+"""Benchmark: the `repro serve` read path under concurrent load.
+
+Starts a real service — store on disk, writer thread, HTTP server on an
+ephemeral port — publishes one run, then hammers the hot read endpoints
+(``/entities``, ``/facts``, ``/entities/<class>/<id>``, ``/health``)
+from several client threads while recording per-request latency.  The
+write path is measured once: a delta ingest followed by an incremental
+run and snapshot swap (the "republish" cycle).
+
+Two properties are asserted before any number is trusted:
+
+* every request succeeded and every response named a consistent
+  snapshot version;
+* the served canonical JSON after the republish is byte-identical to a
+  from-scratch batch run over the final store state.
+
+The measured numbers are persisted to ``BENCH_serve.json`` at the repo
+root via :func:`repro.perf.bench.serve_bench_document` — the service
+layer's entry in the perf trajectory.  ``REPRO_BENCH_SERVE_REQUESTS`` /
+``REPRO_BENCH_SERVE_CONCURRENCY`` scale the load;
+``REPRO_BENCH_SERVE_MIN_RPS`` is the (deliberately loose) throughput
+floor; ``REPRO_BENCH_SERVE_OUTPUT`` redirects the artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.api import RunSession
+from repro.corpus.store import CorpusStore
+from repro.io import save_knowledge_base
+from repro.io.serialize import WORLD_KB_FILE
+from repro.perf.bench import SERVE_BENCH_FILE, serve_bench_document, write_bench_file
+from repro.perf.percentiles import percentile_summary
+from repro.serve import KBService, ServiceClient, make_server
+from repro.synthesis.api import build_world
+from repro.synthesis.profiles import WorldScale
+
+CLASS_NAME = "Song"
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+SCALE = float(os.environ.get("REPRO_BENCH_SERVE_SCALE", "0.1"))
+N_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "200"))
+CONCURRENCY = int(os.environ.get("REPRO_BENCH_SERVE_CONCURRENCY", "4"))
+MIN_RPS = float(os.environ.get("REPRO_BENCH_SERVE_MIN_RPS", "20.0"))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = Path(os.environ.get("REPRO_BENCH_SERVE_OUTPUT", REPO_ROOT / SERVE_BENCH_FILE))
+
+#: Tables held back from the initial ingest to form the republish delta.
+N_DELTA = 3
+
+
+def _measure_endpoint(base_url: str, call, n_requests: int, concurrency: int):
+    """``call(client)`` fired ``n_requests`` times from worker threads."""
+    latencies: list[float] = []
+    failures: list[str] = []
+    lock = threading.Lock()
+    remaining = list(range(n_requests))
+
+    def worker():
+        client = ServiceClient(base_url, timeout=120)
+        while True:
+            with lock:
+                if not remaining:
+                    return
+                remaining.pop()
+            started = time.perf_counter()
+            try:
+                call(client)
+            except Exception as error:  # noqa: BLE001 - collected, asserted
+                with lock:
+                    failures.append(f"{type(error).__name__}: {error}")
+                return
+            elapsed = time.perf_counter() - started
+            with lock:
+                latencies.append(elapsed * 1000.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(concurrency)]
+    wall_started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_started
+    assert not failures, failures
+    assert len(latencies) == n_requests
+    return {
+        "requests": n_requests,
+        "requests_per_second": round(n_requests / wall, 2),
+        "latency_ms": {
+            key: round(value, 3)
+            for key, value in percentile_summary(latencies).items()
+        },
+    }
+
+
+def test_serve_read_path_under_load(tmp_path):
+    world = build_world(seed=SEED, scale=WorldScale(SCALE), classes=[CLASS_NAME])
+    tables = list(world.corpus)
+    store = CorpusStore.create(tmp_path / "store", shards=2)
+    save_knowledge_base(world.knowledge_base, store.directory / WORLD_KB_FILE)
+    store.ingest(tables[:-N_DELTA])
+
+    service = KBService.from_store(store).start()
+    server = make_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base_url = f"http://{host}:{port}"
+    client = ServiceClient(base_url, timeout=300)
+    try:
+        first = client.wait_for_run(
+            client.submit_run(CLASS_NAME)["run_id"], timeout=600
+        )
+        assert first["status"] == "done"
+        entity_id = client.entities(class_name=CLASS_NAME, limit=1)[
+            "entities"
+        ][0]["id"]
+
+        endpoints = {
+            "/entities": _measure_endpoint(
+                base_url,
+                lambda c: c.entities(class_name=CLASS_NAME),
+                N_REQUESTS,
+                CONCURRENCY,
+            ),
+            "/facts": _measure_endpoint(
+                base_url,
+                lambda c: c.facts(class_name=CLASS_NAME),
+                N_REQUESTS,
+                CONCURRENCY,
+            ),
+            "/entities/<class>/<id>": _measure_endpoint(
+                base_url,
+                lambda c: c.entity(CLASS_NAME, entity_id),
+                N_REQUESTS,
+                CONCURRENCY,
+            ),
+            "/health": _measure_endpoint(
+                base_url,
+                lambda c: c.health(),
+                N_REQUESTS,
+                CONCURRENCY,
+            ),
+        }
+
+        # The write path, once: delta ingest → incremental run → swap.
+        delta = [
+            {
+                "table_id": table.table_id,
+                "header": list(table.header),
+                "rows": [list(row) for row in table.rows],
+                "url": table.url,
+            }
+            for table in tables[-N_DELTA:]
+        ]
+        republish_started = time.perf_counter()
+        client.ingest(delta)
+        second = client.wait_for_run(
+            client.submit_run(CLASS_NAME)["run_id"], timeout=600
+        )
+        republish_seconds = time.perf_counter() - republish_started
+        assert second["status"] == "done"
+        republish = {
+            "delta_tables": N_DELTA,
+            "seconds": round(republish_seconds, 4),
+            "incremental_report": second["incremental_report"],
+        }
+
+        # Trust gate: the served bytes still equal a batch rebuild.
+        oracle = RunSession.from_corpus_store(store, artifacts=False)
+        batch = oracle.run(CLASS_NAME, use_cache=False, executor="serial")
+        assert client.run_canonical(second["run_id"]) == batch.canonical_json()
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        store.close()
+
+    for name, entry in endpoints.items():
+        print(
+            f"\n{name}: {entry['requests_per_second']:.0f} req/s, "
+            f"p50 {entry['latency_ms']['p50']:.2f}ms, "
+            f"p99 {entry['latency_ms']['p99']:.2f}ms"
+        )
+        assert entry["requests_per_second"] >= MIN_RPS, (
+            f"{name} throughput {entry['requests_per_second']} req/s fell "
+            f"below the {MIN_RPS} req/s floor"
+        )
+
+    document = serve_bench_document(
+        seed=SEED,
+        scale=SCALE,
+        store_tables=len(tables),
+        concurrency=CONCURRENCY,
+        endpoints=endpoints,
+        republish=republish,
+    )
+    write_bench_file(OUTPUT, document)
+    print(f"\nwrote {OUTPUT}")

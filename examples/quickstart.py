@@ -11,6 +11,11 @@ same run from disk with bounded memory.
 Run with::
 
     python examples/quickstart.py
+
+To keep the knowledge base up as a long-lived HTTP service instead of a
+one-shot batch run (ingest deltas, trigger incremental runs, query
+entities/facts with provenance), see ``examples/serve_quickstart.py``
+and ``python -m repro serve --store <store> --port 8023``.
 """
 
 import tempfile

@@ -36,6 +36,10 @@ Module map:
 * :mod:`repro.pipeline` — stage protocol, orchestration and the paper's
   evaluation protocols.
 * :mod:`repro.api` — the :class:`RunSession` service layer.
+* :mod:`repro.serve` — the long-lived HTTP service over a persistent
+  session (``repro serve``): single-writer ingest queue, immutable
+  atomically-swapped result snapshots, entity/fact/provenance reads,
+  health + metrics, and the thin :class:`ServiceClient`.
 * :mod:`repro.synthesis` — a seeded synthetic substitute for DBpedia 2014
   and the WDC 2012 corpus (see DESIGN.md for the substitution argument).
 * :mod:`repro.experiments` — one harness per paper table/figure.
@@ -102,10 +106,13 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "KBService",
+    "ServiceClient",
+    "ServiceError",
     "__version__",
 ]
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 # Lazy attribute resolution keeps `import repro.text` cheap and lets the
 # submodules stay independent.
@@ -157,6 +164,9 @@ _LAZY_EXPORTS = {
     "ThreadExecutor": ("repro.parallel", "ThreadExecutor"),
     "ProcessExecutor": ("repro.parallel", "ProcessExecutor"),
     "make_executor": ("repro.parallel", "make_executor"),
+    "KBService": ("repro.serve", "KBService"),
+    "ServiceClient": ("repro.serve", "ServiceClient"),
+    "ServiceError": ("repro.serve", "ServiceError"),
 }
 
 

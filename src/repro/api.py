@@ -519,6 +519,28 @@ class RunSession:
         self.cache_misses = 0
         self.kernels.clear()
 
+    def service_stats(self) -> dict:
+        """Every cache/store statistic of this session, as one document.
+
+        The read-only monitoring surface a long-lived holder (the
+        ``repro serve`` service's ``GET /metrics``) reports: the
+        in-memory artifact cache, the kernel memo bundle, and — when
+        attached — the persistent artifact store's on-disk shape and
+        hit/miss counters.  Purely observational: calling it changes no
+        cache state.
+        """
+        return {
+            "artifact_cache": self.cache_info(),
+            "kernel_cache": self.kernels.cache_info(),
+            "artifact_store": (
+                self.artifact_store.describe()
+                if self.artifact_store is not None
+                else None
+            ),
+            "corpus_tables": len(self.corpus),
+            "kb_instances": len(self.knowledge_base),
+        }
+
     # -- internals ------------------------------------------------------
     def _make_backend(
         self,

@@ -23,7 +23,21 @@ Commands:
   serves ``RunSession.from_corpus_store``.  ``--then-run`` chains an
   incremental pipeline run for the named classes straight after the
   ingest — the ingest→run loop of a continuously growing corpus in one
-  command.
+  command.  ``--json`` emits the full machine-readable
+  :class:`~repro.corpus.store.IngestReport` (including the
+  inserted/replaced/dirty table ids), the same document the service's
+  ``POST /ingest`` answers with.
+* ``serve`` — hold a persistent session over a corpus store and serve
+  it over HTTP: ``POST /ingest``, ``POST /runs`` + ``GET /runs/<id>``,
+  ``GET /entities`` / ``GET /facts`` with provenance, ``GET /health`` /
+  ``GET /metrics``.  One writer thread serializes all mutations;
+  readers see immutable atomically-swapped snapshots byte-identical to
+  batch ``repro run --incremental`` output.
+
+Ctrl-C anywhere exits cleanly: no traceback, exit code 130 (the shell
+convention for SIGINT), with run-scoped worker pools shut down by the
+pipeline's own cleanup and the serve loop closing its server + writer
+thread on the way out.
 """
 
 from __future__ import annotations
@@ -31,6 +45,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import json
+import sys
 from pathlib import Path
 
 CLASS_CHOICES = ("GridironFootballPlayer", "Song", "Settlement")
@@ -57,24 +72,7 @@ def _cmd_build_world(args: argparse.Namespace) -> int:
 
 def _incremental_report_dict(report) -> dict:
     """JSON-safe reuse statistics of one incremental run."""
-    document = {
-        "stage_hits": report.stage_hits(),
-        "stage_misses": report.stage_misses(),
-        "analyses_loaded": report.analysis_loaded,
-        "analyses_computed": report.analysis_computed,
-        "attributes_loaded": report.attributes_loaded,
-        "attributes_computed": report.attributes_computed,
-        "entities_loaded": report.entities_loaded,
-        "entities_computed": report.entities_computed,
-    }
-    if report.frontier is not None:
-        delta = report.frontier.delta
-        document["delta"] = {
-            "added": len(delta.added),
-            "removed": len(delta.removed),
-            "changed": len(delta.changed),
-        }
-    return document
+    return report.to_dict()
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -283,14 +281,9 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             "shards": store.n_shards,
             "tables": len(store),
             "rows": store.total_rows(),
-            "report": {
-                "seen": report.seen,
-                "inserted": report.inserted,
-                "identical": report.identical,
-                "replaced": report.replaced,
-                "conflicts": report.conflicts,
-                "filtered": report.filtered,
-            },
+            # The full shared report shape — counters plus the
+            # inserted/replaced/dirty table ids the service also emits.
+            "report": report.to_dict(),
         }
         if index is not None:
             document["indexed_tables"] = len(index)
@@ -317,6 +310,37 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             print(result.summary())
             print(f"incremental [{class_name}]:")
             print(run_reports[class_name].summary())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import KBService, make_server
+
+    try:
+        service = KBService.from_store(args.store, kb_path=args.kb)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}")
+        return 2
+    service.start()
+    if args.warm:
+        for class_name in dict.fromkeys(args.warm):
+            document = service.submit_run(class_name)
+            print(f"warming: queued {document['run_id']} "
+                  f"[{class_name}]", file=sys.stderr)
+    server = make_server(
+        service, host=args.host, port=args.port, quiet=args.quiet
+    )
+    host, port = server.server_address[:2]
+    print(f"serving {args.store} on http://{host}:{port} "
+          f"(Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.serve_forever()
+    finally:
+        # Runs on Ctrl-C too — main() turns the KeyboardInterrupt into a
+        # clean exit after this cleanup releases the port and joins the
+        # writer thread.
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -449,6 +473,29 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--json", action="store_true", dest="as_json")
     ingest.set_defaults(handler=_cmd_ingest)
 
+    serve = subparsers.add_parser(
+        "serve", help="serve a corpus store's knowledge base over HTTP"
+    )
+    serve.add_argument("--store", required=True,
+                       help="corpus store directory to serve (the session "
+                            "holds it, plus its artifact store, for the "
+                            "whole process lifetime)")
+    serve.add_argument("--kb", default=None,
+                       help="knowledge base JSON (default: "
+                            "knowledge_base.json inside the store)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--warm", nargs="*", default=None, metavar="CLASS",
+                       help="queue an incremental run for these classes at "
+                            "startup so the first readers hit a published "
+                            "snapshot")
+    serve.add_argument("--quiet", action="store_true", default=True,
+                       help=argparse.SUPPRESS)
+    serve.add_argument("--verbose", action="store_false", dest="quiet",
+                       help="log one line per served HTTP request")
+    serve.set_defaults(handler=_cmd_serve)
+
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table/figure"
     )
@@ -462,7 +509,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except KeyboardInterrupt:
+        # A clean interrupt contract for every command: the pipeline's
+        # own try/finally has already shut down run-scoped executor
+        # pools, and `serve` has closed its server + writer thread — so
+        # all that is left is to exit without a traceback, non-zero.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,6 +26,7 @@ import hashlib
 import heapq
 import json
 import sqlite3
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -101,7 +102,11 @@ def _decode(table_id: str, url: str, payload: str) -> WebTable:
 
 
 def _connect(path: Path) -> sqlite3.Connection:
-    connection = sqlite3.connect(path)
+    # ``check_same_thread=False`` lets :meth:`CorpusStore.close` release
+    # a connection from a different thread than the one that opened it.
+    # Concurrent *use* of one connection is still excluded — the store
+    # hands out connections per thread (see ``_connection``).
+    connection = sqlite3.connect(path, check_same_thread=False)
     connection.execute("PRAGMA journal_mode=WAL")
     connection.execute("PRAGMA synchronous=NORMAL")
     connection.executescript(_SHARD_SCHEMA)
@@ -235,6 +240,30 @@ class IngestReport:
         """Table ids whose stored content this ingest created or changed."""
         return [*self.inserted_ids, *self.replaced_ids]
 
+    def to_dict(self, *, include_ids: bool = True) -> dict:
+        """The full report as a JSON-safe document.
+
+        The **one** machine-readable ingest-report shape: ``repro ingest
+        --json`` and the service's ``POST /ingest`` both emit exactly
+        this, so scripts can consume either interchangeably.
+        ``include_ids=False`` drops the per-table id lists for callers
+        that only want the counters.
+        """
+        document: dict = {
+            "seen": self.seen,
+            "inserted": self.inserted,
+            "identical": self.identical,
+            "replaced": self.replaced,
+            "conflicts": self.conflicts,
+            "filtered": dict(sorted(self.filtered.items())),
+            "filtered_total": self.filtered_total,
+        }
+        if include_ids:
+            document["inserted_ids"] = list(self.inserted_ids)
+            document["replaced_ids"] = list(self.replaced_ids)
+            document["dirty_ids"] = self.dirty_ids
+        return document
+
     def merge(self, other: "IngestReport") -> None:
         self.seen += other.seen
         self.inserted += other.inserted
@@ -268,7 +297,18 @@ class CorpusStore:
     def __init__(self, directory: str | Path, n_shards: int) -> None:
         self.directory = Path(directory)
         self.n_shards = n_shards
-        self._connections: dict[int, sqlite3.Connection] = {}
+        #: Per-thread shard-connection maps: SQLite connections must not
+        #: be shared between concurrently running threads, and the
+        #: service layer reads the store from many threads while one
+        #: writer ingests (WAL mode makes that safe at the file level).
+        #: The registry keyed by thread ident lets :meth:`close` release
+        #: every connection and lets registration prune connections
+        #: whose owning thread has exited (request threads come and go).
+        self._local = threading.local()
+        self._connections_by_thread: dict[
+            int, dict[int, sqlite3.Connection]
+        ] = {}
+        self._connections_guard = threading.Lock()
         self._next_seq = self._max_seq() + 1
 
     # -- lifecycle ------------------------------------------------------
@@ -320,9 +360,16 @@ class CorpusStore:
         return cls.create(directory, shards=shards)
 
     def close(self) -> None:
-        for connection in self._connections.values():
-            connection.close()
-        self._connections.clear()
+        with self._connections_guard:
+            by_thread = self._connections_by_thread
+            self._connections_by_thread = {}
+        for connections in by_thread.values():
+            for connection in connections.values():
+                try:
+                    connection.close()
+                except sqlite3.ProgrammingError:  # pragma: no cover
+                    pass  # already closed by its owning thread
+        self._local = threading.local()
 
     def __enter__(self) -> "CorpusStore":
         return self
@@ -589,9 +636,32 @@ class CorpusStore:
         return self.directory / f"shard-{shard:03d}.sqlite"
 
     def _connection(self, shard: int) -> sqlite3.Connection:
-        if shard not in self._connections:
-            self._connections[shard] = _connect(self._shard_path(shard))
-        return self._connections[shard]
+        connections = getattr(self._local, "connections", None)
+        if connections is None:
+            connections = self._local.connections = {}
+            with self._connections_guard:
+                self._connections_by_thread[
+                    threading.get_ident()
+                ] = connections
+                self._prune_dead_threads()
+        connection = connections.get(shard)
+        if connection is None:
+            connection = _connect(self._shard_path(shard))
+            connections[shard] = connection
+        return connection
+
+    def _prune_dead_threads(self) -> None:
+        """Close connections whose owning thread exited (guard held)."""
+        alive = {thread.ident for thread in threading.enumerate()}
+        for ident in [
+            ident for ident in self._connections_by_thread
+            if ident not in alive
+        ]:
+            for connection in self._connections_by_thread.pop(ident).values():
+                try:
+                    connection.close()
+                except sqlite3.ProgrammingError:  # pragma: no cover
+                    pass
 
     def _max_seq(self) -> int:
         highest = 0

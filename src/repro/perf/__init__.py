@@ -1,6 +1,6 @@
 """The kernel optimization / perf-trajectory layer.
 
-Three pieces:
+Four pieces:
 
 * :mod:`repro.perf.counters` — process-wide kernel counters (calls,
   cache hits, early exits) the optimized kernels bump on their hot
@@ -13,6 +13,9 @@ Three pieces:
   ``benchmarks/bench_kernels.py`` and ``repro profile --output``, which
   persist the measured trajectory to ``BENCH_kernels.json`` /
   ``BENCH_pipeline.json`` at the repo root.
+* :mod:`repro.perf.percentiles` — exact nearest-rank percentiles for
+  the small latency samples the service's ``GET /metrics`` and
+  ``benchmarks/bench_serve.py`` report.
 """
 
 from repro.perf.counters import (
@@ -22,11 +25,14 @@ from repro.perf.counters import (
     reset_kernel_counters,
 )
 from repro.perf.kernels import KernelCache
+from repro.perf.percentiles import exact_percentile, percentile_summary
 
 __all__ = [
     "KernelCache",
     "bump",
     "counter_delta",
+    "exact_percentile",
     "kernel_counters",
+    "percentile_summary",
     "reset_kernel_counters",
 ]

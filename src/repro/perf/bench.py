@@ -42,9 +42,11 @@ from repro.text.vectors import term_vector
 #: Schema tags stamped into the persisted JSON documents.
 KERNEL_BENCH_SCHEMA = "repro.bench.kernels/v1"
 PIPELINE_BENCH_SCHEMA = "repro.bench.pipeline/v1"
+SERVE_BENCH_SCHEMA = "repro.bench.serve/v1"
 
 KERNEL_BENCH_FILE = "BENCH_kernels.json"
 PIPELINE_BENCH_FILE = "BENCH_pipeline.json"
+SERVE_BENCH_FILE = "BENCH_serve.json"
 
 
 class _UnmemoizedLabelMetric:
@@ -283,6 +285,36 @@ def pipeline_profile_document(
     }
 
 
+def serve_bench_document(
+    *,
+    seed: int,
+    scale: float,
+    store_tables: int,
+    concurrency: int,
+    endpoints: dict,
+    republish: dict,
+) -> dict:
+    """The ``BENCH_serve.json`` trajectory document.
+
+    ``endpoints`` maps route → ``{requests, requests_per_second,
+    latency_ms}`` (the :func:`~repro.perf.percentiles.percentile_summary`
+    shape the service's ``GET /metrics`` uses); ``republish`` carries the
+    write-path measurement of one ingest → incremental run → snapshot
+    swap cycle.  Absolute numbers move with the hardware — the committed
+    file is a trajectory record, not a gate on its own.
+    """
+    return {
+        "schema": SERVE_BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "seed": seed,
+        "scale": scale,
+        "store_tables": store_tables,
+        "concurrency": concurrency,
+        "endpoints": {name: endpoints[name] for name in sorted(endpoints)},
+        "republish": republish,
+    }
+
+
 def write_bench_file(path: str | Path, document: dict) -> Path:
     """Persist a benchmark document (stable key order, trailing newline)."""
     path = Path(path)
@@ -340,6 +372,8 @@ __all__ = [
     "KERNEL_BENCH_SCHEMA",
     "PIPELINE_BENCH_FILE",
     "PIPELINE_BENCH_SCHEMA",
+    "SERVE_BENCH_FILE",
+    "SERVE_BENCH_SCHEMA",
     "bench_bounded_levenshtein",
     "bench_fuzzy_expansion",
     "bench_pair_scoring",
@@ -347,5 +381,6 @@ __all__ = [
     "load_bench_file",
     "pipeline_profile_document",
     "run_kernel_benchmarks",
+    "serve_bench_document",
     "write_bench_file",
 ]

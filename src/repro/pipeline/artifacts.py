@@ -179,6 +179,30 @@ class ArtifactStore:
             "writes": self.writes,
         }
 
+    def describe(self) -> dict:
+        """A read-only stat surface for monitoring (``GET /metrics``).
+
+        Walks the object directory, so it reflects what is on disk —
+        including artifacts written by other processes — not just this
+        handle's activity (which :meth:`stats` counts).
+        """
+        objects = self.directory / "objects"
+        n_objects = 0
+        total_bytes = 0
+        for path in objects.glob("*/*.pkl"):
+            n_objects += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - racing deletion
+                pass
+        return {
+            "directory": str(self.directory),
+            "version": STORE_VERSION,
+            "objects": n_objects,
+            "bytes": total_bytes,
+            **self.stats(),
+        }
+
     # -- named metadata -------------------------------------------------
     def meta_load(self, name: str) -> dict | None:
         path = self.directory / "meta" / f"{name}.json"
@@ -280,6 +304,35 @@ class IncrementalRunReport:
 
     def stage_misses(self) -> int:
         return sum(1 for *_, kind in self.stage_events if kind == "miss")
+
+    def to_dict(self) -> dict:
+        """JSON-safe reuse statistics (CLI ``--json``, ``GET /runs/<id>``).
+
+        The reuse frontier appears as delta counts plus the dirty-table
+        list — the machine-readable shadow of :meth:`summary`.
+        """
+        document = {
+            "stage_hits": self.stage_hits(),
+            "stage_misses": self.stage_misses(),
+            "analyses_loaded": self.analysis_loaded,
+            "analyses_computed": self.analysis_computed,
+            "attributes_loaded": self.attributes_loaded,
+            "attributes_computed": self.attributes_computed,
+            "entities_loaded": self.entities_loaded,
+            "entities_computed": self.entities_computed,
+        }
+        if self.frontier is not None:
+            delta = self.frontier.delta
+            document["delta"] = {
+                "added": len(delta.added),
+                "removed": len(delta.removed),
+                "changed": len(delta.changed),
+            }
+            document["frontier"] = {
+                "analyze_tables": len(self.frontier.analyze_tables),
+                "schema_match_reusable": self.frontier.schema_match_reusable,
+            }
+        return document
 
     def summary(self) -> str:
         lines = []

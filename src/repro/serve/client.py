@@ -1,0 +1,192 @@
+"""A thin stdlib client for the KB service.
+
+Wraps the REST surface of :mod:`repro.serve.http` in typed methods over
+``urllib.request`` — no dependencies, usable from tests, benchmarks and
+operational scripts alike.  Server-side errors re-raise as
+:class:`ServiceClientError` carrying the HTTP status and the server's
+descriptive message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+
+__all__ = ["ServiceClient", "ServiceClientError"]
+
+
+class ServiceClientError(Exception):
+    """An error response from the service (or a transport failure)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Typed access to one running KB service."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        payload: dict | None = None,
+        params: dict | None = None,
+        raw: bool = False,
+    ):
+        url = f"{self.base_url}{path}"
+        if params:
+            filtered = {
+                name: value
+                for name, value in params.items()
+                if value is not None
+            }
+            if filtered:
+                url = f"{url}?{urllib.parse.urlencode(filtered)}"
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=body, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                blob = response.read()
+        except urllib.error.HTTPError as error:
+            blob = error.read()
+            try:
+                document = json.loads(blob)
+                message = document.get("error", blob.decode("utf-8", "replace"))
+            except (json.JSONDecodeError, AttributeError):
+                message = blob.decode("utf-8", "replace")
+            raise ServiceClientError(error.code, message) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                0, f"cannot reach {url}: {error.reason}"
+            ) from None
+        if raw:
+            return blob.decode("utf-8")
+        return json.loads(blob)
+
+    # -- service surface ------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def ingest(
+        self, tables: list[dict], *, on_conflict: str = "skip"
+    ) -> dict:
+        """POST jsonl-style table records; returns the ingest report."""
+        return self._request(
+            "POST",
+            "/ingest",
+            payload={"tables": tables, "on_conflict": on_conflict},
+        )
+
+    def submit_run(
+        self, class_name: str, *, incremental: bool | None = None
+    ) -> dict:
+        payload: dict = {"class_name": class_name}
+        if incremental is not None:
+            payload["incremental"] = incremental
+        return self._request("POST", "/runs", payload=payload)
+
+    def run(self, run_id: str) -> dict:
+        return self._request("GET", f"/runs/{run_id}")
+
+    def runs(self) -> list[dict]:
+        return self._request("GET", "/runs")["runs"]
+
+    def wait_for_run(
+        self, run_id: str, *, timeout: float = 300.0, poll: float = 0.05
+    ) -> dict:
+        """Poll until the run reaches a terminal state.
+
+        Returns the final run document when it is ``done``; raises
+        :class:`ServiceClientError` with the server-reported error when
+        it ``failed``, or on timeout.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.run(run_id)
+            if document["status"] == "done":
+                return document
+            if document["status"] == "failed":
+                raise ServiceClientError(
+                    500,
+                    f"run {run_id} failed: "
+                    f"{document.get('error', 'unknown error')}",
+                )
+            if time.monotonic() > deadline:
+                raise ServiceClientError(
+                    0,
+                    f"run {run_id} still {document['status']} after "
+                    f"{timeout:.0f}s",
+                )
+            time.sleep(poll)
+
+    def run_canonical(self, run_id: str) -> str:
+        """The run's canonical JSON, verbatim (byte-equality witness)."""
+        return self._request("GET", f"/runs/{run_id}/canonical", raw=True)
+
+    def entities(
+        self,
+        *,
+        class_name: str | None = None,
+        status: str | None = None,
+        offset: int | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        return self._request(
+            "GET",
+            "/entities",
+            params={
+                "class": class_name,
+                "status": status,
+                "offset": offset,
+                "limit": limit,
+            },
+        )
+
+    def entity(self, class_name: str, entity_id: str) -> dict:
+        quoted = urllib.parse.quote(entity_id, safe="")
+        return self._request(
+            "GET", f"/entities/{urllib.parse.quote(class_name, safe='')}/{quoted}"
+        )
+
+    def facts(
+        self,
+        *,
+        class_name: str | None = None,
+        entity_id: str | None = None,
+        property_name: str | None = None,
+        offset: int | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        return self._request(
+            "GET",
+            "/facts",
+            params={
+                "class": class_name,
+                "entity": entity_id,
+                "property": property_name,
+                "offset": offset,
+                "limit": limit,
+            },
+        )

@@ -1,0 +1,286 @@
+"""HTTP transport for :class:`~repro.serve.service.KBService`.
+
+A stdlib-only threaded server (:class:`http.server.ThreadingHTTPServer`
+— one thread per connection, no new dependencies) that maps a small REST
+surface onto the service core:
+
+======  ============================  =======================================
+Method  Path                          Meaning
+======  ============================  =======================================
+GET     ``/health``                   liveness + snapshot overview
+GET     ``/metrics``                  runs, request latencies, caches, stages
+POST    ``/ingest``                   tables in → ``IngestReport`` out
+POST    ``/runs``                     trigger a (default incremental) run
+GET     ``/runs``                     all runs, submission order
+GET     ``/runs/<id>``                poll one run's status/stats
+GET     ``/runs/<id>/canonical``      the run's canonical JSON (byte witness)
+GET     ``/entities``                 published entities (filter + paging)
+GET     ``/entities/<class>/<id>``    one entity document
+GET     ``/facts``                    fused facts with provenance
+======  ============================  =======================================
+
+All bodies are JSON (canonical output is served as ``application/json``
+verbatim — it *is* the byte witness, re-encoding would defeat it).
+Errors are ``{"error": ..., "status": ...}`` with the matching HTTP
+status.  Every request is folded into the service's telemetry, which
+``GET /metrics`` reports back with exact p50/p99 latencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, unquote, urlparse
+
+from repro.serve.service import KBService, ServiceError
+
+__all__ = ["KBServer", "KBRequestHandler", "make_server"]
+
+#: Request bodies above this size are rejected before reading (64 MiB —
+#: generous for table batches, a guard against unbounded allocation).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class KBServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`KBService`."""
+
+    daemon_threads = True
+    #: Quick rebinds between test runs.
+    allow_reuse_address = True
+
+    def __init__(self, address, service: KBService, *, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, KBRequestHandler)
+
+
+def _int_param(params: dict, name: str, default: int | None) -> int | None:
+    values = params.get(name)
+    if not values:
+        return default
+    try:
+        value = int(values[0])
+    except ValueError:
+        raise ServiceError(
+            400, f"query parameter {name!r} must be an integer, got "
+            f"{values[0]!r}"
+        ) from None
+    if value < 0:
+        raise ServiceError(400, f"query parameter {name!r} must be >= 0")
+    return value
+
+
+def _str_param(params: dict, name: str) -> str | None:
+    values = params.get(name)
+    return values[0] if values else None
+
+
+class KBRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the service; one instance per request."""
+
+    server: KBServer
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.server.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_payload(
+        self, status: int, payload: bytes, content_type: str
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, status: int, document: object) -> None:
+        self._send_payload(
+            status,
+            json.dumps(document, sort_keys=True).encode("utf-8"),
+            "application/json; charset=utf-8",
+        )
+
+    def _read_json_body(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header) if length_header else 0
+        except ValueError:
+            raise ServiceError(
+                400, f"invalid Content-Length {length_header!r}"
+            ) from None
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(
+                413, f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        if length == 0:
+            raise ServiceError(400, "request needs a JSON body")
+        blob = self.rfile.read(length)
+        try:
+            return json.loads(blob)
+        except json.JSONDecodeError as error:
+            raise ServiceError(
+                400, f"request body is not valid JSON ({error})"
+            ) from None
+
+    def _dispatch(self, method: str) -> None:
+        service = self.server.service
+        started = time.perf_counter()
+        parsed = urlparse(self.path)
+        endpoint = f"{method} {parsed.path}"
+        status = 500
+        try:
+            route, payload, content_type = self._route(
+                method, parsed.path, parse_qs(parsed.query)
+            )
+            endpoint = f"{method} {route}"
+            status = 200 if method == "GET" else 202
+            if method == "POST" and route == "/ingest":
+                status = 200
+            self._send_payload(status, payload, content_type)
+        except ServiceError as error:
+            status = error.status
+            self._send_json(
+                error.status, {"error": error.message, "status": error.status}
+            )
+        except BrokenPipeError:  # pragma: no cover - client went away
+            status = 499
+        except Exception as error:  # noqa: BLE001 - last-resort surface
+            status = 500
+            self._send_json(
+                500,
+                {
+                    "error": f"internal error: {type(error).__name__}: "
+                    f"{error}",
+                    "status": 500,
+                },
+            )
+        finally:
+            service.record_request(
+                endpoint, status, time.perf_counter() - started
+            )
+
+    # -- routing --------------------------------------------------------
+    def _route(
+        self, method: str, path: str, params: dict
+    ) -> tuple[str, bytes, str]:
+        """Resolve one request → (telemetry route, body, content type)."""
+        service = self.server.service
+        segments = [
+            unquote(segment) for segment in path.split("/") if segment
+        ]
+        json_type = "application/json; charset=utf-8"
+
+        def as_json(route: str, document: object) -> tuple[str, bytes, str]:
+            return (
+                route,
+                json.dumps(document, sort_keys=True).encode("utf-8"),
+                json_type,
+            )
+
+        if method == "GET":
+            if segments == ["health"]:
+                return as_json("/health", service.health())
+            if segments == ["metrics"]:
+                return as_json("/metrics", service.metrics())
+            if segments == ["runs"]:
+                return as_json("/runs", {"runs": service.run_documents()})
+            if len(segments) == 2 and segments[0] == "runs":
+                return as_json(
+                    "/runs/<id>", service.run_document(segments[1])
+                )
+            if (
+                len(segments) == 3
+                and segments[0] == "runs"
+                and segments[2] == "canonical"
+            ):
+                blob = service.run_canonical(segments[1])
+                return (
+                    "/runs/<id>/canonical",
+                    blob.encode("utf-8"),
+                    json_type,
+                )
+            if segments == ["entities"]:
+                return as_json(
+                    "/entities",
+                    service.list_entities(
+                        class_name=_str_param(params, "class"),
+                        status=_str_param(params, "status"),
+                        offset=_int_param(params, "offset", 0) or 0,
+                        limit=_int_param(params, "limit", None),
+                    ),
+                )
+            if len(segments) == 3 and segments[0] == "entities":
+                return as_json(
+                    "/entities/<class>/<id>",
+                    service.get_entity(segments[1], segments[2]),
+                )
+            if segments == ["facts"]:
+                return as_json(
+                    "/facts",
+                    service.list_facts(
+                        class_name=_str_param(params, "class"),
+                        entity_id=_str_param(params, "entity"),
+                        property_name=_str_param(params, "property"),
+                        offset=_int_param(params, "offset", 0) or 0,
+                        limit=_int_param(params, "limit", None),
+                    ),
+                )
+        elif method == "POST":
+            if segments == ["ingest"]:
+                body = self._read_json_body()
+                if not isinstance(body, dict) or "tables" not in body:
+                    raise ServiceError(
+                        400,
+                        "ingest body must be a JSON object with a 'tables' "
+                        "array (optional: 'on_conflict')",
+                    )
+                return as_json(
+                    "/ingest",
+                    service.ingest_tables(
+                        body["tables"],
+                        on_conflict=body.get("on_conflict", "skip"),
+                    ),
+                )
+            if segments == ["runs"]:
+                body = self._read_json_body()
+                if not isinstance(body, dict):
+                    raise ServiceError(
+                        400, "run body must be a JSON object"
+                    )
+                incremental = body.get("incremental")
+                if incremental is not None and not isinstance(
+                    incremental, bool
+                ):
+                    raise ServiceError(
+                        400, "'incremental' must be a boolean when present"
+                    )
+                return as_json(
+                    "/runs",
+                    service.submit_run(
+                        body.get("class_name", ""), incremental=incremental
+                    ),
+                )
+        raise ServiceError(404, f"no route for {method} {path}")
+
+    # -- verbs ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("POST")
+
+
+def make_server(
+    service: KBService, host: str = "127.0.0.1", port: int = 0, *,
+    quiet: bool = True,
+) -> KBServer:
+    """Bind a threaded server to a started service.
+
+    ``port=0`` binds an ephemeral port (tests, benchmarks); read the
+    actual one from ``server.server_address[1]``.
+    """
+    return KBServer((host, port), service, quiet=quiet)

@@ -1,0 +1,124 @@
+"""The service's run registry: queued → running → done | failed.
+
+Run records are the poll surface of ``POST /runs`` / ``GET /runs/<id>``.
+They are mutated only by the single writer thread (status transitions)
+and the submitting handler thread (creation), with a lock making the
+document snapshots handed to readers consistent; a reader always gets a
+plain-dict copy, never the live record.
+
+A failed run keeps its error text in the record — the writer thread
+never swallows an exception into silence, so a client polling a run that
+crashed sees ``status: failed`` plus the message instead of hanging on a
+``running`` that will never finish.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["RunRecord", "RunRegistry"]
+
+#: Terminal and non-terminal run states, in lifecycle order.
+RUN_STATUSES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class RunRecord:
+    """One triggered pipeline run's lifecycle and statistics."""
+
+    run_id: str
+    class_name: str
+    incremental: bool
+    status: str = "queued"
+    error: str | None = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: ``PipelineResult.summary_dict()`` once the run is done.
+    summary: dict | None = None
+    #: Reuse statistics of an incremental run (JSON-safe).
+    incremental_report: dict | None = None
+    #: Snapshot version this run published its results into.
+    snapshot_version: int | None = None
+    #: Digest of the published canonical JSON (byte-equality witness).
+    canonical_sha256: str | None = None
+
+    def document(self) -> dict:
+        """The JSON document ``GET /runs/<id>`` serves."""
+        document = {
+            "run_id": self.run_id,
+            "class_name": self.class_name,
+            "incremental": self.incremental,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            document["error"] = self.error
+        if self.summary is not None:
+            document["summary"] = dict(self.summary)
+        if self.incremental_report is not None:
+            document["incremental_report"] = dict(self.incremental_report)
+        if self.snapshot_version is not None:
+            document["snapshot_version"] = self.snapshot_version
+        if self.canonical_sha256 is not None:
+            document["canonical_sha256"] = self.canonical_sha256
+        if self.started_at is not None and self.finished_at is not None:
+            document["seconds"] = round(self.finished_at - self.started_at, 4)
+        return document
+
+
+class RunRegistry:
+    """Thread-safe id allocation and lookup for run records."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, RunRecord] = {}
+        self._counter = 0
+
+    def create(self, class_name: str, incremental: bool) -> RunRecord:
+        with self._lock:
+            self._counter += 1
+            record = RunRecord(
+                run_id=f"run-{self._counter:04d}",
+                class_name=class_name,
+                incremental=incremental,
+            )
+            self._records[record.run_id] = record
+            return record
+
+    def get(self, run_id: str) -> RunRecord | None:
+        with self._lock:
+            return self._records.get(run_id)
+
+    def document(self, run_id: str) -> dict | None:
+        """A consistent copy of one record, or ``None`` if unknown."""
+        with self._lock:
+            record = self._records.get(run_id)
+            return None if record is None else record.document()
+
+    def documents(self) -> list[dict]:
+        """All records in submission order (``GET /runs``)."""
+        with self._lock:
+            return [
+                record.document()
+                for _, record in sorted(self._records.items())
+            ]
+
+    def counts(self) -> dict[str, int]:
+        """Run totals by status, for ``GET /metrics``."""
+        with self._lock:
+            counts = {status: 0 for status in RUN_STATUSES}
+            for record in self._records.values():
+                counts[record.status] = counts.get(record.status, 0) + 1
+            counts["total"] = len(self._records)
+            return counts
+
+    def update(self, record: RunRecord, **changes) -> None:
+        """Apply field changes under the registry lock."""
+        with self._lock:
+            for name, value in changes.items():
+                setattr(record, name, value)

@@ -1,0 +1,542 @@
+"""`KBService` — the long-lived knowledge-base service core.
+
+One instance owns a persistent :class:`~repro.api.RunSession` (knowledge
+base + corpus + kernel caches + artifact store) for its whole lifetime
+and mediates all access to it:
+
+* **One writer.**  A single daemon thread drains a FIFO job queue of
+  ingests and pipeline runs.  Ingests mutate the corpus store; runs go
+  through :meth:`RunSession.run` (incremental by default, so the
+  corpus-epoch guard and the persistent artifact store from the batch
+  engine do the invalidation work) and end by *publishing*: building an
+  immutable :class:`~repro.serve.snapshot.ClassView` and swapping the
+  service's :class:`~repro.serve.snapshot.Snapshot` reference.  Because
+  ingest and run jobs share the queue, a run triggered after an ingest
+  always sees the fully applied delta.
+* **Many readers.**  Every read method resolves ``self._snapshot``
+  exactly once and serves from that immutable object — a reader is
+  wait-free with respect to the writer and can never observe a
+  half-applied ingest or a partially swapped result.
+
+The service is transport-agnostic: :mod:`repro.serve.http` maps HTTP
+requests onto these methods, and the tests exercise them directly.
+Errors raise :class:`ServiceError` carrying the HTTP status the
+transport should answer with.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.api import RunSession
+from repro.corpus.indexing import CorpusLabelIndex, INDEX_FILE
+from repro.corpus.readers import table_from_record
+from repro.corpus.store import CorpusStore
+from repro.perf.percentiles import percentile_summary
+from repro.pipeline.stages import TimingObserver
+from repro.serve.runs import RunRecord, RunRegistry
+from repro.serve.snapshot import Snapshot, build_class_view
+from repro.webtables.table import WebTable
+
+__all__ = ["KBService", "ServiceError"]
+
+#: Conflict policies POST /ingest accepts (mirrors ``repro ingest``).
+INGEST_CONFLICT_POLICIES = ("skip", "replace", "error")
+
+
+class ServiceError(Exception):
+    """A client-visible failure with an HTTP status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class _IngestJob:
+    """One enqueued ingest: parsed tables in, report document out.
+
+    The submitting thread blocks on :attr:`done` — ingest is synchronous
+    for the caller (the endpoint answers with the
+    :class:`~repro.corpus.store.IngestReport`) but strictly serialized
+    through the writer thread with every other mutation.
+    """
+
+    tables: list[WebTable]
+    on_conflict: str
+    done: threading.Event = field(default_factory=threading.Event)
+    report: dict | None = None
+    error: ServiceError | None = None
+
+
+@dataclass
+class _RunJob:
+    record: RunRecord
+
+
+class _StopJob:
+    """Sentinel draining the writer thread at shutdown."""
+
+
+class KBService:
+    """The service core over one persistent session.
+
+    ``session`` is any :class:`~repro.api.RunSession`; ``store`` (a
+    :class:`~repro.corpus.store.CorpusStore`) enables ``POST /ingest``
+    and is normally the store the session was constructed from.  The
+    conventional constructor is :meth:`from_store`, which wires both
+    plus the persistent artifact store in one call — what ``repro
+    serve`` uses.
+    """
+
+    def __init__(
+        self,
+        session: RunSession,
+        *,
+        store: CorpusStore | None = None,
+        default_incremental: bool | None = None,
+        request_history: int = 4096,
+    ) -> None:
+        self.session = session
+        self.store = store
+        if default_incremental is None:
+            default_incremental = session.artifact_store is not None
+        self.default_incremental = default_incremental
+        self.started_at = time.time()
+        self.timer = TimingObserver()
+        #: Store shape cached off the hot read path (refreshed by the
+        #: writer after each ingest): handler threads answering /health
+        #: must not open per-request SQLite connections.
+        self._store_stats = (
+            {"tables": len(store), "rows": store.total_rows()}
+            if store is not None
+            else None
+        )
+        self.runs = RunRegistry()
+        self._snapshot = Snapshot(version=0, published_at=self.started_at)
+        self._queue: "queue.Queue[object]" = queue.Queue()
+        self._writer: threading.Thread | None = None
+        self._closed = threading.Event()
+        #: Rolling request telemetry fed by the transport layer.
+        self._telemetry_lock = threading.Lock()
+        self._request_counts: dict[str, int] = {}
+        self._status_counts: dict[int, int] = {}
+        self._latencies: list[float] = []
+        self._request_history = request_history
+
+    @classmethod
+    def from_store(
+        cls,
+        store: CorpusStore | str,
+        *,
+        kb_path: str | None = None,
+        config=None,
+        **kwargs,
+    ) -> "KBService":
+        """The production constructor: session and store off one directory."""
+        if not isinstance(store, CorpusStore):
+            store = CorpusStore.open(store)
+        session = RunSession.from_corpus_store(
+            store, kb_path=kb_path, config=config
+        )
+        return cls(session, store=store, **kwargs)
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "KBService":
+        """Start the writer thread (idempotent)."""
+        if self._writer is None or not self._writer.is_alive():
+            self._writer = threading.Thread(
+                target=self._drain, name="kb-service-writer", daemon=True
+            )
+            self._writer.start()
+        return self
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop accepting jobs and join the writer thread."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_StopJob())
+        if self._writer is not None and self._writer.is_alive():
+            self._writer.join(timeout=timeout)
+
+    def __enter__(self) -> "KBService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- write path (handler side) --------------------------------------
+    def ingest_tables(
+        self, records: Sequence[object], *, on_conflict: str = "skip"
+    ) -> dict:
+        """Parse, enqueue, and wait out one ingest; returns the report.
+
+        Parsing happens *before* enqueueing, on the calling thread: a
+        malformed payload is rejected as a whole with a 400 naming the
+        offending record (``body.tables[i]: ...``, the service-side
+        analogue of the readers' ``file:line`` messages) and the store
+        is never touched.
+        """
+        if self.store is None:
+            raise ServiceError(
+                409,
+                "this service has no corpus store attached; "
+                "ingest is only available when serving a store "
+                "(repro serve --store ...)",
+            )
+        if on_conflict not in INGEST_CONFLICT_POLICIES:
+            raise ServiceError(
+                400,
+                f"unknown on_conflict policy {on_conflict!r}; expected one "
+                f"of: {', '.join(INGEST_CONFLICT_POLICIES)}",
+            )
+        if not isinstance(records, (list, tuple)):
+            raise ServiceError(
+                400,
+                "ingest body must carry a JSON array under 'tables', got "
+                f"{type(records).__name__}",
+            )
+        tables: list[WebTable] = []
+        for position, record in enumerate(records):
+            try:
+                tables.append(table_from_record(record))
+            except ValueError as error:
+                raise ServiceError(
+                    400, f"body.tables[{position}]: {error}"
+                ) from None
+        self._require_open()
+        job = _IngestJob(tables=tables, on_conflict=on_conflict)
+        self._queue.put(job)
+        job.done.wait()
+        if job.error is not None:
+            raise job.error
+        assert job.report is not None
+        return job.report
+
+    def submit_run(
+        self, class_name: str, *, incremental: bool | None = None
+    ) -> dict:
+        """Enqueue one pipeline run; returns the queued run document."""
+        if not class_name or not isinstance(class_name, str):
+            raise ServiceError(
+                400, "run request needs a non-empty string 'class_name'"
+            )
+        if incremental is None:
+            incremental = self.default_incremental
+        if incremental and self.session.artifact_store is None:
+            raise ServiceError(
+                409,
+                "incremental runs need a persistent artifact store; "
+                "serve a corpus store or submit with incremental=false",
+            )
+        self._require_open()
+        record = self.runs.create(class_name, bool(incremental))
+        self._queue.put(_RunJob(record))
+        return record.document()
+
+    # -- read path (wait-free over the snapshot) ------------------------
+    @property
+    def snapshot(self) -> Snapshot:
+        return self._snapshot
+
+    def run_document(self, run_id: str) -> dict:
+        document = self.runs.document(run_id)
+        if document is None:
+            raise ServiceError(404, f"no run {run_id!r}")
+        return document
+
+    def run_documents(self) -> list[dict]:
+        return self.runs.documents()
+
+    def run_canonical(self, run_id: str) -> str:
+        """The published canonical JSON of one finished run.
+
+        Serves the byte-equality witness: the exact string a batch
+        ``repro run --incremental`` would produce for the same store
+        state (``tests/test_serve.py`` and the CI smoke job compare the
+        two byte for byte).
+        """
+        document = self.run_document(run_id)
+        if document["status"] != "done":
+            raise ServiceError(
+                409,
+                f"run {run_id!r} is {document['status']}; canonical output "
+                "exists only for runs with status 'done'",
+            )
+        snapshot = self._snapshot
+        view = snapshot.classes.get(document["class_name"])
+        if view is None or view.run_id != run_id:
+            raise ServiceError(
+                409,
+                f"run {run_id!r} is no longer the published view of class "
+                f"{document['class_name']!r} (superseded by a later run)",
+            )
+        return view.canonical_json
+
+    def list_entities(
+        self,
+        *,
+        class_name: str | None = None,
+        status: str | None = None,
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> dict:
+        """Entities of the current snapshot, optionally filtered/paged."""
+        snapshot = self._snapshot
+        views = self._resolve_views(snapshot, class_name)
+        if status is not None and status not in (
+            "new", "existing", "unclassified"
+        ):
+            raise ServiceError(
+                400,
+                f"unknown status filter {status!r}; expected new, existing "
+                "or unclassified",
+            )
+        entities: list[dict] = []
+        for view in views:
+            entities.extend(
+                document
+                for document in view.entities
+                if status is None or document["status"] == status
+            )
+        total = len(entities)
+        if offset:
+            entities = entities[offset:]
+        if limit is not None:
+            entities = entities[:limit]
+        return {
+            "snapshot_version": snapshot.version,
+            "total": total,
+            "offset": offset,
+            "count": len(entities),
+            "entities": entities,
+        }
+
+    def get_entity(self, class_name: str, entity_id: str) -> dict:
+        snapshot = self._snapshot
+        view = snapshot.classes.get(class_name)
+        if view is None:
+            raise ServiceError(
+                404,
+                f"no published results for class {class_name!r} in snapshot "
+                f"version {snapshot.version} (published classes: "
+                f"{', '.join(sorted(snapshot.classes)) or 'none'})",
+            )
+        document = view.entity(entity_id)
+        if document is None:
+            raise ServiceError(
+                404,
+                f"no entity {entity_id!r} in class {class_name!r} at "
+                f"snapshot version {snapshot.version}",
+            )
+        return {"snapshot_version": snapshot.version, "entity": document}
+
+    def list_facts(
+        self,
+        *,
+        class_name: str | None = None,
+        entity_id: str | None = None,
+        property_name: str | None = None,
+        offset: int = 0,
+        limit: int | None = None,
+    ) -> dict:
+        """Fused facts with provenance from the current snapshot."""
+        snapshot = self._snapshot
+        views = self._resolve_views(snapshot, class_name)
+        facts: list[dict] = []
+        for view in views:
+            facts.extend(
+                document
+                for document in view.facts
+                if (entity_id is None or document["entity_id"] == entity_id)
+                and (
+                    property_name is None
+                    or document["property"] == property_name
+                )
+            )
+        total = len(facts)
+        if offset:
+            facts = facts[offset:]
+        if limit is not None:
+            facts = facts[:limit]
+        return {
+            "snapshot_version": snapshot.version,
+            "total": total,
+            "offset": offset,
+            "count": len(facts),
+            "facts": facts,
+        }
+
+    def health(self) -> dict:
+        snapshot = self._snapshot
+        writer = self._writer
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "writer_alive": bool(writer is not None and writer.is_alive()),
+            "queue_depth": self._queue.qsize(),
+            "snapshot": snapshot.describe(),
+            "store": (
+                {"directory": str(self.store.directory), **self._store_stats}
+                if self.store is not None
+                else None
+            ),
+        }
+
+    def metrics(self) -> dict:
+        """Operational statistics: runs, requests, caches, stage timings."""
+        with self._telemetry_lock:
+            requests = {
+                "total": sum(self._request_counts.values()),
+                "by_endpoint": dict(sorted(self._request_counts.items())),
+                "by_status": {
+                    str(status): count
+                    for status, count in sorted(self._status_counts.items())
+                },
+                "latency_ms": percentile_summary(self._latencies),
+            }
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "snapshot": self._snapshot.describe(),
+            "runs": self.runs.counts(),
+            "requests": requests,
+            "stage_seconds": {
+                name: round(seconds, 4)
+                for name, seconds in sorted(self.timer.by_stage().items())
+            },
+            "kernel_counters": dict(sorted(self.timer.kernel_counts.items())),
+            "session": self.session.service_stats(),
+        }
+
+    # -- transport telemetry --------------------------------------------
+    def record_request(
+        self, endpoint: str, status: int, seconds: float
+    ) -> None:
+        """Fold one served request into the rolling telemetry."""
+        with self._telemetry_lock:
+            self._request_counts[endpoint] = (
+                self._request_counts.get(endpoint, 0) + 1
+            )
+            self._status_counts[status] = (
+                self._status_counts.get(status, 0) + 1
+            )
+            self._latencies.append(seconds * 1000.0)
+            if len(self._latencies) > self._request_history:
+                del self._latencies[: -self._request_history]
+
+    # -- the writer thread ----------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if isinstance(job, _StopJob):
+                    return
+                if isinstance(job, _IngestJob):
+                    self._do_ingest(job)
+                elif isinstance(job, _RunJob):
+                    self._do_run(job.record)
+            finally:
+                self._queue.task_done()
+
+    def _do_ingest(self, job: _IngestJob) -> None:
+        try:
+            index = None
+            if (self.store.directory / INDEX_FILE).exists():
+                # Keep a previously built label index incrementally
+                # maintained, the way `repro ingest --index` would.
+                index = CorpusLabelIndex.for_store(self.store)
+            report = self.store.ingest(
+                job.tables, on_conflict=job.on_conflict, index=index
+            )
+            if index is not None:
+                index.save_to_store(self.store)
+            self._store_stats = {
+                "tables": len(self.store),
+                "rows": self.store.total_rows(),
+            }
+            job.report = {
+                "store": str(self.store.directory),
+                **self._store_stats,
+                "report": report.to_dict(),
+            }
+        except ValueError as error:
+            job.error = ServiceError(409, f"ingest failed: {error}")
+        except Exception as error:  # noqa: BLE001 - surfaced to the client
+            job.error = ServiceError(
+                500, f"ingest failed: {type(error).__name__}: {error}"
+            )
+        finally:
+            job.done.set()
+
+    def _do_run(self, record: RunRecord) -> None:
+        self.runs.update(record, status="running", started_at=time.time())
+        try:
+            result = self.session.run(
+                record.class_name,
+                incremental=record.incremental,
+                observers=[self.timer],
+            )
+            view = build_class_view(
+                record.class_name, result, record.run_id
+            )
+            published_at = time.time()
+            # The publish: build the new immutable snapshot off to the
+            # side, then swap the reference in one assignment.
+            self._snapshot = self._snapshot.with_class(view, published_at)
+            report = self.session.last_incremental_report
+            self.runs.update(
+                record,
+                status="done",
+                finished_at=published_at,
+                summary=dict(result.summary_dict()),
+                incremental_report=(
+                    report.to_dict()
+                    if record.incremental and report is not None
+                    else None
+                ),
+                snapshot_version=self._snapshot.version,
+                canonical_sha256=view.canonical_sha256,
+            )
+        except Exception as error:  # noqa: BLE001 - surfaced via the record
+            detail = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+            self.runs.update(
+                record,
+                status="failed",
+                finished_at=time.time(),
+                error=detail,
+            )
+
+    # -- internals ------------------------------------------------------
+    def _require_open(self) -> None:
+        if self._closed.is_set():
+            raise ServiceError(503, "service is shutting down")
+        if self._writer is None or not self._writer.is_alive():
+            raise ServiceError(
+                503,
+                "service writer thread is not running; "
+                "call KBService.start() first",
+            )
+
+    def _resolve_views(self, snapshot: Snapshot, class_name: str | None):
+        if class_name is None:
+            return [
+                snapshot.classes[name] for name in sorted(snapshot.classes)
+            ]
+        view = snapshot.classes.get(class_name)
+        if view is None:
+            raise ServiceError(
+                404,
+                f"no published results for class {class_name!r} in snapshot "
+                f"version {snapshot.version} (published classes: "
+                f"{', '.join(sorted(snapshot.classes)) or 'none'})",
+            )
+        return [view]

@@ -1,0 +1,186 @@
+"""Immutable published views of pipeline results.
+
+The service's concurrency model rests on this module: reader threads
+never touch the live :class:`~repro.api.RunSession` — they read a
+:class:`Snapshot`, a fully materialized, immutable rendering of the last
+published :class:`~repro.pipeline.result.PipelineResult` per class.  The
+writer thread builds a *new* snapshot after each run and swaps it in
+with a single attribute assignment (atomic under the GIL), so a reader
+holds either the old view or the new one, never a mixture.
+
+Everything a read endpoint serves is precomputed here at publish time:
+entity documents, fact documents with provenance, the per-class
+``canonical_json`` blob (the byte-equality witness against batch runs)
+and its digest.  Building once per publish instead of once per request
+is also what makes ``GET /entities`` cheap enough to load-benchmark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.fusion.entity import Entity
+from repro.newdetect.detector import Classification
+from repro.pipeline.result import PipelineResult
+
+__all__ = ["ClassView", "Snapshot", "build_class_view"]
+
+
+def _entity_document(
+    entity: Entity, classification: Classification | None, best_score
+) -> dict:
+    """The JSON document ``GET /entities`` serves for one entity.
+
+    Fact values render through ``repr`` — the same rendering
+    ``PipelineResult.canonical_json`` uses, so a value read off the
+    service is textually comparable with the batch witness.
+    """
+    if classification is Classification.NEW:
+        status = "new"
+    elif classification is Classification.EXISTING:
+        status = "existing"
+    else:
+        status = "unclassified"
+    return {
+        "id": entity.entity_id,
+        "class_name": entity.class_name,
+        "labels": list(entity.labels),
+        "primary_label": entity.primary_label,
+        "status": status,
+        "best_score": best_score,
+        "rows": sorted([table_id, row_index] for table_id, row_index in entity.row_ids()),
+        "fact_count": entity.fact_count(),
+        "facts": {
+            name: repr(value) for name, value in sorted(entity.facts.items())
+        },
+    }
+
+
+def _fact_documents(entity: Entity, status: str) -> list[dict]:
+    """One provenance-carrying document per fused fact of one entity."""
+    documents = []
+    for name, value in sorted(entity.facts.items()):
+        candidates = entity.provenance.get(name, [])
+        documents.append(
+            {
+                "entity_id": entity.entity_id,
+                "class_name": entity.class_name,
+                "entity_label": entity.primary_label,
+                "entity_status": status,
+                "property": name,
+                "value": repr(value),
+                "provenance": [
+                    {
+                        "value": repr(candidate.value),
+                        "score": candidate.score,
+                        "table_id": candidate.row_id[0],
+                        "row_index": candidate.row_id[1],
+                        "column": candidate.column,
+                    }
+                    for candidate in candidates
+                ],
+            }
+        )
+    return documents
+
+
+@dataclass(frozen=True)
+class ClassView:
+    """The published, reader-facing rendering of one class's last run."""
+
+    class_name: str
+    run_id: str
+    summary: Mapping[str, object]
+    #: Entity documents in entity-id order (deterministic pagination).
+    entities: tuple[dict, ...]
+    #: ``entity_id -> position`` into :attr:`entities`.
+    entity_index: Mapping[str, int]
+    #: Fact documents, ordered by (entity position, property name).
+    facts: tuple[dict, ...]
+    #: The byte-equality witness of the run this view renders.
+    canonical_json: str
+    canonical_sha256: str
+
+    def entity(self, entity_id: str) -> dict | None:
+        position = self.entity_index.get(entity_id)
+        if position is None:
+            return None
+        return self.entities[position]
+
+
+def build_class_view(
+    class_name: str, result: PipelineResult, run_id: str
+) -> ClassView:
+    """Materialize one class's read model from a finished run."""
+    final = result.final
+    detection = final.detection
+    documents = []
+    facts: list[dict] = []
+    for entity in sorted(final.entities, key=lambda record: record.entity_id):
+        classification = detection.classifications.get(entity.entity_id)
+        document = _entity_document(
+            entity, classification, detection.best_scores.get(entity.entity_id)
+        )
+        documents.append(document)
+        facts.extend(_fact_documents(entity, document["status"]))
+    canonical = result.canonical_json()
+    return ClassView(
+        class_name=class_name,
+        run_id=run_id,
+        summary=MappingProxyType(dict(result.summary_dict())),
+        entities=tuple(documents),
+        entity_index=MappingProxyType(
+            {document["id"]: position for position, document in enumerate(documents)}
+        ),
+        facts=tuple(facts),
+        canonical_json=canonical,
+        canonical_sha256=hashlib.sha256(canonical.encode("utf-8")).hexdigest(),
+    )
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable published state of the whole knowledge base.
+
+    ``version`` increments on every publish; readers echo it in their
+    responses so a client (and the consistency tests) can tell exactly
+    which published state served a request.  ``published_at`` is a wall
+    clock timestamp, informational only.
+    """
+
+    version: int
+    published_at: float
+    classes: Mapping[str, ClassView] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+
+    def with_class(
+        self, view: ClassView, published_at: float
+    ) -> "Snapshot":
+        """A new snapshot with one class view replaced (never in place)."""
+        merged = dict(self.classes)
+        merged[view.class_name] = view
+        return Snapshot(
+            version=self.version + 1,
+            published_at=published_at,
+            classes=MappingProxyType(merged),
+        )
+
+    def describe(self) -> dict:
+        """The JSON shape of this snapshot for /health and /metrics."""
+        return {
+            "version": self.version,
+            "published_at": self.published_at,
+            "classes": {
+                class_name: {
+                    "run_id": view.run_id,
+                    "entities": len(view.entities),
+                    "facts": len(view.facts),
+                    "canonical_sha256": view.canonical_sha256,
+                }
+                for class_name, view in sorted(self.classes.items())
+            },
+        }

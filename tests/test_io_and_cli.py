@@ -166,3 +166,87 @@ class TestCLI:
         assert (tmp_path / "world" / "corpus.jsonl").exists()
         assert (tmp_path / "world" / "knowledge_base.json").exists()
         assert (tmp_path / "world" / "gold_Song.json").exists()
+
+
+class TestCLIIngestJson:
+    """`repro ingest --json` emits the full shared IngestReport shape —
+    the same document `POST /ingest` on the service answers with."""
+
+    @pytest.fixture()
+    def corpus_jsonl(self, tiny_world, tmp_path):
+        path = tmp_path / "tables.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for table in list(tiny_world.corpus)[:4]:
+                handle.write(json.dumps({
+                    "table_id": table.table_id,
+                    "header": list(table.header),
+                    "rows": [list(row) for row in table.rows],
+                    "url": table.url,
+                }) + "\n")
+        return path
+
+    def test_ingest_json_reports_table_ids(
+        self, corpus_jsonl, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        exit_code = main(
+            ["ingest", str(corpus_jsonl), "--store", str(store), "--json"]
+        )
+        assert exit_code == 0
+        document = json.loads(capsys.readouterr().out)
+        report = document["report"]
+        assert report["inserted"] == 4
+        assert len(report["inserted_ids"]) == 4
+        assert report["replaced_ids"] == []
+        assert sorted(report["dirty_ids"]) == sorted(report["inserted_ids"])
+        assert document["tables"] == 4
+
+    def test_reingest_replace_reports_dirty_ids(
+        self, corpus_jsonl, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert main(
+            ["ingest", str(corpus_jsonl), "--store", str(store), "--json"]
+        ) == 0
+        capsys.readouterr()
+        exit_code = main(
+            ["ingest", str(corpus_jsonl), "--store", str(store),
+             "--json", "--on-conflict", "replace"]
+        )
+        assert exit_code == 0
+        report = json.loads(capsys.readouterr().out)["report"]
+        # Identical bytes are recognized, not re-written: nothing dirty.
+        assert report["inserted"] == 0
+        assert report["identical"] == 4
+        assert report["dirty_ids"] == []
+
+
+class TestCLIInterrupt:
+    """Ctrl-C exits cleanly: no traceback, exit code 130."""
+
+    def test_run_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_run", interrupted)
+        assert main(["run", "Song"]) == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_serve_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_cmd_serve", interrupted)
+        assert main(["serve", "--store", "unused"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_serve_missing_store_is_an_error(self, tmp_path, capsys):
+        exit_code = main(["serve", "--store", str(tmp_path / "missing")])
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().out
