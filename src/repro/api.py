@@ -276,6 +276,9 @@ class RunSession:
         self.artifact_store: ArtifactStore | None = None
         #: Reuse/recompute statistics of the latest incremental run.
         self.last_incremental_report: IncrementalRunReport | None = None
+        #: The :class:`repro.obs.Tracer` of the latest traced run
+        #: (``trace=`` on :meth:`run`); ``None`` until one runs.
+        self.last_trace = None
         self._corpus_epoch: str | None = None
         self._kb_fp: str | None = None
         self._models_fps: dict[int, str] = {}
@@ -416,6 +419,7 @@ class RunSession:
         executor: str | None = None,
         workers: int | None = None,
         incremental: bool = False,
+        trace=None,
     ) -> PipelineResult:
         """Run the pipeline for one class over the session's world.
 
@@ -428,6 +432,16 @@ class RunSession:
         serial run may be served artifacts a parallel run computed, and
         vice versa).  ``incremental`` routes the run through the
         persistent artifact store (see :meth:`run_incremental`).
+
+        ``trace`` records the run as a span tree (:mod:`repro.obs`):
+        ``True`` logs to ``<artifact store>/traces/<trace-id>.ndjson``
+        when a store is attached (in-memory otherwise), a path logs
+        there, and a :class:`repro.obs.Tracer` records into the caller's
+        trace (left open — the caller owns its lifecycle).  The root
+        span carries the config hash, the incremental invalidation
+        frontier, and the run's kernel-cache totals; the finished tracer
+        is exposed as :attr:`last_trace`.  Tracing never changes
+        results — ``canonical_json()`` is byte-identical either way.
         """
         config = config if config is not None else self.config
         if executor is not None or workers is not None:
@@ -445,11 +459,44 @@ class RunSession:
         )
         stage_list: list[PipelineStage] = STAGES.resolve(stage_specs)
         restriction = self._restriction_key(table_ids, row_ids, known_classes)
+        tracer, owns_tracer = self._resolve_trace(trace)
+        run_span = None
+        extra_observers: list[PipelineObserver] = list(observers)
+        if tracer is not None:
+            # The root span opens before the incremental backend is
+            # built, so a live stream shows the invalidation frontier
+            # the moment it is planned — not after the run finishes.
+            run_span = tracer.begin(
+                f"run:{class_name}",
+                "run",
+                attrs={
+                    "class": class_name,
+                    "incremental": incremental,
+                    "config": config_hash(config),
+                },
+            )
+            from repro.obs import TracingObserver
+
+            extra_observers.append(
+                TracingObserver(tracer, parent=run_span.span_id)
+            )
         backend: IncrementalBackend | None = None
         if incremental:
             backend = self._make_backend(
                 class_name, config, models, restriction
             )
+            if tracer is not None and backend.report.frontier is not None:
+                frontier = backend.report.frontier
+                tracer.point(
+                    "invalidation_frontier",
+                    "incremental",
+                    parent=run_span.span_id,
+                    attrs={
+                        "dirty_tables": len(frontier.analyze_tables),
+                        "schema_match_reusable": frontier.schema_match_reusable,
+                        "delta": frontier.delta.summary(),
+                    },
+                )
             stage_list = [
                 _PersistentStage(stage, backend)
                 if isinstance(spec, str) and spec in PERSISTED_FIELDS
@@ -470,22 +517,48 @@ class RunSession:
                 )
                 for spec, stage in zip(stage_specs, stage_list)
             ]
-        result = pipeline.run(
-            self.corpus,
-            class_name,
-            table_ids=table_ids,
-            row_ids=row_ids,
-            known_classes=known_classes,
-            stages=stage_list,
-            observers=[*self.observers, *observers],
-            incremental=backend,
-            kernels=self.kernels,
-        )
+        try:
+            result = pipeline.run(
+                self.corpus,
+                class_name,
+                table_ids=table_ids,
+                row_ids=row_ids,
+                known_classes=known_classes,
+                stages=stage_list,
+                observers=[*self.observers, *extra_observers],
+                incremental=backend,
+                kernels=self.kernels,
+            )
+        except BaseException as error:
+            if tracer is not None:
+                tracer.end(
+                    run_span,
+                    {
+                        "status": "error",
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                )
+                if owns_tracer:
+                    tracer.close()
+                self.last_trace = tracer
+            raise
         if backend is not None:
             self.artifact_store.meta_save(
                 "last_corpus_state", {"state": backend.corpus_state}
             )
             self.last_incremental_report = backend.report
+        if tracer is not None:
+            attrs: dict = {
+                "status": "ok",
+                "kernel_cache": self.kernels.cache_info(),
+            }
+            if backend is not None:
+                attrs["stage_hits"] = backend.report.stage_hits()
+                attrs["stage_misses"] = backend.report.stage_misses()
+            tracer.end(run_span, attrs)
+            if owns_tracer:
+                tracer.close()
+            self.last_trace = tracer
         return result
 
     def run_many(
@@ -542,6 +615,32 @@ class RunSession:
         }
 
     # -- internals ------------------------------------------------------
+    def _resolve_trace(self, trace):
+        """``(tracer, owns)`` from a ``trace=`` argument.
+
+        ``owns`` says whether this run must close the tracer when it
+        finishes — a caller-supplied :class:`~repro.obs.Tracer` stays
+        open (the service keeps recording its publish span after the
+        pipeline returns).
+        """
+        if trace is None or trace is False:
+            return None, False
+        from repro.obs import Tracer, new_trace_id
+
+        if isinstance(trace, Tracer):
+            return trace, False
+        if trace is True:
+            trace_id = new_trace_id()
+            path = None
+            if self.artifact_store is not None:
+                path = (
+                    self.artifact_store.directory
+                    / "traces"
+                    / f"{trace_id}.ndjson"
+                )
+            return Tracer(path=path, trace_id=trace_id), True
+        return Tracer(path=trace), True
+
     def _make_backend(
         self,
         class_name: str,

@@ -30,9 +30,16 @@ Commands:
 * ``serve`` — hold a persistent session over a corpus store and serve
   it over HTTP: ``POST /ingest``, ``POST /runs`` + ``GET /runs/<id>``,
   ``GET /entities`` / ``GET /facts`` with provenance, ``GET /health`` /
-  ``GET /metrics``.  One writer thread serializes all mutations;
+  ``GET /metrics``, and ``GET /runs/<id>/events`` streaming each run's
+  trace live as NDJSON.  One writer thread serializes all mutations;
   readers see immutable atomically-swapped snapshots byte-identical to
-  batch ``repro run --incremental`` output.
+  batch ``repro run --incremental`` output.  ``--access-log`` prints
+  one structured line per request (method, path, status, ms, trace id).
+* ``trace`` — render a recorded run trace (an NDJSON event log written
+  by ``run --trace``, ``ingest --trace`` or the service) as a span tree
+  on stdout; ``--chrome out.json`` exports the same events as a Chrome
+  ``chrome://tracing`` / Perfetto trace, ``--summary`` prints per-kind
+  span counts and total seconds.
 
 Ctrl-C anywhere exits cleanly: no traceback, exit code 130 (the shell
 convention for SIGINT), with run-scoped worker pools shut down by the
@@ -131,10 +138,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     results = {}
     reports = {}
-    for class_name in dict.fromkeys(args.classes):
+    traces = {}
+    class_names = list(dict.fromkeys(args.classes))
+    for class_name in class_names:
+        trace = _trace_destination(args.trace, class_name, len(class_names))
         results[class_name] = session.run(
-            class_name, stages=stages, incremental=args.incremental
+            class_name, stages=stages, incremental=args.incremental,
+            trace=trace,
         )
+        if trace is not None:
+            traces[class_name] = {
+                "path": str(trace),
+                "events": len(session.last_trace.events()),
+            }
         if args.incremental:
             reports[class_name] = session.last_incremental_report
     if args.as_json:
@@ -156,13 +172,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 class_name: _incremental_report_dict(report)
                 for class_name, report in reports.items()
             }
+        if traces:
+            document["traces"] = traces
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
         print("\n\n".join(result.summary() for result in results.values()))
         for class_name, report in reports.items():
             print(f"\nincremental [{class_name}]:")
             print(report.summary())
+        for class_name, info in traces.items():
+            print(f"trace [{class_name}]: {info['events']} events "
+                  f"written to {info['path']}", file=sys.stderr)
     return 0
+
+
+def _trace_destination(
+    trace: str | None, class_name: str, n_classes: int
+) -> Path | None:
+    """The per-class event-log path of ``run --trace PATH``.
+
+    With one class the path is used verbatim; with several, each class
+    gets its own log (``events.ndjson`` → ``events.Song.ndjson``) so
+    the per-run sequence numbers stay monotonic within each file.
+    """
+    if trace is None:
+        return None
+    path = Path(trace)
+    if n_classes == 1:
+        return path
+    return path.with_name(f"{path.stem}.{class_name}{path.suffix}")
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -245,6 +283,11 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         filters.append(
             ClassRestrictionFilter(load_knowledge_base(args.kb), args.classes)
         )
+    tracer = None
+    if args.trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer(path=args.trace)
     try:
         stream = open_table_stream(args.input, format=args.format)
         store = CorpusStore.open_or_create(args.store, shards=args.shards)
@@ -256,12 +299,20 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             processes=args.processes,
             index=index,
+            tracer=tracer,
         )
         if index is not None:
             index.save_to_store(store)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}")
         return 2
+    finally:
+        if tracer is not None:
+            n_trace_events = len(tracer.events())
+            tracer.close()
+    if tracer is not None:
+        print(f"trace: {n_trace_events} events written to {args.trace}",
+              file=sys.stderr)
     run_results = {}
     run_reports = {}
     if args.then_run:
@@ -328,7 +379,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"warming: queued {document['run_id']} "
                   f"[{class_name}]", file=sys.stderr)
     server = make_server(
-        service, host=args.host, port=args.port, quiet=args.quiet
+        service, host=args.host, port=args.port, quiet=args.quiet,
+        access_log=args.access_log,
     )
     host, port = server.server_address[:2]
     print(f"serving {args.store} on http://{host}:{port} "
@@ -341,6 +393,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # writer thread.
         server.server_close()
         service.close()
+    return 0
+
+
+def _resolve_trace_log(target: str, run_id: str | None) -> Path:
+    """Locate the event log ``repro trace`` should render.
+
+    ``target`` is an NDJSON file, a corpus-store / artifact directory
+    (searched under ``traces/``, then flat), or a directory plus
+    ``--run`` naming one log by stem.  Directories resolve to the most
+    recently modified log when ``--run`` is not given.
+    """
+    path = Path(target)
+    if path.is_file():
+        return path
+    if path.is_dir():
+        for candidate_dir in (path / "traces", path / "artifacts" / "traces", path):
+            if not candidate_dir.is_dir():
+                continue
+            if run_id is not None:
+                candidate = candidate_dir / f"{run_id}.ndjson"
+                if candidate.is_file():
+                    return candidate
+                continue
+            logs = sorted(
+                candidate_dir.glob("*.ndjson"),
+                key=lambda p: p.stat().st_mtime,
+            )
+            if logs:
+                return logs[-1]
+        if run_id is not None:
+            raise FileNotFoundError(
+                f"no event log for run '{run_id}' under {path}"
+            )
+        raise FileNotFoundError(f"no *.ndjson event logs under {path}")
+    raise FileNotFoundError(f"no such trace: {target}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        chrome_trace_json,
+        read_events,
+        render_tree,
+        trace_summary,
+    )
+
+    try:
+        log_path = _resolve_trace_log(args.trace, args.run)
+        events = list(read_events(log_path))
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+    if not events:
+        print(f"error: {log_path} holds no events")
+        return 2
+    print(f"trace: {log_path} ({len(events)} events)", file=sys.stderr)
+    if args.chrome:
+        output = Path(args.chrome)
+        output.write_text(chrome_trace_json(events), encoding="utf-8")
+        print(f"chrome trace written to {output} "
+              f"(load via chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
+    if args.summary:
+        summary = trace_summary(events)
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    elif not args.chrome or args.tree:
+        print(render_tree(events, attrs=not args.no_attrs))
     return 0
 
 
@@ -413,6 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress per-stage progress lines on stderr")
     run.add_argument("--dedup", action="store_true",
                      help="deduplicate new entities (Section 5 extension)")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="record a span/event trace of the run to PATH "
+                          "(NDJSON; render with `repro trace PATH`); with "
+                          "several classes each gets its own "
+                          "PATH.<class>.ndjson log")
     run.set_defaults(handler=_cmd_run)
 
     profile = subparsers.add_parser(
@@ -470,6 +593,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "incrementally for these classes (needs a "
                              "knowledge base via --kb or "
                              "knowledge_base.json in the store)")
+    ingest.add_argument("--trace", default=None, metavar="PATH",
+                        help="record per-shard write spans to PATH "
+                             "(NDJSON; render with `repro trace PATH`)")
     ingest.add_argument("--json", action="store_true", dest="as_json")
     ingest.set_defaults(handler=_cmd_ingest)
 
@@ -494,7 +620,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help=argparse.SUPPRESS)
     serve.add_argument("--verbose", action="store_false", dest="quiet",
                        help="log one line per served HTTP request")
+    serve.add_argument("--access-log", action="store_true",
+                       dest="access_log",
+                       help="print one structured JSON line per request "
+                            "to stderr (method, path, status, ms, trace "
+                            "id)")
     serve.set_defaults(handler=_cmd_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="render a recorded run trace"
+    )
+    trace.add_argument("trace",
+                       help="an NDJSON event log, or a directory holding "
+                            "one (a corpus store's artifacts are searched "
+                            "under traces/)")
+    trace.add_argument("--run", default=None, metavar="RUN_ID",
+                       help="with a directory: pick the log of this run "
+                            "id (default: the most recently modified)")
+    trace.add_argument("--chrome", default=None, metavar="OUT_JSON",
+                       help="export a Chrome chrome://tracing / Perfetto "
+                            "trace JSON to OUT_JSON")
+    trace.add_argument("--tree", action="store_true",
+                       help="print the span tree even when --chrome is "
+                            "given")
+    trace.add_argument("--no-attrs", action="store_true",
+                       help="hide span attributes in the tree")
+    trace.add_argument("--summary", action="store_true",
+                       help="print per-kind span counts and seconds "
+                            "instead of the tree")
+    trace.set_defaults(handler=_cmd_trace)
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate a paper table/figure"

@@ -25,8 +25,10 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import os
 import sqlite3
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
@@ -177,6 +179,27 @@ def _write_shard_batch(
         return outcomes
     finally:
         connection.close()
+
+
+def _timed_write_shard_batch(
+    shard_path: str, records: list[dict], on_conflict: str
+) -> tuple[dict, list[tuple[str, str]]]:
+    """:func:`_write_shard_batch` plus timing provenance for trace spans.
+
+    Returns ``(meta, outcomes)`` where ``meta`` records wall-clock start,
+    write seconds, and the writing pid — measured *inside* the pool
+    worker when ``processes>1``, so shard spans reflect real write time,
+    not queue time.
+    """
+    started_wall = time.time()
+    started = time.perf_counter()
+    outcomes = _write_shard_batch(shard_path, records, on_conflict)
+    meta = {
+        "seconds": time.perf_counter() - started,
+        "ts": started_wall,
+        "pid": os.getpid(),
+    }
+    return meta, outcomes
 
 
 def _scan_conflicts(shard_path: str, records: list[dict]) -> None:
@@ -387,6 +410,7 @@ class CorpusStore:
         batch_size: int = 512,
         processes: int | None = None,
         index=None,
+        tracer=None,
     ) -> IngestReport:
         """Stream tables into the store, batch by batch.
 
@@ -399,7 +423,10 @@ class CorpusStore:
         optional incremental index (anything with ``add_table`` /
         ``remove_table``, e.g.
         :class:`~repro.corpus.indexing.CorpusLabelIndex`) kept in sync
-        with inserts and replacements.
+        with inserts and replacements.  ``tracer`` (a
+        :class:`repro.obs.Tracer`) records one ``ingest_batch`` span per
+        batch with a child span per shard written — timed inside the
+        pool workers when ``processes`` is set, merged in shard order.
         """
         if on_conflict not in ON_CONFLICT:
             raise ValueError(
@@ -423,17 +450,22 @@ class CorpusStore:
                 continue
             batch.append((table, analysis))
             if len(batch) >= batch_size:
-                self._ingest_batch(batch, on_conflict, processes, index, report)
+                self._ingest_batch(
+                    batch, on_conflict, processes, index, report, tracer
+                )
                 batch = []
         if batch:
-            self._ingest_batch(batch, on_conflict, processes, index, report)
+            self._ingest_batch(
+                batch, on_conflict, processes, index, report, tracer
+            )
         return report
 
     def put(self, table: WebTable, *, on_conflict: str = "error") -> str:
         """Store one table; returns its ingest outcome."""
         report = IngestReport()
         self._ingest_batch(
-            [(table, TableAnalysis(table))], on_conflict, None, None, report
+            [(table, TableAnalysis(table))], on_conflict, None, None, report,
+            None,
         )
         if report.inserted:
             return "inserted"
@@ -450,6 +482,7 @@ class CorpusStore:
         processes: int | None,
         index,
         report: IngestReport,
+        tracer=None,
     ) -> None:
         partitions: dict[int, list[dict]] = {}
         partition_tables: dict[int, list[tuple[WebTable, TableAnalysis]]] = {}
@@ -463,6 +496,13 @@ class CorpusStore:
             (str(self._shard_path(shard)), partitions[shard], on_conflict)
             for shard in sorted(partitions)
         ]
+        batch_span = None
+        if tracer is not None:
+            batch_span = tracer.begin(
+                "ingest_batch",
+                "ingest",
+                attrs={"tables": len(batch), "shards": len(jobs)},
+            )
         if on_conflict == "error":
             # Scan every shard before writing any, so an erroring batch
             # cannot leave some shards committed and others not.
@@ -475,9 +515,22 @@ class CorpusStore:
             import multiprocessing
 
             with multiprocessing.Pool(min(processes, len(jobs))) as pool:
-                outcome_lists = pool.starmap(_write_shard_batch, jobs)
+                timed_lists = pool.starmap(_timed_write_shard_batch, jobs)
         else:
-            outcome_lists = [_write_shard_batch(*job) for job in jobs]
+            timed_lists = [_timed_write_shard_batch(*job) for job in jobs]
+        outcome_lists = [outcomes for _meta, outcomes in timed_lists]
+        if tracer is not None:
+            # starmap preserves job (= sorted shard) order, so shard
+            # spans get deterministic ids regardless of worker timing.
+            for shard, (meta, _outcomes) in zip(sorted(partitions), timed_lists):
+                tracer.span(
+                    f"shard-{shard:03d}",
+                    "shard",
+                    parent=batch_span.span_id,
+                    ts=meta["ts"],
+                    dur=meta["seconds"],
+                    attrs={"pid": meta["pid"], "tables": len(partitions[shard])},
+                )
         for shard, outcomes in zip(sorted(partitions), outcome_lists):
             for (table, analysis), (table_id, outcome) in zip(
                 partition_tables[shard], outcomes
@@ -499,6 +552,16 @@ class CorpusStore:
                     if outcome == "replaced" and table_id in index:
                         index.remove_table(table_id)
                     index.add_table(table, analysis)
+        if batch_span is not None:
+            flat = [outcome for outcomes in outcome_lists for _, outcome in outcomes]
+            tracer.end(
+                batch_span,
+                {
+                    "inserted": flat.count("inserted"),
+                    "replaced": flat.count("replaced"),
+                    "identical": flat.count("identical"),
+                },
+            )
 
     def remove_tables(
         self, table_ids: Iterable[str], *, index=None, missing_ok: bool = False

@@ -1,0 +1,40 @@
+"""``repro.obs`` — end-to-end run tracing (spans, event logs, exporters).
+
+See :mod:`repro.obs.trace` for the event model, :mod:`repro.obs.export`
+for the Chrome/Perfetto and tree renderers, and
+:mod:`repro.obs.observers` for the pipeline/executor bridge.  Entry
+points: ``RunSession.run(..., trace=True)``, ``repro trace <log>``, and
+the service's ``GET /runs/<id>/events`` stream.
+"""
+
+from repro.obs.export import (
+    chrome_trace_json,
+    render_tree,
+    to_chrome_trace,
+    trace_summary,
+)
+from repro.obs.observers import TracingObserver
+from repro.obs.trace import (
+    EventLog,
+    Span,
+    Tracer,
+    new_trace_id,
+    read_events,
+    span_index,
+    tail_events,
+)
+
+__all__ = [
+    "EventLog",
+    "Span",
+    "Tracer",
+    "TracingObserver",
+    "chrome_trace_json",
+    "new_trace_id",
+    "read_events",
+    "render_tree",
+    "span_index",
+    "tail_events",
+    "to_chrome_trace",
+    "trace_summary",
+]

@@ -110,6 +110,13 @@ class ExecutorObserver:
     time of that chunk (not queue time).  Chunk events fire in completion
     order, which is nondeterministic under real parallelism — aggregate,
     don't sequence-match.
+
+    The two tracing hooks carry per-chunk *span records* for
+    :mod:`repro.obs`: an observer that returns a context from
+    :meth:`chunk_trace_context` opts the task into in-worker span
+    recording, and receives the records — reassembled in chunk-index
+    order regardless of completion order — via :meth:`on_chunk_spans`
+    after the map completes.
     """
 
     def on_map_started(
@@ -127,21 +134,71 @@ class ExecutorObserver:
     ) -> None:
         pass
 
+    def chunk_trace_context(self, task_name: str) -> dict | None:
+        """``{"trace": ..., "parent": ...}`` to record chunk spans, else None."""
+        return None
+
+    def on_chunk_spans(self, task_name: str, records: list[dict]) -> None:
+        pass
+
 
 class _TimedBatch:
     """Wraps a batch function to measure in-worker compute seconds.
 
     Module-level class so the wrapper pickles whenever the wrapped
-    function does.
+    function does.  Returns ``(meta, results)`` — ``meta`` carries the
+    wall-clock start, compute seconds, and the worker pid, which is all
+    the provenance a chunk span needs.
     """
 
     def __init__(self, func: Callable[[list], list]) -> None:
         self.func = func
 
-    def __call__(self, chunk: list) -> tuple[float, list]:
+    def __call__(self, chunk: list) -> tuple[dict, list]:
+        started_wall = time.time()
         started = time.perf_counter()
         results = self.func(chunk)
-        return time.perf_counter() - started, results
+        meta = {
+            "seconds": time.perf_counter() - started,
+            "ts": started_wall,
+            "pid": os.getpid(),
+        }
+        return meta, results
+
+
+class _TracedBatch(_TimedBatch):
+    """A timed batch that additionally builds a chunk span record.
+
+    The trace id and **parent span id travel with the pickled batch
+    function** into pool workers, so the record a worker ships back is
+    already correctly parented — the observer side only assigns span
+    ids, in deterministic chunk-index order.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[list], list],
+        task_name: str,
+        trace_id: str,
+        parent: str | None,
+    ) -> None:
+        super().__init__(func)
+        self.task_name = task_name
+        self.trace_id = trace_id
+        self.parent = parent
+
+    def __call__(self, chunk: list) -> tuple[dict, list]:
+        meta, results = super().__call__(chunk)
+        meta["span_record"] = {
+            "trace": self.trace_id,
+            "parent": self.parent,
+            "name": f"chunk:{self.task_name}",
+            "kind": "chunk",
+            "ts": meta["ts"],
+            "dur": meta["seconds"],
+            "attrs": {"pid": meta["pid"]},
+        }
+        return meta, results
 
 
 def _chunk(items: list, chunk_size: int) -> list[list]:
@@ -155,7 +212,7 @@ class Executor:
     """Base class: chunking, ordering, observers, failure wrapping.
 
     Subclasses implement :meth:`_submit_chunks`, mapping a timed batch
-    function over chunks and yielding ``(chunk_index, seconds, results)``
+    function over chunks and yielding ``(chunk_index, meta, results)``
     in any order; the base class reassembles input order.
     """
 
@@ -198,10 +255,24 @@ class Executor:
         for observer in self.observers:
             observer.on_map_started(task_name, len(items), len(chunks))
         started = time.perf_counter()
-        timed = _TimedBatch(func)
+        trace_context = None
+        for observer in self.observers:
+            trace_context = observer.chunk_trace_context(task_name)
+            if trace_context is not None:
+                break
+        if trace_context is not None:
+            timed: _TimedBatch = _TracedBatch(
+                func,
+                task_name,
+                trace_context["trace"],
+                trace_context.get("parent"),
+            )
+        else:
+            timed = _TimedBatch(func)
         gathered: list[list[ResultT] | None] = [None] * len(chunks)
+        metas: list[dict | None] = [None] * len(chunks)
         try:
-            for chunk_index, seconds, results in self._submit_chunks(
+            for chunk_index, meta, results in self._submit_chunks(
                 timed, chunks
             ):
                 if len(results) != len(chunks[chunk_index]):
@@ -211,9 +282,10 @@ class Executor:
                         f"{task_name!r} chunk {chunk_index}"
                     )
                 gathered[chunk_index] = results
+                metas[chunk_index] = meta
                 for observer in self.observers:
                     observer.on_chunk_finished(
-                        task_name, chunk_index, len(results), seconds
+                        task_name, chunk_index, len(results), meta["seconds"]
                     )
         except _ChunkFailure as failure:
             chunk = chunks[failure.chunk_index]
@@ -228,6 +300,23 @@ class Executor:
         for results in gathered:
             assert results is not None
             flattened.extend(results)
+        if trace_context is not None:
+            # The deterministic-merge half of in-worker tracing: span
+            # records are delivered in chunk-index (= input) order, so
+            # the ids the consumer assigns don't depend on completion
+            # order.
+            span_records = []
+            for chunk_index, meta in enumerate(metas):
+                assert meta is not None
+                record = dict(meta["span_record"])
+                record["attrs"] = {
+                    **record.get("attrs", {}),
+                    "chunk_index": chunk_index,
+                    "n_items": len(chunks[chunk_index]),
+                }
+                span_records.append(record)
+            for observer in self.observers:
+                observer.on_chunk_spans(task_name, span_records)
         elapsed = time.perf_counter() - started
         for observer in self.observers:
             observer.on_map_finished(task_name, len(items), elapsed)
@@ -336,10 +425,10 @@ class SerialExecutor(Executor):
     def _submit_chunks(self, timed, chunks):
         for chunk_index, chunk in enumerate(chunks):
             try:
-                seconds, results = timed(chunk)
+                meta, results = timed(chunk)
             except Exception as error:
                 raise _ChunkFailure(chunk_index, error) from error
-            yield chunk_index, seconds, results
+            yield chunk_index, meta, results
 
 
 class _PooledExecutor(Executor):
@@ -391,8 +480,8 @@ class _PooledExecutor(Executor):
                     error = future.exception()
                     if error is not None:
                         raise _ChunkFailure(chunk_index, error) from error
-                    seconds, results = future.result()
-                    yield chunk_index, seconds, results
+                    meta, results = future.result()
+                    yield chunk_index, meta, results
         finally:
             for future in pending:
                 future.cancel()

@@ -253,6 +253,8 @@ class LongTailPipeline:
                 artifacts = state.artifacts()
                 result.iterations.append(artifacts)
                 state.evidence = self._build_evidence(artifacts)
+                for observer in observers:
+                    observer.on_iteration_finished(class_name, iteration)
         finally:
             executor.close()
         if self.config.dedup_new_entities:

@@ -169,6 +169,9 @@ class PipelineObserver:
     ) -> None:
         pass
 
+    def on_iteration_finished(self, class_name: str, iteration: int) -> None:
+        pass
+
     def on_run_finished(self, result: "PipelineResult") -> None:
         pass
 

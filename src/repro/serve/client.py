@@ -14,6 +14,7 @@ import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from collections.abc import Iterator
 
 __all__ = ["ServiceClient", "ServiceClientError"]
 
@@ -30,9 +31,18 @@ class ServiceClientError(Exception):
 class ServiceClient:
     """Typed access to one running KB service."""
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        trace_id: str | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Sent as ``X-Repro-Trace`` on every request when set, so runs
+        #: submitted through this client join the caller's trace.
+        self.trace_id = trace_id
 
     # -- transport ------------------------------------------------------
     def _request(
@@ -55,6 +65,8 @@ class ServiceClient:
                 url = f"{url}?{urllib.parse.urlencode(filtered)}"
         body = None
         headers = {"Accept": "application/json"}
+        if self.trace_id is not None:
+            headers["X-Repro-Trace"] = self.trace_id
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -114,15 +126,25 @@ class ServiceClient:
         return self._request("GET", "/runs")["runs"]
 
     def wait_for_run(
-        self, run_id: str, *, timeout: float = 300.0, poll: float = 0.05
+        self,
+        run_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = 0.05,
+        max_poll: float = 2.0,
     ) -> dict:
         """Poll until the run reaches a terminal state.
 
-        Returns the final run document when it is ``done``; raises
-        :class:`ServiceClientError` with the server-reported error when
-        it ``failed``, or on timeout.
+        Polling starts at ``poll`` seconds and backs off exponentially
+        (×1.5 per round, capped at ``max_poll``) so a long run is not
+        hammered with requests while a short one is still observed
+        promptly.  Returns the final run document when it is ``done``;
+        raises :class:`ServiceClientError` with the server-reported
+        error when it ``failed``, or — after ``timeout`` seconds — with
+        a message naming the run's last observed state.
         """
         deadline = time.monotonic() + timeout
+        interval = poll
         while True:
             document = self.run(run_id)
             if document["status"] == "done":
@@ -133,13 +155,59 @@ class ServiceClient:
                     f"run {run_id} failed: "
                     f"{document.get('error', 'unknown error')}",
                 )
-            if time.monotonic() > deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServiceClientError(
                     0,
-                    f"run {run_id} still {document['status']} after "
-                    f"{timeout:.0f}s",
+                    f"run {run_id} did not finish within {timeout:.0f}s; "
+                    f"last observed state was '{document['status']}'",
                 )
-            time.sleep(poll)
+            time.sleep(min(interval, remaining))
+            interval = min(interval * 1.5, max_poll)
+
+    def stream_events(
+        self, run_id: str, *, after_seq: int = 0, heartbeats: bool = False
+    ) -> Iterator[dict]:
+        """Follow a run's event log live (``GET /runs/<id>/events``).
+
+        Yields one parsed NDJSON record per trace event, in ``seq``
+        order, and keeps the connection open until the run reaches a
+        terminal state (the server closes the stream).  Pass
+        ``after_seq`` to resume after a dropped connection without
+        re-reading already-seen events.  Server heartbeats keep the
+        socket alive during quiet stretches; they are filtered out
+        unless ``heartbeats=True``.
+        """
+        url = f"{self.base_url}/runs/{run_id}/events"
+        if after_seq:
+            url = f"{url}?{urllib.parse.urlencode({'after_seq': after_seq})}"
+        headers = {"Accept": "application/x-ndjson"}
+        if self.trace_id is not None:
+            headers["X-Repro-Trace"] = self.trace_id
+        request = urllib.request.Request(url, headers=headers, method="GET")
+        try:
+            response = urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            blob = error.read()
+            try:
+                document = json.loads(blob)
+                message = document.get("error", blob.decode("utf-8", "replace"))
+            except (json.JSONDecodeError, AttributeError):
+                message = blob.decode("utf-8", "replace")
+            raise ServiceClientError(error.code, message) from None
+        except urllib.error.URLError as error:
+            raise ServiceClientError(
+                0, f"cannot reach {url}: {error.reason}"
+            ) from None
+        with response:
+            for line in response:
+                text = line.decode("utf-8").strip()
+                if not text:
+                    continue
+                record = json.loads(text)
+                if record.get("type") == "heartbeat" and not heartbeats:
+                    continue
+                yield record
 
     def run_canonical(self, run_id: str) -> str:
         """The run's canonical JSON, verbatim (byte-equality witness)."""

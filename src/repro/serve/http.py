@@ -14,6 +14,7 @@ POST    ``/runs``                     trigger a (default incremental) run
 GET     ``/runs``                     all runs, submission order
 GET     ``/runs/<id>``                poll one run's status/stats
 GET     ``/runs/<id>/canonical``      the run's canonical JSON (byte witness)
+GET     ``/runs/<id>/events``         stream the run's trace as live NDJSON
 GET     ``/entities``                 published entities (filter + paging)
 GET     ``/entities/<class>/<id>``    one entity document
 GET     ``/facts``                    fused facts with provenance
@@ -24,22 +25,41 @@ verbatim — it *is* the byte witness, re-encoding would defeat it).
 Errors are ``{"error": ..., "status": ...}`` with the matching HTTP
 status.  Every request is folded into the service's telemetry, which
 ``GET /metrics`` reports back with exact p50/p99 latencies.
+
+**Tracing.**  Every request gets a trace id — the client's
+``X-Repro-Trace`` header when well-formed, generated otherwise — echoed
+back on the response.  ``POST /runs`` threads it into the run's event
+log, so a client can stamp its own correlation id across submit, stream,
+and poll.  ``GET /runs/<id>/events`` is the one streaming route: a
+chunked ``application/x-ndjson`` body that follows the run's event log
+live (heartbeat lines roughly every second while idle; ``?after_seq=N``
+resumes past already-seen records) and ends when the run reaches a
+terminal status and the log is drained.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlparse
 
-from repro.serve.service import KBService, ServiceError
+from repro.obs import tail_events
+from repro.serve.service import KBService, ServiceError, sanitize_trace_id
 
 __all__ = ["KBServer", "KBRequestHandler", "make_server"]
 
 #: Request bodies above this size are rejected before reading (64 MiB —
 #: generous for table batches, a guard against unbounded allocation).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Hard ceiling on one ``/runs/<id>/events`` stream (an abandoned run
+#: must not pin a handler thread forever).
+STREAM_TIMEOUT_SECONDS = 3600.0
+
+#: Idle interval between heartbeat lines on an event stream.
+HEARTBEAT_SECONDS = 1.0
 
 
 class KBServer(ThreadingHTTPServer):
@@ -49,9 +69,19 @@ class KBServer(ThreadingHTTPServer):
     #: Quick rebinds between test runs.
     allow_reuse_address = True
 
-    def __init__(self, address, service: KBService, *, quiet: bool = True):
+    def __init__(
+        self,
+        address,
+        service: KBService,
+        *,
+        quiet: bool = True,
+        access_log: bool = False,
+    ):
         self.service = service
         self.quiet = quiet
+        #: One structured line per served request on stderr (``repro
+        #: serve --access-log``); off by default so tests stay silent.
+        self.access_log = access_log
         super().__init__(address, KBRequestHandler)
 
 
@@ -93,6 +123,7 @@ class KBRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        self.send_header("X-Repro-Trace", self._trace_id)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -131,23 +162,47 @@ class KBRequestHandler(BaseHTTPRequestHandler):
         started = time.perf_counter()
         parsed = urlparse(self.path)
         endpoint = f"{method} {parsed.path}"
+        #: The request's trace id: propagated from a well-formed
+        #: ``X-Repro-Trace`` header, generated otherwise; echoed on
+        #: every response and threaded into submitted runs.
+        self._trace_id = sanitize_trace_id(self.headers.get("X-Repro-Trace"))
         status = 500
         try:
-            route, payload, content_type = self._route(
-                method, parsed.path, parse_qs(parsed.query)
-            )
-            endpoint = f"{method} {route}"
-            status = 200 if method == "GET" else 202
-            if method == "POST" and route == "/ingest":
-                status = 200
-            self._send_payload(status, payload, content_type)
+            segments = [
+                unquote(segment)
+                for segment in parsed.path.split("/")
+                if segment
+            ]
+            if (
+                method == "GET"
+                and len(segments) == 3
+                and segments[0] == "runs"
+                and segments[2] == "events"
+            ):
+                # Streaming breaks the single-payload contract of
+                # _route — it owns the socket until the run finishes.
+                endpoint = f"{method} /runs/<id>/events"
+                status = self._stream_events(
+                    segments[1], parse_qs(parsed.query)
+                )
+            else:
+                route, payload, content_type = self._route(
+                    method, parsed.path, parse_qs(parsed.query)
+                )
+                endpoint = f"{method} {route}"
+                status = 200 if method == "GET" else 202
+                if method == "POST" and route == "/ingest":
+                    status = 200
+                self._send_payload(status, payload, content_type)
         except ServiceError as error:
             status = error.status
             self._send_json(
                 error.status, {"error": error.message, "status": error.status}
             )
-        except BrokenPipeError:  # pragma: no cover - client went away
+        except (BrokenPipeError, ConnectionResetError):
+            # pragma: no cover - client went away
             status = 499
+            self.close_connection = True
         except Exception as error:  # noqa: BLE001 - last-resort surface
             status = 500
             self._send_json(
@@ -159,9 +214,75 @@ class KBRequestHandler(BaseHTTPRequestHandler):
                 },
             )
         finally:
-            service.record_request(
-                endpoint, status, time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            service.record_request(endpoint, status, elapsed)
+            if self.server.access_log:
+                print(
+                    json.dumps(
+                        {
+                            "method": method,
+                            "path": parsed.path,
+                            "status": status,
+                            "ms": round(elapsed * 1000.0, 2),
+                            "trace": self._trace_id,
+                        },
+                        sort_keys=True,
+                    ),
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+    def _stream_events(self, run_id: str, params: dict) -> int:
+        """``GET /runs/<id>/events``: live chunked-NDJSON event stream.
+
+        Chunked transfer-encoding is hand-rolled (``http.server`` only
+        does fixed-length bodies); ``http.client`` — and therefore
+        urllib and :class:`~repro.serve.client.ServiceClient` — decodes
+        it transparently.  The stream ends with the terminal zero chunk
+        once the run's status is terminal and its log fully drained, so
+        a well-behaved client simply reads lines until EOF.
+        """
+        service = self.server.service
+        record = service.run_events_record(run_id)
+        after_seq = _int_param(params, "after_seq", 0) or 0
+        self.send_response(200)
+        self.send_header(
+            "Content-Type", "application/x-ndjson; charset=utf-8"
+        )
+        self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Repro-Trace", record.trace_id or self._trace_id)
+        self.end_headers()
+
+        def write_chunk(payload: bytes) -> None:
+            self.wfile.write(f"{len(payload):X}\r\n".encode("ascii"))
+            self.wfile.write(payload)
+            self.wfile.write(b"\r\n")
+            self.wfile.flush()
+
+        last_write = time.monotonic()
+        for event in tail_events(
+            record.events_path,
+            after_seq=after_seq,
+            done=lambda: record.status in ("done", "failed"),
+            timeout=STREAM_TIMEOUT_SECONDS,
+        ):
+            if event is None:
+                if time.monotonic() - last_write >= HEARTBEAT_SECONDS:
+                    write_chunk(
+                        json.dumps(
+                            {"type": "heartbeat", "ts": time.time()}
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    last_write = time.monotonic()
+                continue
+            write_chunk(
+                json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
             )
+            last_write = time.monotonic()
+        self.wfile.write(b"0\r\n\r\n")
+        self.wfile.flush()
+        return 200
 
     # -- routing --------------------------------------------------------
     def _route(
@@ -261,7 +382,9 @@ class KBRequestHandler(BaseHTTPRequestHandler):
                 return as_json(
                     "/runs",
                     service.submit_run(
-                        body.get("class_name", ""), incremental=incremental
+                        body.get("class_name", ""),
+                        incremental=incremental,
+                        trace_id=self._trace_id,
                     ),
                 )
         raise ServiceError(404, f"no route for {method} {path}")
@@ -276,11 +399,12 @@ class KBRequestHandler(BaseHTTPRequestHandler):
 
 def make_server(
     service: KBService, host: str = "127.0.0.1", port: int = 0, *,
-    quiet: bool = True,
+    quiet: bool = True, access_log: bool = False,
 ) -> KBServer:
     """Bind a threaded server to a started service.
 
     ``port=0`` binds an ephemeral port (tests, benchmarks); read the
-    actual one from ``server.server_address[1]``.
+    actual one from ``server.server_address[1]``.  ``access_log`` prints
+    one structured JSON line per request to stderr.
     """
-    return KBServer((host, port), service, quiet=quiet)
+    return KBServer((host, port), service, quiet=quiet, access_log=access_log)

@@ -32,6 +32,12 @@ class RunRecord:
     class_name: str
     incremental: bool
     status: str = "queued"
+    #: Trace id of this run's event log (client-supplied via the
+    #: ``X-Repro-Trace`` header, generated otherwise).
+    trace_id: str | None = None
+    #: On-disk NDJSON event log — assigned at *submit* time so a queued
+    #: run is already streamable via ``GET /runs/<id>/events``.
+    events_path: str | None = None
     error: str | None = None
     submitted_at: float = field(default_factory=time.time)
     started_at: float | None = None
@@ -56,6 +62,8 @@ class RunRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        if self.trace_id is not None:
+            document["trace_id"] = self.trace_id
         if self.error is not None:
             document["error"] = self.error
         if self.summary is not None:
@@ -79,13 +87,22 @@ class RunRegistry:
         self._records: dict[str, RunRecord] = {}
         self._counter = 0
 
-    def create(self, class_name: str, incremental: bool) -> RunRecord:
+    def create(
+        self,
+        class_name: str,
+        incremental: bool,
+        *,
+        trace_id: str | None = None,
+        events_path: str | None = None,
+    ) -> RunRecord:
         with self._lock:
             self._counter += 1
             record = RunRecord(
                 run_id=f"run-{self._counter:04d}",
                 class_name=class_name,
                 incremental=incremental,
+                trace_id=trace_id,
+                events_path=events_path,
             )
             self._records[record.run_id] = record
             return record

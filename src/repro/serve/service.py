@@ -27,26 +27,44 @@ transport should answer with.
 from __future__ import annotations
 
 import queue
+import re
+import tempfile
 import threading
 import time
 import traceback
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.api import RunSession
 from repro.corpus.indexing import CorpusLabelIndex, INDEX_FILE
 from repro.corpus.readers import table_from_record
 from repro.corpus.store import CorpusStore
+from repro.obs import Tracer, new_trace_id
 from repro.perf.percentiles import percentile_summary
 from repro.pipeline.stages import TimingObserver
 from repro.serve.runs import RunRecord, RunRegistry
 from repro.serve.snapshot import Snapshot, build_class_view
 from repro.webtables.table import WebTable
 
-__all__ = ["KBService", "ServiceError"]
+__all__ = ["KBService", "ServiceError", "sanitize_trace_id"]
 
 #: Conflict policies POST /ingest accepts (mirrors ``repro ingest``).
 INGEST_CONFLICT_POLICIES = ("skip", "replace", "error")
+
+#: What a client-supplied ``X-Repro-Trace`` id must look like; anything
+#: else is silently replaced by a generated id (a header is propagation
+#: convenience, never a failure surface — and never a path component an
+#: attacker controls, since event-log filenames embed the run id, not
+#: the trace id).
+_TRACE_ID_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def sanitize_trace_id(candidate: str | None) -> str:
+    """A safe trace id: the client's if well-formed, a fresh one otherwise."""
+    if candidate is not None and _TRACE_ID_PATTERN.match(candidate):
+        return candidate
+    return new_trace_id()
 
 
 class ServiceError(Exception):
@@ -119,6 +137,15 @@ class KBService:
             else None
         )
         self.runs = RunRegistry()
+        #: Per-run NDJSON event logs (``GET /runs/<id>/events``): next to
+        #: the artifacts when a persistent store is attached, in a
+        #: service-owned temp directory otherwise — storeless services
+        #: stream all the same.
+        if session.artifact_store is not None:
+            self._traces_dir = session.artifact_store.directory / "traces"
+        else:
+            self._traces_dir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+        self._traces_dir.mkdir(parents=True, exist_ok=True)
         self._snapshot = Snapshot(version=0, published_at=self.started_at)
         self._queue: "queue.Queue[object]" = queue.Queue()
         self._writer: threading.Thread | None = None
@@ -221,9 +248,20 @@ class KBService:
         return job.report
 
     def submit_run(
-        self, class_name: str, *, incremental: bool | None = None
+        self,
+        class_name: str,
+        *,
+        incremental: bool | None = None,
+        trace_id: str | None = None,
     ) -> dict:
-        """Enqueue one pipeline run; returns the queued run document."""
+        """Enqueue one pipeline run; returns the queued run document.
+
+        ``trace_id`` propagates a client-supplied id (``X-Repro-Trace``)
+        into the run's trace; malformed ids are replaced, never
+        rejected.  The event-log path is fixed here, at submit time, so
+        ``GET /runs/<id>/events`` can attach to a run that is still
+        sitting in the queue.
+        """
         if not class_name or not isinstance(class_name, str):
             raise ServiceError(
                 400, "run request needs a non-empty string 'class_name'"
@@ -237,7 +275,13 @@ class KBService:
                 "serve a corpus store or submit with incremental=false",
             )
         self._require_open()
-        record = self.runs.create(class_name, bool(incremental))
+        record = self.runs.create(
+            class_name, bool(incremental), trace_id=sanitize_trace_id(trace_id)
+        )
+        self.runs.update(
+            record,
+            events_path=str(self._traces_dir / f"{record.run_id}.ndjson"),
+        )
         self._queue.put(_RunJob(record))
         return record.document()
 
@@ -254,6 +298,20 @@ class KBService:
 
     def run_documents(self) -> list[dict]:
         return self.runs.documents()
+
+    def run_events_record(self, run_id: str) -> RunRecord:
+        """The live record backing ``GET /runs/<id>/events``.
+
+        The streaming transport tails ``record.events_path`` and polls
+        ``record.status`` for its termination condition (the writer
+        completes the event log *before* flipping a terminal status).
+        """
+        record = self.runs.get(run_id)
+        if record is None:
+            raise ServiceError(404, f"no run {run_id!r}")
+        if record.events_path is None:  # pragma: no cover - defensive
+            raise ServiceError(409, f"run {run_id!r} has no event log")
+        return record
 
     def run_canonical(self, run_id: str) -> str:
         """The published canonical JSON of one finished run.
@@ -402,8 +460,12 @@ class KBService:
                 },
                 "latency_ms": percentile_summary(self._latencies),
             }
+        uptime = round(time.time() - self.started_at, 3)
         return {
-            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "uptime_seconds": uptime,
+            "uptime_s": uptime,
+            "queue_depth": self._queue.qsize(),
+            "snapshot_version": self._snapshot.version,
             "snapshot": self._snapshot.describe(),
             "runs": self.runs.counts(),
             "requests": requests,
@@ -476,13 +538,38 @@ class KBService:
             job.done.set()
 
     def _do_run(self, record: RunRecord) -> None:
-        self.runs.update(record, status="running", started_at=time.time())
+        started_at = time.time()
+        tracer = Tracer(path=record.events_path, trace_id=record.trace_id)
+        root = tracer.begin(
+            f"service_run:{record.run_id}",
+            "service",
+            attrs={
+                "run_id": record.run_id,
+                "class": record.class_name,
+                "incremental": record.incremental,
+            },
+        )
+        # Queue wait is over the moment the writer picks the job up —
+        # recorded retroactively as a complete span so a live stream
+        # shows it first.
+        tracer.span(
+            "queue_wait",
+            "service",
+            parent=root.span_id,
+            ts=record.submitted_at,
+            dur=max(0.0, started_at - record.submitted_at),
+        )
+        # The pipeline's run span parents itself here via default_parent.
+        tracer.default_parent = root.span_id
+        self.runs.update(record, status="running", started_at=started_at)
         try:
             result = self.session.run(
                 record.class_name,
                 incremental=record.incremental,
                 observers=[self.timer],
+                trace=tracer,
             )
+            publish = tracer.begin("publish", "service", parent=root.span_id)
             view = build_class_view(
                 record.class_name, result, record.run_id
             )
@@ -490,7 +577,15 @@ class KBService:
             # The publish: build the new immutable snapshot off to the
             # side, then swap the reference in one assignment.
             self._snapshot = self._snapshot.with_class(view, published_at)
+            tracer.end(
+                publish, {"snapshot_version": self._snapshot.version}
+            )
             report = self.session.last_incremental_report
+            tracer.end(root, {"status": "done"})
+            # Close before flipping the terminal status: consumers treat
+            # "terminal status + drained file" as end-of-stream, so the
+            # log must be complete first.
+            tracer.close()
             self.runs.update(
                 record,
                 status="done",
@@ -508,6 +603,8 @@ class KBService:
             detail = "".join(
                 traceback.format_exception_only(type(error), error)
             ).strip()
+            tracer.end(root, {"status": "failed", "error": detail})
+            tracer.close()
             self.runs.update(
                 record,
                 status="failed",

@@ -250,3 +250,97 @@ class TestCLIInterrupt:
         exit_code = main(["serve", "--store", str(tmp_path / "missing")])
         assert exit_code == 2
         assert "error" in capsys.readouterr().out
+
+
+class TestCLITrace:
+    """`repro run --trace` records a log `repro trace` can render and
+    export; `repro ingest --trace` does the same for shard writes."""
+
+    @pytest.fixture()
+    def run_log(self, tmp_path, capsys):
+        path = tmp_path / "run.ndjson"
+        assert main(
+            ["run", "Song", "--scale", "0.1", "--seed", "3",
+             "--iterations", "1", "--quiet", "--trace", str(path)]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_run_trace_json_reports_log(self, tmp_path, capsys):
+        path = tmp_path / "run.ndjson"
+        assert main(
+            ["run", "Song", "--scale", "0.1", "--seed", "3",
+             "--iterations", "1", "--quiet", "--json",
+             "--trace", str(path)]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["traces"]["Song"]["path"] == str(path)
+        assert document["traces"]["Song"]["events"] > 0
+        assert path.is_file()
+
+    def test_trace_renders_tree(self, run_log, capsys):
+        assert main(["trace", str(run_log)]) == 0
+        output = capsys.readouterr().out
+        assert "run:Song (run," in output
+        assert "pipeline:Song (pipeline," in output
+        assert "└─" in output or "├─" in output
+
+    def test_trace_resolves_directory_and_run_id(
+        self, run_log, tmp_path, capsys
+    ):
+        # Directory form: traces/ inside the target, picked by --run.
+        traces = tmp_path / "artifacts" / "traces"
+        traces.mkdir(parents=True)
+        (traces / "run-0001.ndjson").write_text(run_log.read_text())
+        assert main(
+            ["trace", str(tmp_path), "--run", "run-0001"]
+        ) == 0
+        assert "run:Song" in capsys.readouterr().out
+        assert main(["trace", str(tmp_path), "--run", "run-0002"]) == 2
+        assert "run-0002" in capsys.readouterr().out
+
+    def test_trace_chrome_export(self, run_log, tmp_path, capsys):
+        output = tmp_path / "chrome.json"
+        assert main(
+            ["trace", str(run_log), "--chrome", str(output)]
+        ) == 0
+        # --chrome alone suppresses the tree.
+        assert capsys.readouterr().out == ""
+        document = json.loads(output.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert document["traceEvents"]
+        phases = {entry["ph"] for entry in document["traceEvents"]}
+        assert phases <= {"X", "i"}
+
+    def test_trace_summary(self, run_log, capsys):
+        assert main(["trace", str(run_log), "--summary"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spans"] > 0
+        assert "stage" in document["by_kind"]
+
+    def test_trace_missing_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.ndjson")]) == 2
+        assert "error" in capsys.readouterr().out
+
+    def test_ingest_trace_records_shard_spans(
+        self, tiny_world, tmp_path, capsys
+    ):
+        jsonl = tmp_path / "tables.jsonl"
+        with jsonl.open("w", encoding="utf-8") as handle:
+            for table in list(tiny_world.corpus)[:6]:
+                handle.write(json.dumps({
+                    "table_id": table.table_id,
+                    "header": list(table.header),
+                    "rows": [list(row) for row in table.rows],
+                    "url": table.url,
+                }) + "\n")
+        log = tmp_path / "ingest.ndjson"
+        assert main(
+            ["ingest", str(jsonl), "--store", str(tmp_path / "store"),
+             "--trace", str(log)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", str(log)]) == 0
+        output = capsys.readouterr().out
+        assert "ingest_batch (ingest," in output
+        assert "shard-" in output

@@ -390,3 +390,135 @@ class TestSnapshotConsistency:
         assert service.run_canonical(
             last["run_id"]
         ) == batch_canonical(served.store)
+
+
+class TestRunTracing:
+    """The observability surface: trace ids, live event streaming, and
+    the supporting client/metrics/access-log machinery."""
+
+    def test_trace_id_propagates_from_header_to_run(self, served):
+        client = ServiceClient(served.base_url, trace_id="tr-e2e-test01")
+        document = client.submit_run(CLASS_NAME)
+        assert document["trace_id"] == "tr-e2e-test01"
+        assert served.client.run(document["run_id"])["trace_id"] == (
+            "tr-e2e-test01"
+        )
+        client.wait_for_run(document["run_id"])
+
+    def test_trace_header_echoed_and_sanitized(self, served):
+        request = urllib.request.Request(
+            served.base_url + "/health",
+            headers={"X-Repro-Trace": "tr-echo-42"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            assert response.headers["X-Repro-Trace"] == "tr-echo-42"
+        request = urllib.request.Request(
+            served.base_url + "/health",
+            headers={"X-Repro-Trace": "not valid !!"},
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            fresh = response.headers["X-Repro-Trace"]
+        assert fresh != "not valid !!" and fresh.startswith("tr-")
+
+    def test_stream_events_follows_a_live_run(self, served):
+        run_id = served.client.submit_run(CLASS_NAME)["run_id"]
+        events = []
+        status_at_first_stage = None
+        for record in served.client.stream_events(run_id):
+            events.append(record)
+            if (
+                status_at_first_stage is None
+                and record.get("kind") == "stage"
+            ):
+                # The whole point of streaming: stage events arrive
+                # while the run document still says running, not after.
+                status_at_first_stage = served.client.run(
+                    run_id
+                )["status"]
+        assert status_at_first_stage in ("queued", "running")
+        sequences = [record["seq"] for record in events]
+        assert sequences == sorted(sequences)
+        assert len(sequences) == len(set(sequences)), "no duplicates"
+        names = {record.get("name") for record in events}
+        assert f"service_run:{run_id}" in names
+        assert "queue_wait" in names
+        kinds = {record.get("kind") for record in events}
+        assert {"service", "run", "pipeline", "stage"} <= kinds
+        # The stream terminated because the run did.
+        final = served.client.run(run_id)
+        assert final["status"] == "done"
+
+        # The persisted log replays the exact same records.
+        from repro.obs import read_events
+
+        record = served.service.run_events_record(run_id)
+        assert list(read_events(record.events_path)) == events
+
+    def test_stream_resumes_after_seq(self, served):
+        document = served.client.wait_for_run(
+            served.client.submit_run(CLASS_NAME)["run_id"]
+        )
+        run_id = document["run_id"]
+        full = list(served.client.stream_events(run_id))
+        cut = full[len(full) // 2]["seq"]
+        tail = list(served.client.stream_events(run_id, after_seq=cut))
+        assert tail == [r for r in full if r["seq"] > cut]
+
+    def test_stream_unknown_run_404(self, served):
+        with pytest.raises(ServiceClientError) as excinfo:
+            list(served.client.stream_events("run-nope"))
+        assert excinfo.value.status == 404
+
+    def test_stream_heartbeats_keep_quiet_connections_alive(self, served):
+        # A forged queued record that no writer will ever pick up: the
+        # stream has nothing to send, so the transport emits heartbeats.
+        record = served.service.runs.create(CLASS_NAME, True)
+        served.service.runs.update(
+            record,
+            events_path=str(
+                served.service._traces_dir / f"{record.run_id}.ndjson"
+            ),
+        )
+        stream = served.client.stream_events(
+            record.run_id, heartbeats=True
+        )
+        first = next(stream)
+        stream.close()
+        assert first["type"] == "heartbeat"
+        assert first["ts"] > 0
+
+    def test_wait_for_run_timeout_names_last_state(self, served):
+        # Same forged never-running record: deterministic timeout.
+        record = served.service.runs.create(CLASS_NAME, True)
+        with pytest.raises(ServiceClientError) as excinfo:
+            served.client.wait_for_run(record.run_id, timeout=0.2)
+        message = str(excinfo.value)
+        assert record.run_id in message
+        assert "'queued'" in message
+
+    def test_metrics_observability_fields(self, served):
+        metrics = served.client.metrics()
+        assert metrics["uptime_s"] > 0
+        assert metrics["queue_depth"] == 0
+        assert metrics["snapshot_version"] >= 1
+
+    def test_access_log_line_per_request(
+        self, song_world, world_tables, tmp_path, capfd
+    ):
+        box = Served(tmp_path, song_world, world_tables[:4])
+        try:
+            box.server.access_log = True
+            client = ServiceClient(box.base_url, trace_id="tr-log-1")
+            client.health()
+        finally:
+            box.close()
+        lines = [
+            json.loads(line)
+            for line in capfd.readouterr().err.splitlines()
+            if line.startswith("{")
+        ]
+        entry = next(line for line in lines if line["path"] == "/health")
+        assert entry["method"] == "GET"
+        assert entry["status"] == 200
+        assert entry["ms"] >= 0
+        assert entry["trace"] == "tr-log-1"
