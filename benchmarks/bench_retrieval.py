@@ -1,0 +1,103 @@
+"""Benchmark: the fast candidate path (retrieve-then-rerank recall layer).
+
+Two claims, measured against the exact scan on the same label index:
+
+1. **Recall** — fast mode's top-k contains the exact top-k at a mean
+   recall@k of at least ``REPRO_BENCH_RETRIEVAL_RECALL_FLOOR`` (default
+   0.95, the committed :data:`repro.retrieval.gate.RECALL_FLOOR`) on
+   *both* workloads — a stem-skewed label vocabulary (the blocking
+   shape) and the corpus-scale schema-match candidate workload.
+2. **Speedup** — on the 5 000-table schema-match workload, fast mode is
+   at least ``REPRO_BENCH_MIN_RETRIEVAL_SPEEDUP`` (default 2×) faster
+   than the exact scan, recall-stage build included in the run.
+
+The measured document is persisted to ``BENCH_retrieval.json`` at the
+repo root.  Its ``gate`` block is load-bearing: ``candidate_mode='fast'``
+is *refused* at configuration time unless the committed document's gate
+passed (:func:`repro.retrieval.gate.ensure_fast_mode_allowed`) — this
+benchmark is how approximation earns its flag.
+
+``REPRO_BENCH_RETRIEVAL_TABLES`` / ``REPRO_BENCH_RETRIEVAL_LABELS`` /
+``REPRO_BENCH_RETRIEVAL_QUERIES`` scale the workload
+(``REPRO_BENCH_CORPUS_TABLES`` is honoured as a fallback so the CI
+smoke profile scales every benchmark with one knob);
+``REPRO_BENCH_OUTPUT`` redirects the artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("numpy", reason="fast candidate generation needs numpy")
+
+from repro.perf.bench import (
+    RETRIEVAL_BENCH_FILE,
+    compare_with_baseline,
+    load_bench_file,
+    run_retrieval_benchmarks,
+    write_bench_file,
+)
+from repro.retrieval.gate import RECALL_FLOOR
+
+N_TABLES = int(
+    os.environ.get(
+        "REPRO_BENCH_RETRIEVAL_TABLES",
+        os.environ.get("REPRO_BENCH_CORPUS_TABLES", "5000"),
+    )
+)
+VOCAB = int(os.environ.get("REPRO_BENCH_RETRIEVAL_LABELS", "8000"))
+N_QUERIES = int(os.environ.get("REPRO_BENCH_RETRIEVAL_QUERIES", "400"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_RETRIEVAL_SPEEDUP", "2.0"))
+FLOOR = float(
+    os.environ.get("REPRO_BENCH_RETRIEVAL_RECALL_FLOOR", str(RECALL_FLOOR))
+)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = Path(
+    os.environ.get("REPRO_BENCH_OUTPUT", REPO_ROOT / RETRIEVAL_BENCH_FILE)
+)
+
+
+def test_retrieval_benchmarks_meet_gate_and_persist_trajectory():
+    document = run_retrieval_benchmarks(
+        n_tables=N_TABLES,
+        vocabulary_size=VOCAB,
+        n_queries=N_QUERIES,
+        recall_floor=FLOOR,
+        min_speedup=MIN_SPEEDUP,
+    )
+    benchmarks = document["benchmarks"]
+    for name, entry in benchmarks.items():
+        print(
+            f"\n{name}: exact {entry['reference_seconds']:.3f}s vs "
+            f"fast {entry['optimized_seconds']:.3f}s "
+            f"(+{entry['build_seconds']:.3f}s build) "
+            f"→ {entry['speedup']:.2f}×, recall@{entry['k']} "
+            f"{entry['recall_at_k']:.4f}"
+        )
+
+    gate = document["gate"]
+    for name, entry in benchmarks.items():
+        assert entry["recall_at_k"] >= FLOOR, (
+            f"{name}: recall@{entry['k']} {entry['recall_at_k']:.4f} fell "
+            f"below the {FLOOR} floor — fast mode must not be admitted"
+        )
+    speedup = benchmarks["schema_match_candidates"]["speedup"]
+    assert speedup >= MIN_SPEEDUP, (
+        f"schema-match candidate speedup {speedup:.2f}x fell below the "
+        f"{MIN_SPEEDUP}x floor"
+    )
+    assert gate["passed"], f"gate did not pass: {gate}"
+
+    # Trajectory gate: the measured speedup must not collapse to less
+    # than half of the committed baseline's (ratios are machine-portable
+    # even when absolute seconds are not).
+    failures = compare_with_baseline(
+        document, load_bench_file(REPO_ROOT / RETRIEVAL_BENCH_FILE)
+    )
+    assert not failures, "; ".join(failures)
+
+    written = write_bench_file(OUTPUT, document)
+    print(f"trajectory written to {written}")

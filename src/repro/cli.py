@@ -110,6 +110,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["executor"] = args.executor
     if args.workers is not None:
         overrides["workers"] = args.workers
+    if args.candidate_mode is not None:
+        overrides["candidate_mode"] = args.candidate_mode
     try:
         config = PipelineConfig(
             iterations=args.iterations,
@@ -159,6 +161,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "scale": args.scale,
             "executor": config.executor,
             "workers": config.workers,
+            "candidate_mode": config.candidate_mode,
             "results": [result.summary_dict() for result in results.values()],
             "stage_seconds": {
                 name: round(seconds, 4)
@@ -221,6 +224,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         overrides["executor"] = args.executor
     if args.workers is not None:
         overrides["workers"] = args.workers
+    if args.candidate_mode is not None:
+        overrides["candidate_mode"] = args.candidate_mode
     try:
         config = PipelineConfig(iterations=args.iterations, **overrides)
     except ValueError as error:
@@ -522,6 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="parallel backend for the hot paths (default: "
                           "REPRO_EXECUTOR env or serial; results are "
                           "identical for every choice)")
+    run.add_argument("--candidate-mode", choices=("exact", "fast"),
+                     default=None, dest="candidate_mode",
+                     help="label candidate generation: 'exact' (default; "
+                          "full scan, byte-identical to the reference) or "
+                          "'fast' (top-k recall + exact rerank; refused "
+                          "unless the committed BENCH_retrieval.json gate "
+                          "passed)")
     run.add_argument("--workers", type=int, default=None,
                      help="worker count for thread/process executors "
                           "(default: REPRO_WORKERS env or the CPU count)")
@@ -552,6 +564,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "their kernel counters in the workers; the "
                               "report then shows the in-process share)")
     profile.add_argument("--workers", type=int, default=None)
+    profile.add_argument("--candidate-mode", choices=("exact", "fast"),
+                         default=None, dest="candidate_mode",
+                         help="profile the exact scan or the gated fast "
+                              "retrieval path (see `repro run "
+                              "--candidate-mode`)")
     profile.add_argument("--json", action="store_true", dest="as_json",
                          help="print the trajectory document instead of "
                               "the aligned report")

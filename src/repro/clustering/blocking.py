@@ -17,19 +17,28 @@ from repro.matching.records import RowRecord
 from repro.perf.counters import bump
 from repro.webtables.table import RowId
 
-#: Per-index block cache: index object → (generation, max_similar,
-#: {label → block keys}).  Weakly keyed so a dropped index frees its
-#: entry; keyed by the index's ``generation`` so any mutation
-#: invalidates it — an unchanged persistent index (the incremental-run
-#: steady state) serves every repeated label without re-searching.
-_SHARED_LABEL_BLOCKS: "WeakKeyDictionary[object, tuple[int, int, dict[str, frozenset[str]]]]" = (
+#: Per-index block cache: index object → {(generation, max_similar,
+#: candidate_mode) → {label → block keys}}.  Weakly keyed so a dropped
+#: index frees its entry; the inner map is keyed by the full search
+#: configuration, so two callers alternating different ``max_similar``
+#: values (or candidate modes) against the same persistent index each
+#: keep their own cache instead of evicting each other's — only a
+#: ``generation`` bump (an index mutation) invalidates, at which point
+#: every stale-generation entry is dropped.
+_SHARED_LABEL_BLOCKS: "WeakKeyDictionary[object, dict[tuple[int, int, str], dict[str, frozenset[str]]]]" = (
     WeakKeyDictionary()
 )
 
 
 class SupportsLabelSearch(Protocol):
     """Anything offering top-k label retrieval (``LabelIndex``,
-    :class:`repro.corpus.indexing.CorpusLabelIndex`, ...)."""
+    :class:`repro.corpus.indexing.CorpusLabelIndex`, ...).
+
+    Indexes that additionally accept a ``mode`` keyword (the candidate
+    modes of ``docs/architecture.md`` "Candidate generation") can be
+    searched with ``candidate_mode="fast"``; plain indexes only ever
+    receive the two-argument exact call.
+    """
 
     def search(self, query: str, limit: int = 10) -> list:
         ...
@@ -39,6 +48,7 @@ def build_blocks(
     records: Sequence[RowRecord],
     max_similar: int = 6,
     index: SupportsLabelSearch | None = None,
+    candidate_mode: str = "exact",
 ) -> dict[RowId, frozenset[str]]:
     """Assign each row the blocks of its ``max_similar`` most similar labels.
 
@@ -64,14 +74,18 @@ def build_blocks(
         index = fresh
         cache: dict[str, frozenset[str]] = {}
     else:
-        cache = _label_block_cache(index, max_similar)
+        cache = _label_block_cache(index, max_similar, candidate_mode)
+    exact = candidate_mode == "exact"
     blocks: dict[RowId, frozenset[str]] = {}
     for record in records:
         label = record.norm_label
         keys = cache.get(label)
         if keys is None:
             bump("blocking.label_searches")
-            matches = index.search(label, max_similar)
+            if exact:
+                matches = index.search(label, max_similar)
+            else:
+                matches = index.search(label, max_similar, mode=candidate_mode)
             keys = frozenset({match.label for match in matches} | {label})
             cache[label] = keys
         else:
@@ -81,7 +95,7 @@ def build_blocks(
 
 
 def _label_block_cache(
-    index: SupportsLabelSearch, max_similar: int
+    index: SupportsLabelSearch, max_similar: int, candidate_mode: str = "exact"
 ) -> dict[str, frozenset[str]]:
     """The per-label block cache to use for a caller-supplied index.
 
@@ -90,18 +104,26 @@ def _label_block_cache(
     *persists across calls* and survives exactly as long as the index
     content does: an incremental run over an unchanged label index
     reuses every previously searched label, while any add/remove bumps
-    the generation and starts a fresh cache.  Other indexes fall back
-    to a per-call cache (still deduplicating repeated labels).
+    the generation and starts a fresh cache.  Caches are kept per
+    ``(generation, max_similar, candidate_mode)``, so callers with
+    different search configurations against the same live index do not
+    thrash each other's entries.  Other indexes fall back to a per-call
+    cache (still deduplicating repeated labels).
     """
     generation = getattr(index, "generation", None)
     if generation is None:
         return {}
     try:
-        cached = _SHARED_LABEL_BLOCKS.get(index)
+        per_index = _SHARED_LABEL_BLOCKS.get(index)
     except TypeError:  # pragma: no cover - non-weakrefable index object
         return {}
-    if cached is not None and cached[0] == generation and cached[1] == max_similar:
-        return cached[2]
-    cache: dict[str, frozenset[str]] = {}
-    _SHARED_LABEL_BLOCKS[index] = (generation, max_similar, cache)
-    return cache
+    if per_index is None:
+        per_index = {}
+        try:
+            _SHARED_LABEL_BLOCKS[index] = per_index
+        except TypeError:  # pragma: no cover - non-weakrefable index object
+            return {}
+    stale = [key for key in per_index if key[0] != generation]
+    for key in stale:
+        del per_index[key]
+    return per_index.setdefault((generation, max_similar, candidate_mode), {})

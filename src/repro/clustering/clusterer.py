@@ -27,6 +27,10 @@ class RowClusterer:
     order-dependent) greedy/KLj passes run; any executor produces the
     exact clustering the serial path does.  ``label_index`` feeds a
     precomputed label index to blocking instead of rebuilding one.
+    ``candidate_mode`` selects blocking's candidate-generation mode
+    (``"exact"`` scans, ``"fast"`` retrieve-then-rerank — see
+    ``repro.retrieval``); it only takes effect when the supplied
+    ``label_index`` understands modes.
     """
 
     similarity: RowSimilarity
@@ -38,6 +42,7 @@ class RowClusterer:
     klj_passes: int = 4
     executor: Executor | None = None
     label_index: SupportsLabelSearch | None = None
+    candidate_mode: str = "exact"
 
     def cluster(self, records: Sequence[RowRecord]) -> list[Cluster]:
         """Cluster the records; returns clusters with stable ids."""
@@ -46,7 +51,10 @@ class RowClusterer:
             return []
         if self.use_blocking:
             blocks = build_blocks(
-                records, self.max_block_matches, index=self.label_index
+                records,
+                self.max_block_matches,
+                index=self.label_index,
+                candidate_mode=self.candidate_mode,
             )
         else:
             universe = frozenset({"__all__"})

@@ -128,9 +128,20 @@ class CorpusLabelIndex:
         return len(self._index)
 
     # -- retrieval ------------------------------------------------------
-    def search(self, query: str, limit: int = 10) -> list[LabelMatch]:
-        """Top-``limit`` corpus labels for a query; payloads are row ids."""
-        return self._index.search(query, limit)
+    def search(
+        self, query: str, limit: int = 10, mode: str | None = None
+    ) -> list[LabelMatch]:
+        """Top-``limit`` corpus labels for a query; payloads are row ids.
+
+        ``mode`` selects the candidate-generation mode (``"exact"`` /
+        ``"fast"``) for this query; ``None`` keeps the underlying
+        index's default (exact).
+        """
+        return self._index.search(query, limit, mode=mode)
+
+    def search_reference(self, query: str, limit: int = 10) -> list[LabelMatch]:
+        """The kept-verbatim exact scan (the recall oracle)."""
+        return self._index.search_reference(query, limit)
 
     def rows_for(self, label: str) -> tuple[RowId, ...]:
         """Row ids whose subject cell normalizes exactly to ``label``."""

@@ -29,7 +29,7 @@ class KnowledgeBase:
         self._by_class: dict[str, list[str]] = defaultdict(list)
         self._label_index: LabelIndex | None = None
         self._exact_label_map: dict[str, list[str]] = defaultdict(list)
-        self._search_cache: dict[tuple[str, int], list[LabelMatch]] = {}
+        self._search_cache: dict[tuple[str, int, str], list[LabelMatch]] = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -90,13 +90,17 @@ class KnowledgeBase:
             for uri in self._exact_label_map.get(normalize_label(label), ())
         ]
 
-    def candidates_by_label(self, label: str, limit: int = 10) -> list[KBInstance]:
+    def candidates_by_label(
+        self, label: str, limit: int = 10, mode: str | None = None
+    ) -> list[KBInstance]:
         """Top-``limit`` instances with labels similar to ``label``.
 
         Backed by the lazily built label index; the recall-oriented contract
-        of the paper's Lucene index.
+        of the paper's Lucene index.  ``mode`` selects the index's
+        candidate-generation mode (``"exact"`` / ``"fast"``); ``None``
+        keeps the index default (exact).
         """
-        matches = self.label_matches(label, limit)
+        matches = self.label_matches(label, limit, mode=mode)
         seen: set[str] = set()
         candidates: list[KBInstance] = []
         for match in matches:
@@ -106,19 +110,24 @@ class KnowledgeBase:
                     candidates.append(self._instances[uri])
         return candidates
 
-    def label_matches(self, label: str, limit: int = 10) -> list[LabelMatch]:
+    def label_matches(
+        self, label: str, limit: int = 10, mode: str | None = None
+    ) -> list[LabelMatch]:
         """Raw label matches (with retrieval scores) for ``label``.
 
         Results are cached per normalized query — web table rows repeat
-        labels heavily, and the cache turns repeated lookups into dict hits.
+        labels heavily, and the cache turns repeated lookups into dict
+        hits.  The cache key includes the candidate mode, so exact and
+        fast callers against the same KB never serve each other's
+        results.
         """
-        key = (normalize_label(label), limit)
+        key = (normalize_label(label), limit, mode or "exact")
         cached = self._search_cache.get(key)
         if cached is not None:
             return cached
         if self._label_index is None:
             self._label_index = self._build_label_index()
-        matches = self._label_index.search(label, limit)
+        matches = self._label_index.search(label, limit, mode=mode)
         self._search_cache[key] = matches
         return matches
 

@@ -14,6 +14,12 @@ baselines:
 * ``BENCH_pipeline.json`` — stage wall-clock and kernel-counter
   trajectory of a full pipeline run, produced by ``repro profile
   --output``.
+* ``BENCH_retrieval.json`` — the fast candidate path
+  (``candidate_mode='fast'``) against the exact scan, produced by
+  :func:`run_retrieval_benchmarks` via ``benchmarks/bench_retrieval.py``.
+  Besides the speedup it records measured recall@k against the exact
+  oracle, and its ``gate`` block is what admits ``candidate_mode='fast'``
+  at configuration time (:mod:`repro.retrieval.gate`).
 
 Absolute seconds move with the hardware; the ``speedup`` ratios are the
 stable, machine-portable part of the trajectory and what the CI
@@ -43,10 +49,14 @@ from repro.text.vectors import term_vector
 KERNEL_BENCH_SCHEMA = "repro.bench.kernels/v1"
 PIPELINE_BENCH_SCHEMA = "repro.bench.pipeline/v1"
 SERVE_BENCH_SCHEMA = "repro.bench.serve/v1"
+RETRIEVAL_BENCH_SCHEMA = "repro.bench.retrieval/v1"
 
 KERNEL_BENCH_FILE = "BENCH_kernels.json"
 PIPELINE_BENCH_FILE = "BENCH_pipeline.json"
 SERVE_BENCH_FILE = "BENCH_serve.json"
+#: Kept in sync with :data:`repro.retrieval.gate.RETRIEVAL_BENCH_FILE`
+#: (the gate reads what the benchmark writes).
+RETRIEVAL_BENCH_FILE = "BENCH_retrieval.json"
 
 
 class _UnmemoizedLabelMetric:
@@ -240,6 +250,156 @@ def bench_pair_scoring(
     }
 
 
+def _retrieval_workload(
+    name: str, index_labels: Sequence[str], queries: Sequence[str], k: int
+) -> dict:
+    """Exact scan vs fast retrieve-then-rerank on one label workload.
+
+    Measures the shipping exact path (memoized norms) against fast mode
+    on the same :class:`~repro.index.label_index.LabelIndex`, reporting
+    mean recall@k of fast's top-k against exact's (which the hypothesis
+    suite holds identical to ``search_reference``, the oracle).  The
+    recall stage's one-off numpy build is reported separately
+    (``build_seconds``) — it amortizes across every query against an
+    unchanged index.
+    """
+    from repro.index.label_index import LabelIndex
+
+    index = LabelIndex()
+    for label in index_labels:
+        index.add(label, label)
+
+    def run_exact() -> list[list]:
+        return [index.search(query, k) for query in queries]
+
+    def run_fast() -> list[list]:
+        return [index.search(query, k, mode="fast") for query in queries]
+
+    exact_seconds, exact_results = _time(run_exact)
+    # First fast query pays the posting-matrix build; measure it apart
+    # so the steady-state per-query ratio is what the speedup reports.
+    build_seconds, __ = _time(lambda: index.search(queries[0], k, mode="fast"))
+    fast_seconds, fast_results = _time(run_fast)
+
+    recalls = []
+    for exact_matches, fast_matches in zip(exact_results, fast_results):
+        if not exact_matches:
+            continue
+        wanted = {match.label for match in exact_matches}
+        recalled = {match.label for match in fast_matches}
+        recalls.append(len(wanted & recalled) / len(wanted))
+    recall_at_k = sum(recalls) / len(recalls) if recalls else 1.0
+    return {
+        "kernel": name,
+        "labels": len(index),
+        "queries": len(queries),
+        "k": k,
+        "recall_at_k": round(recall_at_k, 4),
+        "reference_seconds": round(exact_seconds, 4),
+        "optimized_seconds": round(fast_seconds, 4),
+        "build_seconds": round(build_seconds, 4),
+        "speedup": round(exact_seconds / max(fast_seconds, 1e-9), 2),
+    }
+
+
+def bench_label_retrieval(
+    vocabulary_size: int = 8_000, n_queries: int = 300, k: int = 10
+) -> dict:
+    """Fast-mode candidate generation on a stem-skewed label vocabulary.
+
+    Multi-token labels built from a shared stem pool (heavy token reuse,
+    like place/person names), queried with a mix of clean and typo'd
+    forms — the blocking-shaped workload.
+    """
+    stems = _deterministic_vocabulary(64)
+    labels = [
+        f"{stems[number % 64]} {stems[(number // 64) % 64]} {number % 97}"
+        for number in range(vocabulary_size)
+    ]
+    queries = []
+    for number in range(n_queries):
+        label = labels[(number * 37) % len(labels)]
+        if number % 3 == 1:
+            first, rest = label.split(" ", 1)
+            position = number % max(1, len(first) - 1)
+            label = f"{first[:position]}x{first[position + 1:]} {rest}"
+        queries.append(label)
+    return _retrieval_workload("label_topk", labels, queries, k)
+
+
+def bench_schema_match_candidates(
+    n_tables: int = 5_000, n_queries: int = 400, k: int = 10
+) -> dict:
+    """The schema-match retrieval kernel at corpus scale.
+
+    Row labels of the :func:`_synthetic_records` corpus (typo'd variants
+    included) queried against a KB-sized index of the clean label forms
+    — the exact shape of
+    :meth:`~repro.kb.knowledge_base.KnowledgeBase.candidates_by_label`
+    traffic during table-to-class matching, where retrieval dominates
+    the schema-match stage.
+    """
+    records = _synthetic_records(n_tables)
+    row_labels = list(dict.fromkeys(record.norm_label for record in records))
+    kb_labels = list(
+        dict.fromkeys(label.replace("numbre", "number") for label in row_labels)
+    )
+    queries = [
+        row_labels[(number * 53) % len(row_labels)] for number in range(n_queries)
+    ]
+    entry = _retrieval_workload("schema_match_candidates", kb_labels, queries, k)
+    entry["tables"] = n_tables
+    return entry
+
+
+def run_retrieval_benchmarks(
+    n_tables: int = 5_000,
+    vocabulary_size: int = 8_000,
+    n_queries: int = 400,
+    k: int = 10,
+    recall_floor: float | None = None,
+    min_speedup: float = 2.0,
+) -> dict:
+    """All retrieval benchmarks plus the fast-mode admission gate.
+
+    The ``gate`` block is what :func:`repro.retrieval.gate.
+    ensure_fast_mode_allowed` reads from the committed document:
+    ``recall_at_k`` is the *worst* workload's mean recall (both
+    workloads must hold the floor), ``speedup`` is the corpus-scale
+    schema-match workload's ratio (the PR's headline claim).
+    """
+    from repro.retrieval.gate import RECALL_FLOOR
+
+    floor = RECALL_FLOOR if recall_floor is None else recall_floor
+    results = [
+        bench_label_retrieval(
+            vocabulary_size=vocabulary_size,
+            n_queries=min(n_queries, 300),
+            k=k,
+        ),
+        bench_schema_match_candidates(
+            n_tables=n_tables, n_queries=n_queries, k=k
+        ),
+    ]
+    worst_recall = min(entry["recall_at_k"] for entry in results)
+    schema_entry = results[-1]
+    gate = {
+        "recall_floor": floor,
+        "min_speedup": min_speedup,
+        "recall_at_k": worst_recall,
+        "speedup": schema_entry["speedup"],
+        "passed": bool(
+            worst_recall >= floor and schema_entry["speedup"] >= min_speedup
+        ),
+    }
+    return {
+        "schema": RETRIEVAL_BENCH_SCHEMA,
+        "python": platform.python_version(),
+        "benchmarks": {entry["kernel"]: entry for entry in results},
+        "gate": gate,
+    }
+
+
 def run_kernel_benchmarks(
     n_tables: int = 5_000,
     vocabulary_size: int = 20_000,
@@ -276,6 +436,7 @@ def pipeline_profile_document(
         "iterations": config.iterations,
         "executor": config.executor,
         "workers": config.workers,
+        "candidate_mode": getattr(config, "candidate_mode", "exact"),
         "total_seconds": round(total_seconds, 4),
         "stage_seconds": {
             name: round(seconds, 4)
@@ -346,7 +507,9 @@ def compare_with_baseline(
     """
     if baseline is None:
         return []
-    workload_keys = ("tables", "records", "pairs", "queries", "vocabulary")
+    workload_keys = (
+        "tables", "records", "pairs", "queries", "vocabulary", "labels", "k"
+    )
     failures = []
     baseline_benchmarks = baseline.get("benchmarks", {})
     for kernel, entry in current.get("benchmarks", {}).items():
@@ -372,15 +535,20 @@ __all__ = [
     "KERNEL_BENCH_SCHEMA",
     "PIPELINE_BENCH_FILE",
     "PIPELINE_BENCH_SCHEMA",
+    "RETRIEVAL_BENCH_FILE",
+    "RETRIEVAL_BENCH_SCHEMA",
     "SERVE_BENCH_FILE",
     "SERVE_BENCH_SCHEMA",
     "bench_bounded_levenshtein",
     "bench_fuzzy_expansion",
+    "bench_label_retrieval",
     "bench_pair_scoring",
+    "bench_schema_match_candidates",
     "compare_with_baseline",
     "load_bench_file",
     "pipeline_profile_document",
     "run_kernel_benchmarks",
+    "run_retrieval_benchmarks",
     "serve_bench_document",
     "write_bench_file",
 ]

@@ -77,6 +77,14 @@ class PipelineConfig:
     #: so a test matrix can flip every run onto a pool via environment.
     executor: str = field(default_factory=default_executor_name)
     workers: int = field(default_factory=default_worker_count)
+    #: Candidate-generation mode for label retrieval (blocking and
+    #: table-to-class matching): ``exact`` scans every token-sharing
+    #: label (the default — results byte for byte), ``fast`` routes
+    #: through the char-ngram top-k recall layer (``repro.retrieval``)
+    #: and reranks survivors with the exact kernels.  ``fast`` is
+    #: refused unless the committed ``BENCH_retrieval.json`` proves the
+    #: measured recall floor (see ``repro.retrieval.gate``).
+    candidate_mode: str = "exact"
 
     def __post_init__(self) -> None:
         # Defensive copies: callers may hand in lists, and shared mutable
@@ -108,6 +116,19 @@ class PipelineConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.candidate_mode = self.candidate_mode.strip().lower()
+        from repro.index.label_index import CANDIDATE_MODES
+
+        if self.candidate_mode not in CANDIDATE_MODES:
+            known = ", ".join(CANDIDATE_MODES)
+            raise ValueError(
+                f"unknown candidate_mode {self.candidate_mode!r}; "
+                f"expected one of: {known}"
+            )
+        if self.candidate_mode == "fast":
+            from repro.retrieval.gate import ensure_fast_mode_allowed
+
+            ensure_fast_mode_allowed()
 
 
 @dataclass

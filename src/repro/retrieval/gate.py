@@ -1,0 +1,98 @@
+"""The measured-recall gate for ``candidate_mode='fast'``.
+
+Approximation must not land silently: the fast candidate path is
+refused unless a committed ``BENCH_retrieval.json`` proves it — a
+document written by ``benchmarks/bench_retrieval.py`` whose ``gate``
+block records the recall@k measured against the exact reference oracle
+and whether it met the floor.  :func:`ensure_fast_mode_allowed` is the
+enforcement point :class:`~repro.pipeline.pipeline.PipelineConfig`
+calls when ``candidate_mode='fast'`` is requested.
+
+Two escape hatches, both explicit:
+
+* ``REPRO_RETRIEVAL_BENCH=/path/to/BENCH_retrieval.json`` points the
+  gate at a specific document (deployments that install the package
+  away from the repo root);
+* ``REPRO_RETRIEVAL_UNGATED=1`` skips the gate entirely — this is how
+  the benchmark itself bootstraps the document it later gates on, and
+  is deliberately loud in spelling (nobody sets it by accident).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+#: The committed trajectory document the gate reads, at the repo root.
+RETRIEVAL_BENCH_FILE = "BENCH_retrieval.json"
+
+#: The contract: mean recall@k of the fast path against the exact
+#: oracle, on the committed benchmark workloads, must not fall below
+#: this.  ``benchmarks/bench_retrieval.py`` asserts it at measurement
+#: time; the gate re-checks the committed document at *use* time.
+RECALL_FLOOR = 0.95
+
+ENV_BENCH_PATH = "REPRO_RETRIEVAL_BENCH"
+ENV_UNGATED = "REPRO_RETRIEVAL_UNGATED"
+
+
+def find_retrieval_baseline() -> Path | None:
+    """Locate the committed ``BENCH_retrieval.json``.
+
+    Resolution order: the ``REPRO_RETRIEVAL_BENCH`` env override, then
+    the working directory and its parents, then the package directory's
+    parents (which finds the repo root on a source checkout).
+    """
+    override = os.environ.get(ENV_BENCH_PATH)
+    if override:
+        path = Path(override)
+        return path if path.exists() else None
+    for start in (Path.cwd(), Path(__file__).resolve().parent):
+        for directory in (start, *start.parents):
+            candidate = directory / RETRIEVAL_BENCH_FILE
+            if candidate.exists():
+                return candidate
+    return None
+
+
+def load_retrieval_baseline() -> dict | None:
+    """The committed retrieval-benchmark document, or ``None``."""
+    path = find_retrieval_baseline()
+    if path is None:
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def ensure_fast_mode_allowed() -> dict:
+    """Raise :class:`ValueError` unless the fast path's gate passes.
+
+    Returns the gate block of the committed document (or a marker dict
+    when ungated) so callers can log what admitted them.
+    """
+    if os.environ.get(ENV_UNGATED, "").strip().lower() in ("1", "true", "yes"):
+        return {"ungated": True}
+    document = load_retrieval_baseline()
+    if document is None:
+        raise ValueError(
+            "candidate_mode='fast' is refused: no committed "
+            f"{RETRIEVAL_BENCH_FILE} found (searched the working directory, "
+            "its parents, and the package root).  Run `python -m pytest "
+            "benchmarks/bench_retrieval.py` to measure recall@k against the "
+            f"exact oracle and produce it, point {ENV_BENCH_PATH} at an "
+            f"existing document, or set {ENV_UNGATED}=1 to bypass the gate "
+            "explicitly."
+        )
+    gate = document.get("gate") or {}
+    if not gate.get("passed"):
+        floor = gate.get("recall_floor", RECALL_FLOOR)
+        measured = gate.get("recall_at_k")
+        raise ValueError(
+            "candidate_mode='fast' is refused: the committed "
+            f"{RETRIEVAL_BENCH_FILE} gate did not pass "
+            f"(measured recall@k {measured!r} against floor {floor!r}).  "
+            "Re-run `python -m pytest benchmarks/bench_retrieval.py` after "
+            "fixing the recall regression, or stay on candidate_mode="
+            "'exact'."
+        )
+    return gate

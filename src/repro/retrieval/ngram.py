@@ -1,0 +1,36 @@
+"""Character n-gram extraction for the recall stage.
+
+Labels reach this module already normalized (:func:`~repro.text.
+tokenize.normalize_label`), so the only preparation left is boundary
+padding: one space on each side makes the first and last characters of
+a label participate in as many n-grams as interior ones, which is what
+lets ``"station"`` and ``"statoin"`` keep most of their grams in
+common while ``"station"`` and ``"nation"`` do not collide at the
+word start.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Default gram width — trigrams are the standard sweet spot for short
+#: entity labels (bigrams over-merge, 4-grams under-merge typos).
+NGRAM_SIZE = 3
+
+
+def char_ngrams(text: str, size: int = NGRAM_SIZE) -> Counter[str]:
+    """Boundary-padded character ``size``-grams of ``text``, with counts.
+
+    Empty input yields an empty counter.  A non-empty string always
+    yields at least one gram: the padded form ``" text "`` has length
+    ``len(text) + 2 >= size`` for every ``size <= 3`` label.
+    """
+    if not text:
+        return Counter()
+    padded = f" {text} "
+    if len(padded) < size:
+        return Counter({padded: 1})
+    return Counter(
+        padded[position : position + size]
+        for position in range(len(padded) - size + 1)
+    )

@@ -137,6 +137,31 @@ def test_parallel_runs_byte_identical_to_golden(
 
 
 @pytest.mark.parametrize("executor", EXECUTORS)
+def test_explicit_exact_candidate_mode_matches_golden(
+    golden_case, golden_session, expected_blob, executor
+):
+    """``candidate_mode='exact'`` is the committed default, spelled out.
+
+    The retrieve-then-rerank layer (PR 8) must leave the exact path's
+    candidate sets provably identical to the historical full scan: an
+    explicit ``exact`` config reproduces the golden bytes on every
+    backend.  (``fast`` is the approximate mode and is *expected* to
+    diverge; it is gated by ``BENCH_retrieval.json`` instead.)
+    """
+    from repro.pipeline.pipeline import PipelineConfig
+
+    class_name = golden_case[0]
+    result = golden_session.run(
+        class_name,
+        executor=executor,
+        workers=2,
+        use_cache=False,
+        config=PipelineConfig(candidate_mode="exact"),
+    )
+    assert result.canonical_json() == expected_blob
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
 def test_incremental_runs_byte_identical_to_golden(
     golden_case, incremental_session, expected_blob, executor
 ):
