@@ -1,0 +1,155 @@
+"""Benchmark: the distributed queue executor against a real worker fleet.
+
+The acceptance claim of the ``queue`` backend, measured: per-table
+schema matching over ``REPRO_BENCH_CORPUS_TABLES`` (default 5 000)
+synthetic song tables is routed through a filesystem+SQLite spool
+drained by ``REPRO_BENCH_WORKERS`` (default 4) *external* ``python -m
+repro worker`` subprocesses — the same deployment shape as a multi-host
+fleet sharing the spool over NFS — and
+
+1. **Determinism** — the queue run's mapping is identical to the serial
+   run's, asserted unconditionally on every machine (chunks survive a
+   pickle → sqlite claim → subprocess → pickle round trip unchanged);
+2. **Speedup** — the fleet beats serial by ≥ ``REPRO_BENCH_MIN_SPEEDUP``
+   (default 1.3×, slightly below the in-process pool's bar: every chunk
+   pays spool pickling and lease bookkeeping).  As in the other parallel
+   benchmarks the assertion arms only when the machine exposes more CPUs
+   than the fleet has workers (``REPRO_BENCH_REQUIRE_SPEEDUP`` forces).
+
+The measured numbers are persisted to ``BENCH_queue.json`` at the repo
+root (``REPRO_BENCH_QUEUE_OUTPUT`` redirects) — the committed evidence
+that distributing a run across worker processes actually pays.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from bench_parallel_stages import canonical_mapping, synthetic_tables
+from repro.matching.schema_matcher import SchemaMatcher
+from repro.parallel import QueueExecutor, queue_stats
+from repro.perf.bench import write_bench_file
+from repro.webtables import TableCorpus
+
+N_TABLES = int(os.environ.get("REPRO_BENCH_CORPUS_TABLES", "5000"))
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "1.3"))
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = Path(
+    os.environ.get("REPRO_BENCH_QUEUE_OUTPUT", REPO_ROOT / "BENCH_queue.json")
+)
+
+
+def _speedup_required() -> bool:
+    flag = os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP")
+    if flag is not None:
+        return flag == "1"
+    return (os.cpu_count() or 1) > WORKERS
+
+
+def _spawn_fleet(spool: Path, count: int) -> list[subprocess.Popen]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    return [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "worker",
+                "--queue",
+                str(spool),
+                "--poll",
+                "0.02",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for __ in range(count)
+    ]
+
+
+def test_queue_fleet_speedup_and_equality(env, tmp_path):
+    kb = env.world.knowledge_base
+    corpus = TableCorpus(list(synthetic_tables(N_TABLES)))
+
+    started = time.perf_counter()
+    serial_mapping = SchemaMatcher(kb).match_corpus(corpus)
+    serial_seconds = time.perf_counter() - started
+
+    spool = tmp_path / "queue"
+    fleet = _spawn_fleet(spool, WORKERS)
+    try:
+        # Give the fleet a beat to register before timing starts, so we
+        # measure execution, not subprocess interpreter startup.
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            stats = queue_stats(spool)
+            if stats and stats["active_workers"] >= WORKERS:
+                break
+            time.sleep(0.05)
+        with QueueExecutor(
+            spool, workers=WORKERS, poll_interval=0.01
+        ) as executor:
+            started = time.perf_counter()
+            queue_mapping = SchemaMatcher(
+                kb, executor=executor
+            ).match_corpus(corpus)
+            queue_seconds = time.perf_counter() - started
+        stats = queue_stats(spool) or {}
+    finally:
+        for worker in fleet:
+            worker.terminate()
+        for worker in fleet:
+            worker.wait(timeout=30.0)
+
+    assert canonical_mapping(queue_mapping) == canonical_mapping(
+        serial_mapping
+    ), "queue-executed schema matching diverged from serial"
+
+    speedup = serial_seconds / queue_seconds if queue_seconds else 0.0
+    print()
+    print(
+        f"schema matching: serial {serial_seconds:.2f}s vs "
+        f"queue fleet×{WORKERS} {queue_seconds:.2f}s "
+        f"→ {speedup:.2f}× ({os.cpu_count()} CPUs visible, "
+        f"{stats.get('lease_expiries', 0)} lease expiries)"
+    )
+
+    document = {
+        "schema": "repro.bench.queue/v1",
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+        "workload": {
+            "stage": "schema_matching",
+            "tables": N_TABLES,
+            "workers": WORKERS,
+            "transport": "external repro worker subprocesses",
+        },
+        "serial_seconds": round(serial_seconds, 3),
+        "queue_seconds": round(queue_seconds, 3),
+        "speedup": round(speedup, 3),
+        "equality": "byte-identical canonical mapping",
+        "lease_expiries": stats.get("lease_expiries", 0),
+        "gate": {
+            "min_speedup": MIN_SPEEDUP,
+            "armed": _speedup_required(),
+            "passed": speedup >= MIN_SPEEDUP,
+        },
+    }
+    write_bench_file(OUTPUT, document)
+
+    if _speedup_required():
+        assert speedup >= MIN_SPEEDUP, (
+            f"queue fleet (workers={WORKERS}) speedup {speedup:.2f}× "
+            f"below the {MIN_SPEEDUP}× bar on {os.cpu_count()} CPUs"
+        )

@@ -77,7 +77,7 @@ __all__ = [
 #: Config fields that cannot influence stage outputs — the executor
 #: determinism contract guarantees identical artifacts for any backend,
 #: so runs differing only in these share cache entries.
-_NON_SEMANTIC_CONFIG_FIELDS = frozenset({"executor", "workers"})
+_NON_SEMANTIC_CONFIG_FIELDS = frozenset({"executor", "workers", "queue_dir"})
 
 
 def config_hash(config: PipelineConfig) -> str:
@@ -279,6 +279,11 @@ class RunSession:
         #: The :class:`repro.obs.Tracer` of the latest traced run
         #: (``trace=`` on :meth:`run`); ``None`` until one runs.
         self.last_trace = None
+        #: Conventional spool directory for the ``queue`` executor —
+        #: set by :meth:`from_corpus_store` to ``<store>/queue`` so a
+        #: store-backed session (and the service built on one) can
+        #: borrow a worker fleet without any explicit configuration.
+        self.default_queue_dir: Path | None = None
         self._corpus_epoch: str | None = None
         self._kb_fp: str | None = None
         self._models_fps: dict[int, str] = {}
@@ -371,6 +376,9 @@ class RunSession:
             session.attach_artifact_store(
                 Path(store.directory) / ARTIFACTS_DIRNAME
             )
+        from repro.parallel.workqueue import QUEUE_DIRNAME
+
+        session.default_queue_dir = Path(store.directory) / QUEUE_DIRNAME
         return session
 
     # -- incremental execution ------------------------------------------
@@ -451,6 +459,16 @@ class RunSession:
                     {"executor": executor} if executor is not None else {}
                 ),
                 **({"workers": workers} if workers is not None else {}),
+            )
+        if (
+            config.executor == "queue"
+            and config.queue_dir is None
+            and self.default_queue_dir is not None
+        ):
+            # Store-backed sessions spool under the store by convention,
+            # so `repro worker --store DIR` finds the same queue.
+            config = dataclasses.replace(
+                config, queue_dir=str(self.default_queue_dir)
             )
         models = self._resolve_models(models, config)
         pipeline = LongTailPipeline(self.knowledge_base, config, models)

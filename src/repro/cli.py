@@ -27,6 +27,13 @@ Commands:
   :class:`~repro.corpus.store.IngestReport` (including the
   inserted/replaced/dirty table ids), the same document the service's
   ``POST /ingest`` answers with.
+* ``worker`` — serve a distributed work-queue spool: claim pipeline
+  chunks enqueued by a driver running with ``--executor queue`` (or a
+  service doing the same), execute them, and return the results.
+  Workers attach to ``<store>/queue`` via ``--store DIR`` — on the same
+  host or on any host sharing the directory — or to an explicit spool
+  via ``--queue DIR``.  Leases plus heartbeats make a killed worker
+  harmless: its chunk is re-queued and retried elsewhere.
 * ``serve`` — hold a persistent session over a corpus store and serve
   it over HTTP: ``POST /ingest``, ``POST /runs`` + ``GET /runs/<id>``,
   ``GET /entities`` / ``GET /facts`` with provenance, ``GET /health`` /
@@ -112,6 +119,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["workers"] = args.workers
     if args.candidate_mode is not None:
         overrides["candidate_mode"] = args.candidate_mode
+    if args.queue_dir is not None:
+        overrides["queue_dir"] = args.queue_dir
     try:
         config = PipelineConfig(
             iterations=args.iterations,
@@ -369,11 +378,58 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel.workqueue import (
+        QUEUE_DIRNAME,
+        resolve_queue_dir,
+        run_worker,
+    )
+
+    if args.queue:
+        directory = Path(args.queue)
+    elif args.store:
+        directory = Path(args.store) / QUEUE_DIRNAME
+    else:
+        try:
+            directory = resolve_queue_dir(None)
+        except ValueError as error:
+            print(f"error: {error}")
+            return 2
+    print(f"worker serving queue {directory} (Ctrl-C to stop)",
+          file=sys.stderr)
+    tasks_done = run_worker(
+        directory,
+        worker_id=args.worker_id,
+        poll_interval=args.poll,
+        lease_seconds=args.lease,
+        idle_timeout=args.idle_timeout,
+        max_tasks=args.max_tasks,
+    )
+    print(f"worker exiting after {tasks_done} task(s)", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import KBService, make_server
 
+    config = None
+    if args.executor is not None or args.workers is not None:
+        from repro.pipeline.pipeline import PipelineConfig
+
+        overrides = {}
+        if args.executor is not None:
+            overrides["executor"] = args.executor
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        try:
+            config = PipelineConfig(**overrides)
+        except ValueError as error:
+            print(f"error: {error}")
+            return 2
     try:
-        service = KBService.from_store(args.store, kb_path=args.kb)
+        service = KBService.from_store(
+            args.store, kb_path=args.kb, config=config
+        )
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}")
         return 2
@@ -522,11 +578,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--stages", default=None,
                      help="comma-separated stage names to run instead of "
                           "the full schema_match,cluster,fuse,detect")
-    run.add_argument("--executor", choices=("serial", "thread", "process"),
+    run.add_argument("--executor",
+                     choices=("serial", "thread", "process", "queue"),
                      default=None,
                      help="parallel backend for the hot paths (default: "
                           "REPRO_EXECUTOR env or serial; results are "
-                          "identical for every choice)")
+                          "identical for every choice; 'queue' spools "
+                          "chunks to external `repro worker` processes)")
     run.add_argument("--candidate-mode", choices=("exact", "fast"),
                      default=None, dest="candidate_mode",
                      help="label candidate generation: 'exact' (default; "
@@ -537,6 +595,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=None,
                      help="worker count for thread/process executors "
                           "(default: REPRO_WORKERS env or the CPU count)")
+    run.add_argument("--queue-dir", default=None, dest="queue_dir",
+                     metavar="DIR",
+                     help="spool directory for --executor queue (default: "
+                          "<store>/queue with --store, else the "
+                          "REPRO_QUEUE_DIR env)")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print a machine-readable JSON report")
     run.add_argument("--quiet", action="store_true",
@@ -558,11 +621,14 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--seed", type=int, default=7)
     profile.add_argument("--scale", type=float, default=0.25)
     profile.add_argument("--iterations", type=int, default=2)
-    profile.add_argument("--executor", choices=("serial", "thread", "process"),
+    profile.add_argument("--executor",
+                         choices=("serial", "thread", "process", "queue"),
                          default=None,
-                         help="parallel backend (note: process pools keep "
-                              "their kernel counters in the workers; the "
-                              "report then shows the in-process share)")
+                         help="parallel backend (note: process pools and "
+                              "queue workers keep their kernel counters "
+                              "out-of-process; the report then shows the "
+                              "in-process share.  'queue' needs "
+                              "REPRO_QUEUE_DIR and running workers)")
     profile.add_argument("--workers", type=int, default=None)
     profile.add_argument("--candidate-mode", choices=("exact", "fast"),
                          default=None, dest="candidate_mode",
@@ -616,6 +682,36 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--json", action="store_true", dest="as_json")
     ingest.set_defaults(handler=_cmd_ingest)
 
+    worker = subparsers.add_parser(
+        "worker",
+        help="claim and execute pipeline chunks from a work-queue spool",
+    )
+    worker.add_argument("--store", default=None,
+                        help="corpus store directory; the worker serves "
+                             "the conventional spool <store>/queue")
+    worker.add_argument("--queue", default=None, metavar="DIR",
+                        help="explicit spool directory (overrides --store; "
+                             "default otherwise: REPRO_QUEUE_DIR)")
+    worker.add_argument("--id", default=None, dest="worker_id",
+                        metavar="WORKER_ID",
+                        help="stable worker id (default: "
+                             "<host>-<pid>-<random>)")
+    worker.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                        help="idle claim-poll interval (default: 0.1)")
+    worker.add_argument("--lease", type=float, default=15.0,
+                        metavar="SECONDS",
+                        help="claim lease length; a keeper thread renews "
+                             "it while a chunk computes, so only a dead "
+                             "worker's lease expires (default: 15)")
+    worker.add_argument("--idle-timeout", type=float, default=None,
+                        dest="idle_timeout", metavar="SECONDS",
+                        help="exit after the queue stays empty this long "
+                             "(default: serve forever)")
+    worker.add_argument("--max-tasks", type=int, default=None,
+                        dest="max_tasks", metavar="N",
+                        help="exit after completing N tasks")
+    worker.set_defaults(handler=_cmd_worker)
+
     serve = subparsers.add_parser(
         "serve", help="serve a corpus store's knowledge base over HTTP"
     )
@@ -629,6 +725,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8023,
                        help="TCP port (0 binds an ephemeral port)")
+    serve.add_argument("--executor",
+                       choices=("serial", "thread", "process", "queue"),
+                       default=None,
+                       help="parallel backend for the writer's runs "
+                            "(default: REPRO_EXECUTOR env or serial).  "
+                            "With 'queue' the service borrows a `repro "
+                            "worker` fleet attached to <store>/queue "
+                            "instead of computing in-process")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker count for the writer's executor "
+                            "(default: REPRO_WORKERS env or the CPU count)")
     serve.add_argument("--warm", nargs="*", default=None, metavar="CLASS",
                        help="queue an incremental run for these classes at "
                             "startup so the first readers hit a published "

@@ -1,6 +1,7 @@
 """Parallel execution engine for the pipeline's embarrassingly parallel
 hot paths (schema matching, block-local row similarity, new-detection
-feature extraction).  See :mod:`repro.parallel.executor`."""
+feature extraction).  See :mod:`repro.parallel.executor`; the
+distributed ``queue`` backend lives in :mod:`repro.parallel.workqueue`."""
 
 from repro.parallel.executor import (
     EXECUTOR_NAMES,
@@ -15,6 +16,16 @@ from repro.parallel.executor import (
     dispatch_dirty,
     make_executor,
 )
+from repro.parallel.workqueue import (
+    QUEUE_DIR_ENV,
+    QUEUE_DIRNAME,
+    QueueExecutor,
+    WorkQueue,
+    WorkerTaskError,
+    queue_stats,
+    resolve_queue_dir,
+    run_worker,
+)
 
 __all__ = [
     "EXECUTOR_NAMES",
@@ -22,10 +33,18 @@ __all__ = [
     "ExecutorError",
     "ExecutorObserver",
     "ProcessExecutor",
+    "QUEUE_DIRNAME",
+    "QUEUE_DIR_ENV",
+    "QueueExecutor",
     "SerialExecutor",
     "ThreadExecutor",
+    "WorkQueue",
+    "WorkerTaskError",
     "default_executor_name",
     "default_worker_count",
     "dispatch_dirty",
     "make_executor",
+    "queue_stats",
+    "resolve_queue_dir",
+    "run_worker",
 ]

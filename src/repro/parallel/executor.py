@@ -32,6 +32,7 @@ wall-clock and in-worker chunk seconds land in one report.
 from __future__ import annotations
 
 import os
+import socket
 import time
 from concurrent.futures import FIRST_EXCEPTION, Future, wait
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -39,8 +40,11 @@ from typing import Callable, Iterable, Sequence, TypeVar
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
 
-#: Recognized executor names, in documentation order.
-EXECUTOR_NAMES = ("serial", "thread", "process")
+#: Recognized executor names, in documentation order.  ``queue`` is the
+#: distributed backend (:mod:`repro.parallel.workqueue`): chunks are
+#: spooled to a shared directory and executed by external ``repro
+#: worker`` processes, possibly on other hosts.
+EXECUTOR_NAMES = ("serial", "thread", "process", "queue")
 
 #: Environment variables driving the *default* executor configuration —
 #: a test/CI matrix can flip the whole suite onto a process pool without
@@ -147,8 +151,9 @@ class _TimedBatch:
 
     Module-level class so the wrapper pickles whenever the wrapped
     function does.  Returns ``(meta, results)`` — ``meta`` carries the
-    wall-clock start, compute seconds, and the worker pid, which is all
-    the provenance a chunk span needs.
+    wall-clock start, compute seconds, and the worker pid/host, which is
+    all the provenance a chunk span needs (host matters once chunks run
+    on queue workers that may live on other machines).
     """
 
     def __init__(self, func: Callable[[list], list]) -> None:
@@ -162,6 +167,7 @@ class _TimedBatch:
             "seconds": time.perf_counter() - started,
             "ts": started_wall,
             "pid": os.getpid(),
+            "host": socket.gethostname(),
         }
         return meta, results
 
@@ -196,7 +202,7 @@ class _TracedBatch(_TimedBatch):
             "kind": "chunk",
             "ts": meta["ts"],
             "dur": meta["seconds"],
-            "attrs": {"pid": meta["pid"]},
+            "attrs": {"pid": meta["pid"], "host": meta["host"]},
         }
         return meta, results
 
@@ -542,11 +548,16 @@ def make_executor(
     name: str | None = None,
     workers: int | None = None,
     observers: Iterable[ExecutorObserver] = (),
+    *,
+    queue_dir: str | os.PathLike | None = None,
 ) -> Executor:
     """Build an executor from a configuration string.
 
     ``name=None`` resolves via ``REPRO_EXECUTOR`` (default ``serial``);
     ``workers=None`` resolves via ``REPRO_WORKERS`` (default CPU count).
+    ``queue_dir`` is the spool directory for the ``queue`` backend
+    (``None`` falls back to ``REPRO_QUEUE_DIR``); ignored by the
+    in-process executors.
     """
     resolved = name.strip().lower() if name is not None else default_executor_name()
     resolved_workers = workers if workers is not None else default_worker_count()
@@ -556,5 +567,11 @@ def make_executor(
         return ThreadExecutor(resolved_workers, observers)
     if resolved == "process":
         return ProcessExecutor(resolved_workers, observers)
+    if resolved == "queue":
+        from repro.parallel.workqueue import QueueExecutor, resolve_queue_dir
+
+        return QueueExecutor(
+            resolve_queue_dir(queue_dir), resolved_workers, observers
+        )
     known = ", ".join(EXECUTOR_NAMES)
     raise ValueError(f"unknown executor {name!r}; expected one of: {known}")

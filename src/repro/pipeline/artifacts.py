@@ -37,6 +37,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
@@ -96,10 +97,23 @@ class ArtifactStore:
                                             # (corpus snapshots, reports)
 
     Writes are atomic (temp file + rename), so a crashed run leaves at
-    worst an unreferenced temp file, never a truncated artifact.
+    worst an unreferenced temp file, never a truncated artifact.  Those
+    orphans — a writer killed between ``mkstemp`` and ``os.replace``
+    never reaches its own unlink — are swept on store open, guarded by
+    age so a *live* writer's in-flight temp file is never pulled out
+    from under it (queue workers and the service may share one store).
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    #: A ``*.tmp`` file must be at least this old (seconds) before the
+    #: open-time sweep treats it as an orphan of a dead writer.
+    ORPHAN_TMP_AGE = 3600.0
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        orphan_tmp_age: float = ORPHAN_TMP_AGE,
+    ) -> None:
         self.directory = Path(directory)
         manifest = self.directory / MANIFEST_NAME
         if manifest.exists():
@@ -119,6 +133,30 @@ class ArtifactStore:
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.orphan_tmp_age = orphan_tmp_age
+        self.tmp_swept = self._sweep_orphans()
+
+    def _sweep_orphans(self) -> int:
+        """Unlink age-expired ``*.tmp`` leftovers; returns how many."""
+        cutoff = time.time() - self.orphan_tmp_age
+        swept = 0
+        for pattern in ("objects/*/*.tmp", "meta/*.tmp"):
+            for path in self.directory.glob(pattern):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        path.unlink()
+                        swept += 1
+                except OSError:  # pragma: no cover - racing writer/sweeper
+                    pass
+        return swept
+
+    def _pending_tmp(self) -> int:
+        """Temp files currently on disk (in-flight writers or young orphans)."""
+        return sum(
+            1
+            for pattern in ("objects/*/*.tmp", "meta/*.tmp")
+            for _ in self.directory.glob(pattern)
+        )
 
     # -- object API -----------------------------------------------------
     def get(self, key: object) -> object | None:
@@ -200,6 +238,8 @@ class ArtifactStore:
             "version": STORE_VERSION,
             "objects": n_objects,
             "bytes": total_bytes,
+            "tmp_swept": self.tmp_swept,
+            "tmp_pending": self._pending_tmp(),
             **self.stats(),
         }
 

@@ -77,6 +77,12 @@ class PipelineConfig:
     #: so a test matrix can flip every run onto a pool via environment.
     executor: str = field(default_factory=default_executor_name)
     workers: int = field(default_factory=default_worker_count)
+    #: Spool directory for the ``queue`` executor (``None`` defers to
+    #: the session's corpus-store convention ``<store>/queue``, then to
+    #: ``REPRO_QUEUE_DIR``).  Ignored by the in-process executors and —
+    #: like ``executor``/``workers`` — excluded from the semantic config
+    #: hash: where chunks run never changes what they compute.
+    queue_dir: str | None = None
     #: Candidate-generation mode for label retrieval (blocking and
     #: table-to-class matching): ``exact`` scans every token-sharing
     #: label (the default — results byte for byte), ``fast`` routes
@@ -116,6 +122,8 @@ class PipelineConfig:
             )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_dir is not None:
+            self.queue_dir = str(self.queue_dir)
         self.candidate_mode = self.candidate_mode.strip().lower()
         from repro.index.label_index import CANDIDATE_MODES
 
@@ -237,6 +245,7 @@ class LongTailPipeline:
                 for observer in observers
                 if isinstance(observer, ExecutorObserver)
             ],
+            queue_dir=self.config.queue_dir,
         )
         state = PipelineState(
             kb=self.kb,

@@ -43,11 +43,24 @@ def find_retrieval_baseline() -> Path | None:
     Resolution order: the ``REPRO_RETRIEVAL_BENCH`` env override, then
     the working directory and its parents, then the package directory's
     parents (which finds the repo root on a source checkout).
+
+    A set-but-broken override raises instead of degrading into the
+    generic "no baseline found" refusal: whoever exported the variable
+    meant *that* document, and a typo'd path must name itself rather
+    than masquerade as a missing benchmark.
     """
     override = os.environ.get(ENV_BENCH_PATH)
     if override:
         path = Path(override)
-        return path if path.exists() else None
+        if not path.exists():
+            raise ValueError(
+                f"{ENV_BENCH_PATH} points at a nonexistent path: "
+                f"{override!r}.  Fix the override to name an existing "
+                f"{RETRIEVAL_BENCH_FILE}, or unset it to fall back to "
+                "the default search (working directory, its parents, "
+                "then the package root)."
+            )
+        return path
     for start in (Path.cwd(), Path(__file__).resolve().parent):
         for directory in (start, *start.parents):
             candidate = directory / RETRIEVAL_BENCH_FILE

@@ -9,6 +9,7 @@ descriptive message.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
@@ -37,12 +38,22 @@ class ServiceClient:
         *,
         timeout: float = 60.0,
         trace_id: str | None = None,
+        transient_retries: int = 3,
+        retry_backoff: float = 0.2,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         #: Sent as ``X-Repro-Trace`` on every request when set, so runs
         #: submitted through this client join the caller's trace.
         self.trace_id = trace_id
+        #: How many times the *long-lived* loops (:meth:`wait_for_run`
+        #: polling, :meth:`stream_events` following) retry a transient
+        #: transport error before giving up.  The first request of every
+        #: call stays fail-fast: a server that was never reachable is a
+        #: configuration error, not a blip.
+        self.transient_retries = transient_retries
+        #: Base sleep between transient retries; doubles per attempt.
+        self.retry_backoff = retry_backoff
 
     # -- transport ------------------------------------------------------
     def _request(
@@ -53,7 +64,16 @@ class ServiceClient:
         payload: dict | None = None,
         params: dict | None = None,
         raw: bool = False,
+        transient_retries: int = 0,
     ):
+        """One request; HTTP errors raise immediately, transport errors
+        (connection refused/reset, DNS, timeouts — status 0) retry up to
+        ``transient_retries`` times with doubling backoff.
+
+        The default of 0 keeps every one-shot call fail-fast; only the
+        long-lived polling/streaming loops opt into retries, where a
+        single blip mid-wait must not abort minutes of progress.
+        """
         url = f"{self.base_url}{path}"
         if params:
             filtered = {
@@ -70,29 +90,51 @@ class ServiceClient:
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            url, data=body, headers=headers, method=method
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                blob = response.read()
-        except urllib.error.HTTPError as error:
-            blob = error.read()
+        for attempt in range(transient_retries + 1):
+            request = urllib.request.Request(
+                url, data=body, headers=headers, method=method
+            )
             try:
-                document = json.loads(blob)
-                message = document.get("error", blob.decode("utf-8", "replace"))
-            except (json.JSONDecodeError, AttributeError):
-                message = blob.decode("utf-8", "replace")
-            raise ServiceClientError(error.code, message) from None
-        except urllib.error.URLError as error:
-            raise ServiceClientError(
-                0, f"cannot reach {url}: {error.reason}"
-            ) from None
-        if raw:
-            return blob.decode("utf-8")
-        return json.loads(blob)
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    blob = response.read()
+            except urllib.error.HTTPError as error:
+                blob = error.read()
+                try:
+                    document = json.loads(blob)
+                    message = document.get(
+                        "error", blob.decode("utf-8", "replace")
+                    )
+                except (json.JSONDecodeError, AttributeError):
+                    message = blob.decode("utf-8", "replace")
+                raise ServiceClientError(error.code, message) from None
+            except (
+                urllib.error.URLError,
+                http.client.HTTPException,
+                OSError,
+            ) as error:
+                # urllib only wraps *connect*-phase errors in URLError;
+                # a connection dropped while the response is read
+                # surfaces raw (RemoteDisconnected, ConnectionReset,
+                # IncompleteRead ...).  All of it is transport trouble:
+                # status 0, retryable when the caller opted in.
+                reason = getattr(error, "reason", error)
+                if attempt >= transient_retries:
+                    raise ServiceClientError(
+                        0,
+                        f"cannot reach {url}: {reason}"
+                        + (
+                            f" (after {transient_retries + 1} attempts)"
+                            if transient_retries
+                            else ""
+                        ),
+                    ) from None
+                time.sleep(self.retry_backoff * (2 ** attempt))
+                continue
+            if raw:
+                return blob.decode("utf-8")
+            return json.loads(blob)
 
     # -- service surface ------------------------------------------------
     def health(self) -> dict:
@@ -142,11 +184,20 @@ class ServiceClient:
         raises :class:`ServiceClientError` with the server-reported
         error when it ``failed``, or — after ``timeout`` seconds — with
         a message naming the run's last observed state.
+
+        The first poll is fail-fast (an unreachable server is a setup
+        error); once a poll has succeeded, transient transport errors
+        retry up to ``transient_retries`` times with backoff — one blip
+        must not abort a long wait.
         """
         deadline = time.monotonic() + timeout
         interval = poll
+        retries = 0
         while True:
-            document = self.run(run_id)
+            document = self._request(
+                "GET", f"/runs/{run_id}", transient_retries=retries
+            )
+            retries = self.transient_retries
             if document["status"] == "done":
                 return document
             if document["status"] == "failed":
@@ -177,7 +228,62 @@ class ServiceClient:
         re-reading already-seen events.  Server heartbeats keep the
         socket alive during quiet stretches; they are filtered out
         unless ``heartbeats=True``.
+
+        The *first* connection is fail-fast; once the stream is open, a
+        dropped connection reconnects up to ``transient_retries`` times
+        with backoff, resuming via ``after_seq`` from the last record
+        seen, so no event is re-yielded or lost.  The retry budget
+        resets every time a record arrives — only consecutive failures
+        exhaust it.
         """
+        last_seq = after_seq
+        connected_once = False
+        failures = 0
+        while True:
+            retries = self.transient_retries if connected_once else 0
+            try:
+                response = self._open_stream(run_id, last_seq)
+            except ServiceClientError as error:
+                if error.status != 0 or failures >= retries:
+                    raise
+                failures += 1
+                time.sleep(self.retry_backoff * (2 ** (failures - 1)))
+                continue
+            connected_once = True
+            stream_done = False
+            try:
+                with response:
+                    for line in response:
+                        text = line.decode("utf-8").strip()
+                        if not text:
+                            continue
+                        record = json.loads(text)
+                        seq = record.get("seq")
+                        if isinstance(seq, int):
+                            last_seq = max(last_seq, seq)
+                        failures = 0
+                        if (
+                            record.get("type") == "heartbeat"
+                            and not heartbeats
+                        ):
+                            continue
+                        yield record
+                stream_done = True
+            except (OSError, http.client.HTTPException) as error:
+                if failures >= self.transient_retries:
+                    raise ServiceClientError(
+                        0,
+                        f"event stream for run {run_id} dropped and did "
+                        f"not recover after "
+                        f"{self.transient_retries + 1} attempt(s): {error}",
+                    ) from None
+                failures += 1
+                time.sleep(self.retry_backoff * (2 ** (failures - 1)))
+            if stream_done:
+                return
+
+    def _open_stream(self, run_id: str, after_seq: int):
+        """Open the NDJSON event stream (resuming past ``after_seq``)."""
         url = f"{self.base_url}/runs/{run_id}/events"
         if after_seq:
             url = f"{url}?{urllib.parse.urlencode({'after_seq': after_seq})}"
@@ -186,7 +292,7 @@ class ServiceClient:
             headers["X-Repro-Trace"] = self.trace_id
         request = urllib.request.Request(url, headers=headers, method="GET")
         try:
-            response = urllib.request.urlopen(request, timeout=self.timeout)
+            return urllib.request.urlopen(request, timeout=self.timeout)
         except urllib.error.HTTPError as error:
             blob = error.read()
             try:
@@ -195,19 +301,15 @@ class ServiceClient:
             except (json.JSONDecodeError, AttributeError):
                 message = blob.decode("utf-8", "replace")
             raise ServiceClientError(error.code, message) from None
-        except urllib.error.URLError as error:
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            OSError,
+        ) as error:
+            reason = getattr(error, "reason", error)
             raise ServiceClientError(
-                0, f"cannot reach {url}: {error.reason}"
+                0, f"cannot reach {url}: {reason}"
             ) from None
-        with response:
-            for line in response:
-                text = line.decode("utf-8").strip()
-                if not text:
-                    continue
-                record = json.loads(text)
-                if record.get("type") == "heartbeat" and not heartbeats:
-                    continue
-                yield record
 
     def run_canonical(self, run_id: str) -> str:
         """The run's canonical JSON, verbatim (byte-equality witness)."""

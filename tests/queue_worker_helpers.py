@@ -1,0 +1,45 @@
+"""Picklable batch functions for the queue-executor tests.
+
+Queue tasks travel to worker processes as pickles, which serialize
+functions *by module reference* — so every batch function the tests
+submit must live in an importable module, not in a test body.  Worker
+subprocesses are launched with this directory on ``PYTHONPATH`` so they
+can resolve these names.
+
+The control-file functions coordinate the worker-kill choreography:
+items are ``(value, control_dir)`` pairs, and the batch announces
+itself by creating ``started-<pid>`` in the control directory, then
+holds until the ``hold`` marker disappears.  That lets a test wait
+until a *specific* worker owns the chunk, kill it mid-execution, and
+release the retry to run to completion elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+
+def square_batch(chunk: list[int]) -> list[int]:
+    return [value * value for value in chunk]
+
+
+def explode_on_seven(chunk: list[int]) -> list[int]:
+    for value in chunk:
+        if value == 7:
+            raise ValueError("seven is right out")
+    return chunk
+
+
+def holding_batch(chunk: list[tuple[int, str]]) -> list[int]:
+    """Announce, wait out the ``hold`` marker, then square the values."""
+    control_dir = Path(chunk[0][1])
+    started = control_dir / f"started-{os.getpid()}"
+    started.write_text(str(os.getpid()), encoding="utf-8")
+    deadline = time.monotonic() + 60.0
+    while (control_dir / "hold").exists():
+        if time.monotonic() > deadline:  # pragma: no cover - safety net
+            raise RuntimeError("hold marker never released")
+        time.sleep(0.02)
+    return [value * value for value, _ in chunk]

@@ -1,0 +1,245 @@
+"""Client transient-retry behavior against a scripted flaky server.
+
+The fake server consumes a per-path script of behaviors — serve a JSON
+document, abort the connection before responding (the client sees a
+``RemoteDisconnected`` transport error, status 0), or serve a chunked
+NDJSON stream that dies mid-chunk, truncating a record in flight (the
+client's read raises ``IncompleteRead`` mid-stream).  Once
+a path's script is exhausted every further request aborts, so a test
+that makes more requests than it scripted fails loudly.
+
+What the scripts prove:
+
+* one-shot calls (``health`` …) stay fail-fast — a server that was
+  never reachable is a configuration error, not a blip;
+* ``wait_for_run`` is fail-fast on its *first* poll, then rides out
+  transient blips with bounded backoff, and reports the attempt count
+  when the budget is exhausted;
+* ``stream_events`` reconnects after a mid-stream drop and resumes via
+  ``after_seq`` from the last record seen — no event lost, none
+  re-yielded — and gives up with a descriptive error when consecutive
+  failures exhaust the budget.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+import pytest
+
+from repro.serve.client import ServiceClient, ServiceClientError
+
+RUNNING = {"run_id": "r1", "status": "running"}
+DONE = {"run_id": "r1", "status": "done"}
+
+
+def _record(seq):
+    return {"seq": seq, "type": "span_started", "name": f"event-{seq}"}
+
+
+class _FlakyHandler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    script: dict  # path -> list of behavior tuples, consumed in order
+    log: list  # every request's path + query, in arrival order
+    lock: threading.Lock
+
+    def log_message(self, *args):  # silence stderr
+        pass
+
+    def _next_behavior(self, path):
+        with self.lock:
+            self.log.append(
+                path + (f"?{urlparse(self.path).query}" if urlparse(self.path).query else "")
+            )
+            remaining = self.script.get(path, [])
+            if remaining:
+                return remaining.pop(0)
+            return ("abort",)
+
+    def do_GET(self):
+        path = urlparse(self.path).path
+        behavior = self._next_behavior(path)
+        kind = behavior[0]
+        if kind == "abort":
+            # Close without a status line: RemoteDisconnected client-side.
+            self.close_connection = True
+            return
+        if kind == "json":
+            body = json.dumps(behavior[1]).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        if kind in ("stream_partial", "stream_final"):
+            # Chunked framing, like the real event endpoint: a close
+            # without the terminating 0-chunk is a *detectable* drop
+            # (IncompleteRead on the client's next readline), while
+            # stream_final ends the stream cleanly.
+            self.send_response(200)
+            self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            for record in behavior[1]:
+                line = json.dumps(record).encode("utf-8") + b"\n"
+                self.wfile.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+            if kind == "stream_final":
+                self.wfile.write(b"0\r\n\r\n")
+            else:
+                # Die mid-chunk: advertise bytes that never arrive, the
+                # way a killed server truncates a record in flight.
+                self.wfile.write(b"40\r\n{\"seq\": 99")
+            self.close_connection = True
+            return
+        raise AssertionError(f"unknown behavior {behavior!r}")
+
+
+@contextlib.contextmanager
+def flaky_server(script):
+    """A scripted server; yields (base_url, request_log)."""
+    handler = type(
+        "ScriptedHandler",
+        (_FlakyHandler,),
+        {"script": script, "log": [], "lock": threading.Lock()},
+    )
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", handler.log
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10.0)
+
+
+def make_client(base_url, **kwargs):
+    options = {"timeout": 10.0, "retry_backoff": 0.01, **kwargs}
+    return ServiceClient(base_url, **options)
+
+
+class TestOneShotCalls:
+    def test_fail_fast_without_retry(self):
+        with flaky_server({"/health": [("abort",)]}) as (base_url, log):
+            client = make_client(base_url, transient_retries=3)
+            with pytest.raises(ServiceClientError) as caught:
+                client.health()
+            assert caught.value.status == 0
+            assert "cannot reach" in caught.value.message
+            assert len(log) == 1  # exactly one attempt, no retry
+
+    def test_success_passes_through(self):
+        with flaky_server({"/health": [("json", {"status": "ok"})]}) as (
+            base_url,
+            __,
+        ):
+            assert make_client(base_url).health() == {"status": "ok"}
+
+
+class TestWaitForRun:
+    def test_first_poll_fail_fast(self):
+        with flaky_server({"/runs/r1": [("abort",)]}) as (base_url, log):
+            client = make_client(base_url, transient_retries=3)
+            with pytest.raises(ServiceClientError) as caught:
+                client.wait_for_run("r1", timeout=5.0, poll=0.01)
+            assert caught.value.status == 0
+            assert len(log) == 1
+
+    def test_recovers_from_transient_blips(self):
+        script = {
+            "/runs/r1": [
+                ("json", RUNNING),
+                ("abort",),
+                ("abort",),
+                ("json", DONE),
+            ]
+        }
+        with flaky_server(script) as (base_url, log):
+            client = make_client(base_url, transient_retries=3)
+            document = client.wait_for_run("r1", timeout=10.0, poll=0.01)
+            assert document["status"] == "done"
+            assert len(log) == 4
+
+    def test_exhausted_retries_report_attempts(self):
+        script = {"/runs/r1": [("json", RUNNING)]}  # then aborts forever
+        with flaky_server(script) as (base_url, __):
+            client = make_client(base_url, transient_retries=1)
+            with pytest.raises(ServiceClientError) as caught:
+                client.wait_for_run("r1", timeout=10.0, poll=0.01)
+            assert caught.value.status == 0
+            assert "after 2 attempts" in caught.value.message
+
+
+class TestStreamEvents:
+    def test_resumes_after_drop_via_after_seq(self):
+        script = {
+            "/runs/r1/events": [
+                ("stream_partial", [_record(1), _record(2), _record(3)]),
+                (
+                    "stream_final",
+                    [
+                        {"type": "heartbeat", "ts": 1.0},
+                        _record(4),
+                        _record(5),
+                    ],
+                ),
+            ]
+        }
+        with flaky_server(script) as (base_url, log):
+            client = make_client(base_url, transient_retries=3)
+            records = list(client.stream_events("r1"))
+        assert [record["seq"] for record in records] == [1, 2, 3, 4, 5]
+        # The reconnect resumed past the last seq seen before the drop
+        # (and the heartbeat was filtered out, not yielded).
+        assert log == ["/runs/r1/events", "/runs/r1/events?after_seq=3"]
+
+    def test_first_connection_fail_fast(self):
+        with flaky_server({"/runs/r1/events": [("abort",)]}) as (
+            base_url,
+            log,
+        ):
+            client = make_client(base_url, transient_retries=3)
+            with pytest.raises(ServiceClientError) as caught:
+                list(client.stream_events("r1"))
+            assert caught.value.status == 0
+            assert len(log) == 1
+
+    def test_gives_up_after_consecutive_drops(self):
+        script = {
+            "/runs/r1/events": [
+                ("stream_partial", [_record(1)]),
+                ("stream_partial", []),
+                ("stream_partial", []),
+            ]
+        }
+        with flaky_server(script) as (base_url, __):
+            client = make_client(base_url, transient_retries=1)
+            received = []
+            with pytest.raises(ServiceClientError) as caught:
+                for record in client.stream_events("r1"):
+                    received.append(record)
+        # The record before the drops still arrived exactly once.
+        assert [record["seq"] for record in received] == [1]
+        assert "did not recover after 2 attempt(s)" in caught.value.message
+
+    def test_heartbeats_surfaced_on_request(self):
+        script = {
+            "/runs/r1/events": [
+                (
+                    "stream_final",
+                    [{"type": "heartbeat", "ts": 1.0}, _record(1)],
+                )
+            ]
+        }
+        with flaky_server(script) as (base_url, __):
+            client = make_client(base_url)
+            records = list(client.stream_events("r1", heartbeats=True))
+        assert [record.get("type") for record in records] == [
+            "heartbeat",
+            "span_started",
+        ]

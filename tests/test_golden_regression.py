@@ -17,7 +17,8 @@ The tests rerun the pipeline and diff byte-for-byte:
   shifted metric;
 * across executors — serial, thread and process (workers=2) runs must
   produce identical artifacts (the parallel engine's acceptance
-  criterion);
+  criterion), and the distributed ``queue`` backend gets its own leg,
+  drained by two worker threads over a throwaway spool;
 * under ``--incremental`` — runs served from the persistent artifact
   store must reproduce the committed bytes on every backend (the
   incremental engine's acceptance criterion).
@@ -133,6 +134,52 @@ def test_parallel_runs_byte_identical_to_golden(
     result = golden_session.run(
         class_name, executor=executor, workers=2, use_cache=False
     )
+    assert result.canonical_json() == expected_blob
+
+
+def test_queue_executor_byte_identical_to_golden(
+    golden_case, golden_session, expected_blob, tmp_path
+):
+    """The distributed queue backend reproduces the committed bytes.
+
+    Two workers drain a throwaway spool while the driver runs the
+    pipeline with ``executor='queue'`` — the same acceptance criterion
+    as the thread/process legs, extended across a process-shaped
+    boundary (chunks travel through pickled payload/result files).  CI
+    additionally runs this matrix against *external* ``repro worker``
+    subprocesses.
+    """
+    import threading
+
+    from repro.parallel import run_worker
+    from repro.pipeline.pipeline import PipelineConfig
+
+    class_name = golden_case[0]
+    spool = tmp_path / "queue"
+    stop = threading.Event()
+    fleet = [
+        threading.Thread(
+            target=run_worker,
+            args=(spool,),
+            kwargs={"stop": stop, "poll_interval": 0.01},
+            daemon=True,
+        )
+        for __ in range(2)
+    ]
+    for worker in fleet:
+        worker.start()
+    try:
+        result = golden_session.run(
+            class_name,
+            executor="queue",
+            workers=2,
+            use_cache=False,
+            config=PipelineConfig(queue_dir=str(spool)),
+        )
+    finally:
+        stop.set()
+        for worker in fleet:
+            worker.join(timeout=10.0)
     assert result.canonical_json() == expected_blob
 
 

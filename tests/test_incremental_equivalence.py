@@ -20,6 +20,8 @@ corpus produces.  This module attacks that claim three ways:
 from __future__ import annotations
 
 import json
+import os
+import time
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -267,6 +269,47 @@ class TestArtifactStore:
         manifest.write_text(json.dumps({"version": 99}), encoding="utf-8")
         with pytest.raises(ValueError, match="version"):
             ArtifactStore(directory)
+
+    def test_open_sweeps_aged_orphan_tmp_files(self, tmp_path):
+        """A writer killed between mkstemp and os.replace leaves a
+        ``*.tmp`` behind; reopening the store reclaims it once it is
+        older than the age guard — and reports it in ``describe()``."""
+        directory = tmp_path / "artifacts"
+        first = ArtifactStore(directory)
+        first.put(["key"], "value")
+        bucket = next((directory / "objects").iterdir())
+        orphan_object = bucket / "deadbeef.pkl.tmp"
+        orphan_object.write_bytes(b"partial write")
+        orphan_meta = directory / "meta" / "snapshot.json.tmp"
+        orphan_meta.write_text("{", encoding="utf-8")
+        ancient = time.time() - 7200
+        os.utime(orphan_object, (ancient, ancient))
+        os.utime(orphan_meta, (ancient, ancient))
+        second = ArtifactStore(directory)
+        assert second.tmp_swept == 2
+        assert not orphan_object.exists()
+        assert not orphan_meta.exists()
+        described = second.describe()
+        assert described["tmp_swept"] == 2
+        assert described["tmp_pending"] == 0
+        # The real artifact survived the sweep.
+        assert second.get(["key"]) == "value"
+
+    def test_sweep_spares_young_tmp_files(self, tmp_path):
+        """A fresh temp file may belong to a live writer sharing the
+        store (queue worker, service) — the sweep must not touch it."""
+        directory = tmp_path / "artifacts"
+        ArtifactStore(directory)
+        in_flight = directory / "meta" / "snapshot.json.tmp"
+        in_flight.write_text("{", encoding="utf-8")
+        reopened = ArtifactStore(directory)
+        assert reopened.tmp_swept == 0
+        assert in_flight.exists()
+        assert reopened.describe()["tmp_pending"] == 1
+        # An explicit zero age guard reclaims immediately.
+        eager = ArtifactStore(directory, orphan_tmp_age=0.0)
+        assert eager.tmp_swept == 1
+        assert not in_flight.exists()
 
 
 class TestCorpusDeltas:

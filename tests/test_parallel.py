@@ -170,15 +170,20 @@ class TestDefaults:
         with pytest.raises(ValueError, match="workers"):
             PipelineConfig(workers=0)
 
-    def test_make_executor_names(self):
+    def test_make_executor_names(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_QUEUE_DIR", raising=False)
         for name in EXECUTOR_NAMES:
-            executor = make_executor(name, workers=2)
+            # The queue backend cannot guess its spool directory.
+            kwargs = {"queue_dir": tmp_path} if name == "queue" else {}
+            executor = make_executor(name, workers=2, **kwargs)
             try:
                 assert executor.name == name
             finally:
                 executor.close()
         with pytest.raises(ValueError, match="unknown executor"):
             make_executor("gpu")
+        with pytest.raises(ValueError, match="spool directory"):
+            make_executor("queue", workers=2)
 
     def test_config_hash_ignores_executor_knobs(self):
         base = PipelineConfig(executor="serial", workers=1)
@@ -296,7 +301,10 @@ def test_property_full_pipeline_equivalent(tiny_world, n_real, seed):
         [tiny_world.corpus.get(table_id) for table_id in table_ids]
     )
     blobs = []
-    for name in EXECUTOR_NAMES:
+    # The in-process backends; the distributed queue backend's
+    # byte-equality is asserted in tests/test_queue_executor.py and the
+    # golden matrix, where worker processes exist.
+    for name in ("serial", "thread", "process"):
         session = RunSession(
             knowledge_base=tiny_world.knowledge_base,
             corpus=corpus,

@@ -359,11 +359,16 @@ def _write_gate_document(path, passed: bool, recall: float = 0.99):
 
 
 class TestFastModeGate:
-    def test_refused_without_document(self, tmp_path, monkeypatch):
+    def test_broken_override_names_the_bad_path(self, tmp_path, monkeypatch):
+        # A set-but-typo'd REPRO_RETRIEVAL_BENCH must not masquerade as
+        # "no committed benchmark": the error names the bad path.
         monkeypatch.delenv(ENV_UNGATED, raising=False)
-        monkeypatch.setenv(ENV_BENCH_PATH, str(tmp_path / "missing.json"))
-        with pytest.raises(ValueError, match="no committed"):
+        missing = tmp_path / "missing.json"
+        monkeypatch.setenv(ENV_BENCH_PATH, str(missing))
+        with pytest.raises(ValueError, match="nonexistent path") as caught:
             ensure_fast_mode_allowed()
+        assert str(missing) in str(caught.value)
+        assert ENV_BENCH_PATH in str(caught.value)
 
     def test_refused_when_gate_failed(self, tmp_path, monkeypatch):
         monkeypatch.delenv(ENV_UNGATED, raising=False)
