@@ -31,6 +31,7 @@ import json
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro import faults as faults_registry
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.newdetect.detector import DetectionResult
 from repro.perf.kernels import KernelCache
@@ -77,7 +78,9 @@ __all__ = [
 #: Config fields that cannot influence stage outputs — the executor
 #: determinism contract guarantees identical artifacts for any backend,
 #: so runs differing only in these share cache entries.
-_NON_SEMANTIC_CONFIG_FIELDS = frozenset({"executor", "workers", "queue_dir"})
+_NON_SEMANTIC_CONFIG_FIELDS = frozenset(
+    {"executor", "workers", "queue_dir", "faults"}
+)
 
 
 def config_hash(config: PipelineConfig) -> str:
@@ -536,17 +539,21 @@ class RunSession:
                 for spec, stage in zip(stage_specs, stage_list)
             ]
         try:
-            result = pipeline.run(
-                self.corpus,
-                class_name,
-                table_ids=table_ids,
-                row_ids=row_ids,
-                known_classes=known_classes,
-                stages=stage_list,
-                observers=[*self.observers, *extra_observers],
-                incremental=backend,
-                kernels=self.kernels,
-            )
+            # ``config.faults`` arms an injection plan for exactly this
+            # run (no-op scope when None); a crash action never reaches
+            # the __exit__, which is the point.
+            with faults_registry.armed(config.faults):
+                result = pipeline.run(
+                    self.corpus,
+                    class_name,
+                    table_ids=table_ids,
+                    row_ids=row_ids,
+                    known_classes=known_classes,
+                    stages=stage_list,
+                    observers=[*self.observers, *extra_observers],
+                    incremental=backend,
+                    kernels=self.kernels,
+                )
         except BaseException as error:
             if tracer is not None:
                 tracer.end(

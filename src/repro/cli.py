@@ -47,11 +47,20 @@ Commands:
   on stdout; ``--chrome out.json`` exports the same events as a Chrome
   ``chrome://tracing`` / Perfetto trace, ``--summary`` prints per-kind
   span counts and total seconds.
+* ``fsck`` — verify a store directory's integrity offline (CorpusStore
+  shards, artifact store, queue spool, service journal) and optionally
+  repair it: ``--repair`` quarantines corrupt objects under
+  ``<store>/quarantine/`` and prunes or rebuilds what the stores can
+  regenerate.  Exit 0 = clean after this invocation, 1 = unrepaired
+  findings remain, 2 = usage error.
 
 Ctrl-C anywhere exits cleanly: no traceback, exit code 130 (the shell
 convention for SIGINT), with run-scoped worker pools shut down by the
 pipeline's own cleanup and the serve loop closing its server + writer
-thread on the way out.
+thread on the way out.  SIGTERM gets the matching graceful contract on
+the long-lived commands: ``serve`` stops accepting, drains its writer
+queue, and exits 143; ``worker`` finishes the chunk it holds, drops its
+registration, and exits 143.
 """
 
 from __future__ import annotations
@@ -378,7 +387,14 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+class _Terminated(Exception):
+    """Raised by the SIGTERM handler to unwind a long-lived command."""
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.parallel.workqueue import (
         QUEUE_DIRNAME,
         resolve_queue_dir,
@@ -397,19 +413,39 @@ def _cmd_worker(args: argparse.Namespace) -> int:
             return 2
     print(f"worker serving queue {directory} (Ctrl-C to stop)",
           file=sys.stderr)
-    tasks_done = run_worker(
-        directory,
-        worker_id=args.worker_id,
-        poll_interval=args.poll,
-        lease_seconds=args.lease,
-        idle_timeout=args.idle_timeout,
-        max_tasks=args.max_tasks,
-    )
+    # SIGTERM = graceful drain: finish the chunk in hand (its lease
+    # keeper stays alive), deregister, exit 143.  SIGINT keeps its
+    # abort-now/130 contract via main().
+    stop = threading.Event()
+    terminated = threading.Event()
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        terminated.set()
+        stop.set()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    try:
+        tasks_done = run_worker(
+            directory,
+            worker_id=args.worker_id,
+            poll_interval=args.poll,
+            lease_seconds=args.lease,
+            idle_timeout=args.idle_timeout,
+            max_tasks=args.max_tasks,
+            stop=stop,
+        )
+    finally:
+        signal.signal(signal.SIGTERM, previous)
     print(f"worker exiting after {tasks_done} task(s)", file=sys.stderr)
+    if terminated.is_set():
+        print("terminated", file=sys.stderr)
+        return 143
     return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.serve import KBService, make_server
 
     config = None
@@ -428,33 +464,104 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return 2
     try:
         service = KBService.from_store(
-            args.store, kb_path=args.kb, config=config
+            args.store, kb_path=args.kb, config=config,
+            max_queue_depth=args.max_queue_depth,
         )
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}")
         return 2
+    recovered = [
+        document
+        for document in service.run_documents()
+        if document.get("recovered")
+    ]
+    if recovered:
+        print(f"recovered {len(recovered)} pending run(s) from the "
+              f"journal: "
+              f"{', '.join(doc['run_id'] for doc in recovered)}",
+              file=sys.stderr)
     service.start()
     if args.warm:
         for class_name in dict.fromkeys(args.warm):
             document = service.submit_run(class_name)
             print(f"warming: queued {document['run_id']} "
                   f"[{class_name}]", file=sys.stderr)
-    server = make_server(
-        service, host=args.host, port=args.port, quiet=args.quiet,
-        access_log=args.access_log,
-    )
+    try:
+        server = make_server(
+            service, host=args.host, port=args.port, quiet=args.quiet,
+            access_log=args.access_log,
+            request_timeout=args.request_timeout or None,
+            max_body_bytes=args.max_body_bytes,
+        )
+    except ValueError as error:
+        service.close()
+        print(f"error: {error}")
+        return 2
     host, port = server.server_address[:2]
     print(f"serving {args.store} on http://{host}:{port} "
           f"(Ctrl-C to stop)", file=sys.stderr)
+
+    # SIGTERM must escape serve_forever on the main thread; calling
+    # server.shutdown() from the handler would deadlock (it waits for
+    # the very loop the handler interrupted), so the handler raises.
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        raise _Terminated()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    exit_code = 0
     try:
         server.serve_forever()
+    except _Terminated:
+        print("terminated", file=sys.stderr)
+        exit_code = 143
     finally:
-        # Runs on Ctrl-C too — main() turns the KeyboardInterrupt into a
-        # clean exit after this cleanup releases the port and joins the
-        # writer thread.
+        # Runs on Ctrl-C and SIGTERM too — the cleanup releases the
+        # port and lets the writer drain every queued job (close()
+        # enqueues its stop sentinel *behind* pending work).
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
         service.close()
-    return 0
+    return exit_code
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from repro.fsck import run_fsck
+
+    try:
+        report = run_fsck(
+            args.store, repair=args.repair, quarantine_dir=args.quarantine
+        )
+    except FileNotFoundError as error:
+        print(f"error: {error}")
+        return 2
+    document = report.to_dict()
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    if args.as_json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        checked = ", ".join(
+            f"{component} " + "/".join(
+                f"{count} {unit}" for unit, count in counts.items()
+            )
+            for component, counts in document["checked"].items()
+        )
+        print(f"fsck {report.store}: checked {checked}")
+        for finding in report.findings:
+            marker = "repaired" if finding.repaired else finding.severity
+            print(f"  [{marker}] {finding.component}.{finding.kind}: "
+                  f"{finding.detail}")
+            if finding.action:
+                print(f"      -> {finding.action}")
+        summary = document["summary"]
+        verdict = "clean" if report.clean else "NOT clean"
+        print(f"{verdict}: {summary['errors']} error(s), "
+              f"{summary['warnings']} warning(s), "
+              f"{summary['repaired']} repaired")
+    return 0 if report.clean else 1
 
 
 def _resolve_trace_log(target: str, run_id: str | None) -> Path:
@@ -749,7 +856,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print one structured JSON line per request "
                             "to stderr (method, path, status, ms, trace "
                             "id)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       dest="request_timeout", metavar="SECONDS",
+                       help="per-request socket read timeout; a hung "
+                            "client gets 408 instead of pinning a "
+                            "handler thread (default: 30; 0 disables)")
+    serve.add_argument("--max-body-bytes", type=int,
+                       default=64 * 1024 * 1024, dest="max_body_bytes",
+                       metavar="BYTES",
+                       help="reject request bodies larger than this with "
+                            "413, unread (default: 64 MiB)")
+    serve.add_argument("--max-queue-depth", type=int, default=None,
+                       dest="max_queue_depth", metavar="N",
+                       help="bound on queued writer jobs; past it new "
+                            "ingests/runs get 503 + Retry-After "
+                            "(default: 256)")
     serve.set_defaults(handler=_cmd_serve)
+
+    fsck = subparsers.add_parser(
+        "fsck",
+        help="verify (and optionally repair) a store's on-disk integrity",
+    )
+    fsck.add_argument("--store", required=True,
+                      help="store directory to check: a corpus store "
+                           "(its artifacts/ and queue/ ride along), a "
+                           "bare artifact store, or a queue spool")
+    fsck.add_argument("--repair", action="store_true",
+                      help="quarantine corrupt objects under "
+                           "<store>/quarantine/ and prune or rebuild "
+                           "what the stores regenerate on their own")
+    fsck.add_argument("--quarantine", default=None, metavar="DIR",
+                      help="where --repair moves corrupt bytes "
+                           "(default: <store>/quarantine)")
+    fsck.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the machine-readable report JSON "
+                           "to PATH")
+    fsck.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the machine-readable report instead "
+                           "of the human summary")
+    fsck.set_defaults(handler=_cmd_fsck)
 
     trace = subparsers.add_parser(
         "trace", help="render a recorded run trace"

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from repro import faults
 from repro.corpus.filters import TableAnalysis, passes
 from repro.webtables.table import Row, RowId, WebTable
 
@@ -111,6 +112,10 @@ def _connect(path: Path) -> sqlite3.Connection:
     connection = sqlite3.connect(path, check_same_thread=False)
     connection.execute("PRAGMA journal_mode=WAL")
     connection.execute("PRAGMA synchronous=NORMAL")
+    # Concurrent writers (service ingest racing a worker fleet on one
+    # store) should wait out a held write lock, not raise a spurious
+    # "database is locked" — same budget the work-queue spool uses.
+    connection.execute("PRAGMA busy_timeout=30000")
     connection.executescript(_SHARD_SCHEMA)
     return connection
 
@@ -168,6 +173,9 @@ def _write_shard_batch(
                 # Skip: the store keeps its version; later duplicates of
                 # the rejected content must also count as conflicts.
                 outcomes.append((table_id, "conflict"))
+        # A crash here loses this sub-batch (the transaction below never
+        # commits) but can never tear a shard — re-ingest is idempotent.
+        faults.check("corpus.shard_write")
         with connection:
             connection.executemany(
                 "INSERT OR REPLACE INTO tables "

@@ -1,0 +1,31 @@
+"""Deterministic fault injection (see :mod:`repro.faults.registry`)."""
+
+from repro.faults.registry import (
+    FAULTS_ENV,
+    FaultInjected,
+    FaultPlan,
+    FaultRule,
+    POINTS,
+    arm,
+    armed,
+    check,
+    disarm,
+    fault_stats,
+    parse_spec,
+    register_point,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultRule",
+    "POINTS",
+    "arm",
+    "armed",
+    "check",
+    "disarm",
+    "fault_stats",
+    "parse_spec",
+    "register_point",
+]

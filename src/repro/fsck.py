@@ -1,0 +1,681 @@
+"""`repro fsck` — offline integrity verification and repair for a store.
+
+Walks everything a corpus-store directory accumulates — CorpusStore
+shards, the artifact store, the work-queue spool, the service's
+pending-run journal — and checks each component's own invariants:
+
+========== ==========================================================
+component  invariants checked (finding ``kind``)
+========== ==========================================================
+corpus     manifest readable (``manifest_missing`` /
+           ``manifest_unreadable``); every shard file present
+           (``shard_missing``) and passing SQLite's integrity check
+           (``shard_unreadable``); every row's payload decodes
+           (``payload_undecodable``), re-hashes to its stored
+           ``content_hash`` (``content_hash_mismatch``), and lives in
+           the shard ``shard_of(table_id)`` demands
+           (``misplaced_table``); no table id stored twice
+           (``duplicate_table``)
+artifacts  manifest readable (``manifest_unreadable``); every object
+           unpickles (``object_undecodable``) and sits under its
+           digest's prefix directory (``object_misplaced``); no
+           leftover ``*.tmp`` from interrupted writers
+           (``orphan_tmp`` — a *warning*: the store's own aged sweep
+           also clears these); every ``meta/*.json`` parses
+           (``meta_unreadable``)
+queue      ``queue.sqlite`` readable (``database_unreadable``);
+           pending/running tasks have their payload pickle
+           (``payload_missing``); done tasks have their result pickle
+           (``result_missing``); expired-lease rows reported as
+           warnings (``stale_running`` — the queue's own lease sweep
+           recovers these, fsck only surfaces them)
+service    ``service/pending_runs.json`` parses and has the journal
+           shape (``journal_unreadable``)
+========== ==========================================================
+
+**Repair semantics** (``--repair``): destructive fixes always move the
+corrupt bytes into ``<store>/quarantine/<component>/`` before pruning,
+so nothing fsck does is unrecoverable by hand.  The repairs lean on the
+stores' own redesign-for-recovery properties:
+
+* artifact-store objects are pure functions of their content-addressed
+  keys — a corrupt object is simply deleted (quarantined); the next
+  run recomputes it, byte-identically.
+* corpus rows are content-addressed and re-ingest is idempotent — a
+  corrupt or misplaced row is quarantined (as JSON, when recoverable)
+  and deleted; re-ingesting the source data restores it.  A missing or
+  unreadable shard file is quarantined and recreated empty.
+* the queue spool is transient coordination state — a task whose
+  payload vanished is marked ``failed`` (the driver surfaces it), a
+  done task whose result vanished is reset to ``pending`` (a worker
+  recomputes it), and an unreadable spool database is quarantined
+  wholesale.
+* an unreadable pending-run journal is quarantined; the service then
+  starts with nothing to resume, which is the honest floor.
+
+:func:`run_fsck` returns a machine-readable :class:`FsckReport`; the
+CLI exit-code contract is **0** = clean after this invocation, **1** =
+unrepaired findings remain, **2** = usage error (no store there).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import sqlite3
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.corpus import store as corpus_store
+from repro.corpus.store import shard_of
+from repro.pipeline import artifacts as artifact_store
+
+__all__ = ["FsckFinding", "FsckReport", "run_fsck"]
+
+#: Leases this far past expiry are flagged (generous: the queue's own
+#: recovery re-queues after expiry, fsck only reports the backlog).
+STALE_LEASE_GRACE_SECONDS = 5.0
+
+
+@dataclass
+class FsckFinding:
+    """One detected invariant violation (or warning-level oddity)."""
+
+    component: str
+    kind: str
+    path: str
+    detail: str
+    severity: str = "error"  #: ``error`` dirties the store, ``warn`` not
+    repaired: bool = False
+    action: str | None = None
+
+    def to_dict(self) -> dict:
+        document = {
+            "component": self.component,
+            "kind": self.kind,
+            "path": self.path,
+            "detail": self.detail,
+            "severity": self.severity,
+            "repaired": self.repaired,
+        }
+        if self.action is not None:
+            document["action"] = self.action
+        return document
+
+
+@dataclass
+class FsckReport:
+    """The machine-readable outcome of one fsck pass."""
+
+    store: str
+    repair: bool
+    findings: list[FsckFinding] = field(default_factory=list)
+    #: Per-component object counts actually examined — a clean report
+    #: over zero objects must be distinguishable from real coverage.
+    checked: dict = field(default_factory=dict)
+
+    def add(self, finding: FsckFinding) -> FsckFinding:
+        self.findings.append(finding)
+        return finding
+
+    @property
+    def clean(self) -> bool:
+        """No *unrepaired error* findings (warnings never dirty)."""
+        return not any(
+            finding.severity == "error" and not finding.repaired
+            for finding in self.findings
+        )
+
+    def to_dict(self) -> dict:
+        errors = sum(
+            1 for finding in self.findings if finding.severity == "error"
+        )
+        return {
+            "store": self.store,
+            "repair": self.repair,
+            "clean": self.clean,
+            "checked": self.checked,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "findings": len(self.findings),
+                "errors": errors,
+                "warnings": len(self.findings) - errors,
+                "repaired": sum(
+                    1 for finding in self.findings if finding.repaired
+                ),
+            },
+        }
+
+
+class _Quarantine:
+    """Moves (or writes) corrupt bytes under ``<store>/quarantine/``."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def _slot(self, component: str, name: str) -> Path:
+        directory = self.root / component
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / name
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = directory / f"{name}.{serial}"
+        return target
+
+    def take_file(self, component: str, path: Path) -> str:
+        """Move a file into quarantine; returns the destination."""
+        target = self._slot(component, path.name)
+        path.replace(target)
+        return str(target)
+
+    def write_record(self, component: str, name: str, payload: dict) -> str:
+        """Append one JSON record (quarantined row content) to a file."""
+        directory = self.root / component
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / name
+        with target.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        return str(target)
+
+
+# -- corpus ------------------------------------------------------------
+def _quick_check(path: Path) -> str | None:
+    """SQLite's integrity verdict for a database file; None when ok."""
+    try:
+        connection = sqlite3.connect(path)
+        try:
+            (verdict,) = connection.execute(
+                "PRAGMA quick_check"
+            ).fetchone()
+        finally:
+            connection.close()
+    except sqlite3.Error as error:
+        return f"{type(error).__name__}: {error}"
+    return None if verdict == "ok" else str(verdict)
+
+
+def _recreate_shard(path: Path) -> None:
+    connection = sqlite3.connect(path)
+    try:
+        connection.executescript(corpus_store._SHARD_SCHEMA)
+        connection.commit()
+    finally:
+        connection.close()
+
+
+def _check_corpus(
+    directory: Path, report: FsckReport, repair: bool, quarantine: _Quarantine
+) -> None:
+    manifest_path = directory / corpus_store.MANIFEST_NAME
+    counts = {"shards": 0, "tables": 0}
+    report.checked["corpus"] = counts
+    if not manifest_path.exists():
+        # No manifest and no shards: not a corpus store at all — the
+        # caller validates store-ness, component checks stay quiet.
+        if not list(directory.glob("shard-*.sqlite")):
+            return
+        report.add(
+            FsckFinding(
+                "corpus",
+                "manifest_missing",
+                str(manifest_path),
+                "shard files present but no corpus_store.json manifest",
+            )
+        )
+        return
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        n_shards = int(manifest["shards"])
+        if n_shards < 1:
+            raise ValueError(f"manifest shards={n_shards}")
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        report.add(
+            FsckFinding(
+                "corpus",
+                "manifest_unreadable",
+                str(manifest_path),
+                f"cannot read the store manifest: {error}",
+            )
+        )
+        return
+    seen_tables: dict[str, int] = {}
+    for shard in range(n_shards):
+        counts["shards"] += 1
+        shard_path = directory / f"shard-{shard:03d}.sqlite"
+        if not shard_path.exists():
+            finding = report.add(
+                FsckFinding(
+                    "corpus",
+                    "shard_missing",
+                    str(shard_path),
+                    f"manifest names {n_shards} shards but shard {shard} "
+                    f"is absent",
+                )
+            )
+            if repair:
+                _recreate_shard(shard_path)
+                finding.repaired = True
+                finding.action = "recreated empty shard (re-ingest restores)"
+            continue
+        verdict = _quick_check(shard_path)
+        if verdict is not None:
+            finding = report.add(
+                FsckFinding(
+                    "corpus",
+                    "shard_unreadable",
+                    str(shard_path),
+                    f"SQLite integrity check failed: {verdict}",
+                )
+            )
+            if repair:
+                moved = quarantine.take_file("corpus", shard_path)
+                # WAL sidecars of the corrupt shard must not leak into
+                # the fresh file.
+                for suffix in ("-wal", "-shm"):
+                    sidecar = shard_path.with_name(shard_path.name + suffix)
+                    if sidecar.exists():
+                        quarantine.take_file("corpus", sidecar)
+                _recreate_shard(shard_path)
+                finding.repaired = True
+                finding.action = f"quarantined to {moved}, recreated empty"
+            continue
+        connection = sqlite3.connect(shard_path)
+        try:
+            rows = connection.execute(
+                "SELECT table_id, content_hash, url, payload FROM tables "
+                "ORDER BY seq"
+            ).fetchall()
+        except sqlite3.Error as error:
+            connection.close()
+            finding = report.add(
+                FsckFinding(
+                    "corpus",
+                    "shard_unreadable",
+                    str(shard_path),
+                    f"shard schema is broken: {error}",
+                )
+            )
+            if repair:
+                moved = quarantine.take_file("corpus", shard_path)
+                _recreate_shard(shard_path)
+                finding.repaired = True
+                finding.action = f"quarantined to {moved}, recreated empty"
+            continue
+        doomed: list[tuple[str, FsckFinding]] = []
+        for table_id, stored_hash, url, payload in rows:
+            counts["tables"] += 1
+            finding: FsckFinding | None = None
+            try:
+                table = corpus_store._decode(table_id, url, payload)
+            except (ValueError, KeyError, TypeError) as error:
+                finding = FsckFinding(
+                    "corpus",
+                    "payload_undecodable",
+                    str(shard_path),
+                    f"table {table_id!r}: payload does not decode "
+                    f"({type(error).__name__}: {error})",
+                )
+            else:
+                actual = corpus_store.content_hash(table)
+                if actual != stored_hash:
+                    finding = FsckFinding(
+                        "corpus",
+                        "content_hash_mismatch",
+                        str(shard_path),
+                        f"table {table_id!r}: stored hash "
+                        f"{stored_hash[:12]} != content {actual[:12]}",
+                    )
+                elif table_id in seen_tables:
+                    finding = FsckFinding(
+                        "corpus",
+                        "duplicate_table",
+                        str(shard_path),
+                        f"table {table_id!r} also stored in shard "
+                        f"{seen_tables[table_id]}",
+                    )
+                elif shard_of(table_id, n_shards) != shard:
+                    finding = FsckFinding(
+                        "corpus",
+                        "misplaced_table",
+                        str(shard_path),
+                        f"table {table_id!r} belongs in shard "
+                        f"{shard_of(table_id, n_shards)}, found in {shard}",
+                    )
+            if finding is None:
+                seen_tables[table_id] = shard
+                continue
+            report.add(finding)
+            if repair:
+                doomed.append((table_id, finding))
+        if repair and doomed:
+            by_id = {row[0]: row for row in rows}
+            destination = None
+            for table_id, _ in doomed:
+                _, stored_hash, url, payload = by_id[table_id]
+                destination = quarantine.write_record(
+                    "corpus",
+                    f"shard-{shard:03d}.jsonl",
+                    {
+                        "table_id": table_id,
+                        "content_hash": stored_hash,
+                        "url": url,
+                        "payload": payload,
+                    },
+                )
+            with connection:
+                connection.executemany(
+                    "DELETE FROM tables WHERE table_id = ?",
+                    [(table_id,) for table_id, _ in doomed],
+                )
+            for _, finding in doomed:
+                finding.repaired = True
+                finding.action = (
+                    f"row quarantined to {destination} and deleted "
+                    f"(re-ingest restores)"
+                )
+        connection.close()
+
+
+# -- artifacts ---------------------------------------------------------
+def _check_artifacts(
+    directory: Path, report: FsckReport, repair: bool, quarantine: _Quarantine
+) -> None:
+    counts = {"objects": 0, "meta": 0, "tmp": 0}
+    report.checked["artifacts"] = counts
+    if not directory.exists():
+        return
+    manifest_path = directory / artifact_store.MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            document = json.loads(manifest_path.read_text(encoding="utf-8"))
+            if not isinstance(document, dict) or "version" not in document:
+                raise ValueError("manifest is not a version object")
+        except (OSError, ValueError) as error:
+            finding = report.add(
+                FsckFinding(
+                    "artifacts",
+                    "manifest_unreadable",
+                    str(manifest_path),
+                    f"cannot read the artifact manifest: {error}",
+                )
+            )
+            if repair:
+                quarantine.take_file("artifacts", manifest_path)
+                manifest_path.write_text(
+                    json.dumps({"version": artifact_store.STORE_VERSION}),
+                    encoding="utf-8",
+                )
+                finding.repaired = True
+                finding.action = "quarantined, rewrote version manifest"
+    objects = directory / "objects"
+    for path in sorted(objects.glob("*/*.pkl")):
+        counts["objects"] += 1
+        digest = path.stem
+        finding: FsckFinding | None = None
+        if path.parent.name != digest[:2]:
+            finding = FsckFinding(
+                "artifacts",
+                "object_misplaced",
+                str(path),
+                f"object {digest} filed under prefix {path.parent.name!r}, "
+                f"expected {digest[:2]!r}",
+            )
+        else:
+            try:
+                pickle.loads(path.read_bytes())
+            except Exception as error:  # noqa: BLE001 - any unpickling error
+                finding = FsckFinding(
+                    "artifacts",
+                    "object_undecodable",
+                    str(path),
+                    f"object does not unpickle "
+                    f"({type(error).__name__}: {error})",
+                )
+        if finding is None:
+            continue
+        report.add(finding)
+        if repair:
+            moved = quarantine.take_file("artifacts", path)
+            finding.repaired = True
+            finding.action = (
+                f"quarantined to {moved} (content-addressed cache entry; "
+                f"the next run recomputes it)"
+            )
+    # Any *.tmp visible to an offline fsck is an interrupted writer.
+    for pattern in ("objects/*/*.tmp", "meta/*.tmp"):
+        for path in sorted(directory.glob(pattern)):
+            counts["tmp"] += 1
+            finding = report.add(
+                FsckFinding(
+                    "artifacts",
+                    "orphan_tmp",
+                    str(path),
+                    "temp file from an interrupted writer",
+                    severity="warn",
+                )
+            )
+            if repair:
+                moved = quarantine.take_file("artifacts", path)
+                finding.repaired = True
+                finding.action = f"quarantined to {moved}"
+    for path in sorted((directory / "meta").glob("*.json")):
+        counts["meta"] += 1
+        try:
+            json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            finding = report.add(
+                FsckFinding(
+                    "artifacts",
+                    "meta_unreadable",
+                    str(path),
+                    f"metadata does not parse ({error})",
+                )
+            )
+            if repair:
+                moved = quarantine.take_file("artifacts", path)
+                finding.repaired = True
+                finding.action = (
+                    f"quarantined to {moved} (derived state; the next "
+                    f"run rebuilds it)"
+                )
+
+
+# -- queue spool -------------------------------------------------------
+def _check_queue(
+    directory: Path, report: FsckReport, repair: bool, quarantine: _Quarantine
+) -> None:
+    counts = {"tasks": 0}
+    report.checked["queue"] = counts
+    database = directory / "queue.sqlite"
+    if not database.exists():
+        return
+    verdict = _quick_check(database)
+    if verdict is not None:
+        finding = report.add(
+            FsckFinding(
+                "queue",
+                "database_unreadable",
+                str(database),
+                f"SQLite integrity check failed: {verdict}",
+            )
+        )
+        if repair:
+            moved = quarantine.take_file("queue", database)
+            for suffix in ("-wal", "-shm"):
+                sidecar = database.with_name(database.name + suffix)
+                if sidecar.exists():
+                    quarantine.take_file("queue", sidecar)
+            finding.repaired = True
+            finding.action = (
+                f"quarantined to {moved} (transient coordination state; "
+                f"the next queue run respools)"
+            )
+        return
+    connection = sqlite3.connect(database)
+    try:
+        try:
+            rows = connection.execute(
+                "SELECT id, status, payload_path, result_path, "
+                "lease_expires FROM tasks ORDER BY id"
+            ).fetchall()
+        except sqlite3.Error as error:
+            finding = report.add(
+                FsckFinding(
+                    "queue",
+                    "database_unreadable",
+                    str(database),
+                    f"spool schema is broken: {error}",
+                )
+            )
+            if repair:
+                connection.close()
+                moved = quarantine.take_file("queue", database)
+                finding.repaired = True
+                finding.action = f"quarantined to {moved}"
+            return
+        now = time.time()
+        for task_id, status, payload_path, result_path, lease in rows:
+            counts["tasks"] += 1
+            if status in ("pending", "running") and not Path(
+                payload_path
+            ).exists():
+                finding = report.add(
+                    FsckFinding(
+                        "queue",
+                        "payload_missing",
+                        payload_path,
+                        f"task {task_id} is {status!r} but its payload "
+                        f"pickle is gone",
+                    )
+                )
+                if repair:
+                    with connection:
+                        connection.execute(
+                            "UPDATE tasks SET status = 'failed', "
+                            "error = ?, lease_expires = NULL WHERE id = ?",
+                            ("payload missing (marked failed by fsck)",
+                             task_id),
+                        )
+                    finding.repaired = True
+                    finding.action = "marked failed (driver surfaces it)"
+            elif status == "done" and (
+                result_path is None or not Path(result_path).exists()
+            ):
+                finding = report.add(
+                    FsckFinding(
+                        "queue",
+                        "result_missing",
+                        result_path or str(database),
+                        f"task {task_id} is done but its result pickle "
+                        f"is gone",
+                    )
+                )
+                if repair:
+                    with connection:
+                        connection.execute(
+                            "UPDATE tasks SET status = 'pending', "
+                            "owner = NULL, lease_expires = NULL, "
+                            "result_path = NULL WHERE id = ?",
+                            (task_id,),
+                        )
+                    finding.repaired = True
+                    finding.action = "reset to pending (a worker re-runs it)"
+            elif (
+                status == "running"
+                and lease is not None
+                and lease < now - STALE_LEASE_GRACE_SECONDS
+            ):
+                report.add(
+                    FsckFinding(
+                        "queue",
+                        "stale_running",
+                        str(database),
+                        f"task {task_id} holds a lease that expired "
+                        f"{now - lease:.1f}s ago (the queue's own expiry "
+                        f"sweep will re-queue it)",
+                        severity="warn",
+                    )
+                )
+    finally:
+        connection.close()
+
+
+# -- service journal ---------------------------------------------------
+def _check_service(
+    artifacts_dir: Path,
+    report: FsckReport,
+    repair: bool,
+    quarantine: _Quarantine,
+) -> None:
+    journal = artifacts_dir / "service" / "pending_runs.json"
+    counts = {"pending_runs": 0}
+    report.checked["service"] = counts
+    if not journal.exists():
+        return
+    try:
+        document = json.loads(journal.read_text(encoding="utf-8"))
+        runs = document["runs"]
+        if not isinstance(runs, list):
+            raise ValueError("journal 'runs' is not a list")
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        finding = report.add(
+            FsckFinding(
+                "service",
+                "journal_unreadable",
+                str(journal),
+                f"pending-run journal does not parse: {error}",
+            )
+        )
+        if repair:
+            moved = quarantine.take_file("service", journal)
+            finding.repaired = True
+            finding.action = (
+                f"quarantined to {moved} (the service restarts with "
+                f"nothing to resume)"
+            )
+        return
+    counts["pending_runs"] = len(runs)
+
+
+def run_fsck(
+    store: str | Path,
+    *,
+    repair: bool = False,
+    quarantine_dir: str | Path | None = None,
+) -> FsckReport:
+    """Verify (and with ``repair=True`` fix) one store directory.
+
+    ``store`` is a corpus-store directory; its conventional satellites
+    (``artifacts/``, ``queue/``) are checked when present.  Pointing it
+    at a bare artifact store or queue spool also works — each component
+    check activates on its own layout marker.
+
+    Raises :class:`FileNotFoundError` when ``store`` is not a directory
+    (the CLI maps that to exit code 2).
+    """
+    directory = Path(store)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"no store directory at {directory}")
+    report = FsckReport(store=str(directory), repair=repair)
+    quarantine = _Quarantine(
+        Path(quarantine_dir)
+        if quarantine_dir is not None
+        else directory / "quarantine"
+    )
+    _check_corpus(directory, report, repair, quarantine)
+    # Conventional layout: <store>/artifacts and <store>/queue; a bare
+    # artifact store / spool directory is also accepted directly.
+    artifacts_dir = directory / "artifacts"
+    if not artifacts_dir.exists() and (
+        directory / artifact_store.MANIFEST_NAME
+    ).exists():
+        artifacts_dir = directory
+    _check_artifacts(artifacts_dir, report, repair, quarantine)
+    queue_dir = directory / "queue"
+    if not queue_dir.exists() and (directory / "queue.sqlite").exists():
+        queue_dir = directory
+    _check_queue(queue_dir, report, repair, quarantine)
+    _check_service(artifacts_dir, report, repair, quarantine)
+    return report

@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from repro import faults
 from repro.parallel.executor import (
     Executor,
     ExecutorObserver,
@@ -390,6 +391,10 @@ class WorkQueue:
                 "attempts = attempts + 1, lease_expires = ? WHERE id = ?",
                 (worker_id, now + lease_seconds, task_id),
             )
+        # A crash here is the worst worker death: the claim transaction
+        # committed, so the task sits 'running' under a lease nobody will
+        # serve until lease expiry re-queues it.
+        faults.check("queue.claim")
         return ClaimedTask(
             task_id, batch_id, task_name, chunk_index, attempts + 1, payload
         )
@@ -397,6 +402,10 @@ class WorkQueue:
     def extend_lease(
         self, task_id: int, worker_id: str, lease_seconds: float
     ) -> bool:
+        # A fault here models a stalled keeper thread: the lease lapses
+        # under a live worker and the task gets re-queued elsewhere (the
+        # owner guard in complete() keeps the outcome single-writer).
+        faults.check("queue.lease_renew")
         cursor = self._conn.execute(
             "UPDATE tasks SET lease_expires = ? "
             "WHERE id = ? AND owner = ? AND status = 'running'",
@@ -408,6 +417,10 @@ class WorkQueue:
         self, task_id: int, worker_id: str, result_path: str | os.PathLike
     ) -> bool:
         """Mark a claimed task done; False if the lease was lost meanwhile."""
+        # A crash here leaves the result pickle on disk but the task row
+        # 'running' — recovery must re-run the task, and the rewritten
+        # result must be byte-identical.
+        faults.check("queue.complete")
         with self._immediate():
             cursor = self._conn.execute(
                 "UPDATE tasks SET status = 'done', result_path = ?, "

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
+from repro import faults
 from repro.pipeline.delta import (
     CorpusDelta,
     InvalidationFrontier,
@@ -189,6 +190,10 @@ class ArtifactStore:
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 handle.write(blob)
+            # A crash here strands an orphan *.tmp (fsck/sweep territory);
+            # a raise is cleaned up by the except below.  Either way the
+            # final path never holds a torn object.
+            faults.check("artifacts.put")
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -258,6 +263,7 @@ class ArtifactStore:
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, sort_keys=True)
+            faults.check("artifacts.meta_save")
             os.replace(temp_name, path)
         except BaseException:
             try:

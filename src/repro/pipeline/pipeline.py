@@ -91,6 +91,13 @@ class PipelineConfig:
     #: refused unless the committed ``BENCH_retrieval.json`` proves the
     #: measured recall floor (see ``repro.retrieval.gate``).
     candidate_mode: str = "exact"
+    #: Fault-injection spec armed for the duration of a run (see
+    #: :mod:`repro.faults` for the grammar, e.g.
+    #: ``"artifacts.put:raise@2"``).  ``None`` (the default) injects
+    #: nothing.  Like ``executor``/``workers``/``queue_dir`` this is
+    #: excluded from the semantic config hash: faults change whether a
+    #: run *survives*, never what a surviving run computes.
+    faults: str | None = None
 
     def __post_init__(self) -> None:
         # Defensive copies: callers may hand in lists, and shared mutable
@@ -137,6 +144,14 @@ class PipelineConfig:
             from repro.retrieval.gate import ensure_fast_mode_allowed
 
             ensure_fast_mode_allowed()
+        if self.faults is not None:
+            self.faults = str(self.faults).strip() or None
+        if self.faults is not None:
+            from repro import faults as _faults
+
+            # Validate eagerly: a typo'd injection point or action must
+            # fail at construction, not silently never fire mid-run.
+            _faults.parse_spec(self.faults)
 
 
 @dataclass

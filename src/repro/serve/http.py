@@ -45,14 +45,22 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, unquote, urlparse
 
+from repro import faults
 from repro.obs import tail_events
 from repro.serve.service import KBService, ServiceError, sanitize_trace_id
 
 __all__ = ["KBServer", "KBRequestHandler", "make_server"]
 
-#: Request bodies above this size are rejected before reading (64 MiB —
-#: generous for table batches, a guard against unbounded allocation).
+#: Default cap on request bodies (64 MiB — generous for table batches, a
+#: guard against unbounded allocation).  Per-server override:
+#: ``make_server(..., max_body_bytes=...)``.
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Default per-request socket read timeout (seconds): a client that
+#: stops sending mid-request gets a 408 instead of pinning a handler
+#: thread forever.  Per-server override: ``make_server(...,
+#: request_timeout=...)``.
+REQUEST_TIMEOUT_SECONDS = 30.0
 
 #: Hard ceiling on one ``/runs/<id>/events`` stream (an abandoned run
 #: must not pin a handler thread forever).
@@ -76,12 +84,25 @@ class KBServer(ThreadingHTTPServer):
         *,
         quiet: bool = True,
         access_log: bool = False,
+        request_timeout: float | None = REQUEST_TIMEOUT_SECONDS,
+        max_body_bytes: int = MAX_BODY_BYTES,
     ):
         self.service = service
         self.quiet = quiet
         #: One structured line per served request on stderr (``repro
         #: serve --access-log``); off by default so tests stay silent.
         self.access_log = access_log
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be positive or None, got "
+                f"{request_timeout}"
+            )
+        if max_body_bytes < 1:
+            raise ValueError(
+                f"max_body_bytes must be >= 1, got {max_body_bytes}"
+            )
+        self.request_timeout = request_timeout
+        self.max_body_bytes = max_body_bytes
         super().__init__(address, KBRequestHandler)
 
 
@@ -113,25 +134,44 @@ class KBRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
 
     # -- plumbing -------------------------------------------------------
+    def setup(self) -> None:
+        # StreamRequestHandler honors ``self.timeout`` as the socket
+        # timeout — set per-server so a hung client's read raises
+        # TimeoutError in the handler instead of blocking forever.
+        self.timeout = self.server.request_timeout
+        super().setup()
+
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.server.quiet:  # pragma: no cover - debug aid
             super().log_message(format, *args)
 
     def _send_payload(
-        self, status: int, payload: bytes, content_type: str
+        self,
+        status: int,
+        payload: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
         self.send_header("X-Repro-Trace", self._trace_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
-    def _send_json(self, status: int, document: object) -> None:
+    def _send_json(
+        self,
+        status: int,
+        document: object,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._send_payload(
             status,
             json.dumps(document, sort_keys=True).encode("utf-8"),
             "application/json; charset=utf-8",
+            headers,
         )
 
     def _read_json_body(self) -> object:
@@ -142,10 +182,11 @@ class KBRequestHandler(BaseHTTPRequestHandler):
             raise ServiceError(
                 400, f"invalid Content-Length {length_header!r}"
             ) from None
-        if length > MAX_BODY_BYTES:
+        limit = self.server.max_body_bytes
+        if length > limit:
             raise ServiceError(
                 413, f"request body of {length} bytes exceeds the "
-                f"{MAX_BODY_BYTES}-byte limit"
+                f"{limit}-byte limit"
             )
         if length == 0:
             raise ServiceError(400, "request needs a JSON body")
@@ -168,6 +209,9 @@ class KBRequestHandler(BaseHTTPRequestHandler):
         self._trace_id = sanitize_trace_id(self.headers.get("X-Repro-Trace"))
         status = 500
         try:
+            # Chaos hook for the transport layer: a 'raise' here lands in
+            # the generic 500 handler, latency models a slow backend.
+            faults.check("serve.request")
             segments = [
                 unquote(segment)
                 for segment in parsed.path.split("/")
@@ -196,13 +240,34 @@ class KBRequestHandler(BaseHTTPRequestHandler):
                 self._send_payload(status, payload, content_type)
         except ServiceError as error:
             status = error.status
+            headers = None
+            if error.retry_after is not None:
+                headers = {"Retry-After": f"{error.retry_after:g}"}
             self._send_json(
-                error.status, {"error": error.message, "status": error.status}
+                error.status,
+                {"error": error.message, "status": error.status},
+                headers,
             )
         except (BrokenPipeError, ConnectionResetError):
             # pragma: no cover - client went away
             status = 499
             self.close_connection = True
+        except TimeoutError:
+            # The socket read timed out mid-request (slow/hung client).
+            # Best-effort 408, then drop the connection — the client may
+            # already be gone.
+            status = 408
+            self.close_connection = True
+            try:
+                self._send_json(
+                    408,
+                    {
+                        "error": "timed out reading the request body",
+                        "status": 408,
+                    },
+                )
+            except OSError:  # pragma: no cover - client gone
+                pass
         except Exception as error:  # noqa: BLE001 - last-resort surface
             status = 500
             self._send_json(
@@ -400,11 +465,22 @@ class KBRequestHandler(BaseHTTPRequestHandler):
 def make_server(
     service: KBService, host: str = "127.0.0.1", port: int = 0, *,
     quiet: bool = True, access_log: bool = False,
+    request_timeout: float | None = REQUEST_TIMEOUT_SECONDS,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> KBServer:
     """Bind a threaded server to a started service.
 
     ``port=0`` binds an ephemeral port (tests, benchmarks); read the
     actual one from ``server.server_address[1]``.  ``access_log`` prints
-    one structured JSON line per request to stderr.
+    one structured JSON line per request to stderr.  ``request_timeout``
+    (seconds, ``None`` disables) bounds each socket read; requests whose
+    declared body exceeds ``max_body_bytes`` are answered 413 unread.
     """
-    return KBServer((host, port), service, quiet=quiet, access_log=access_log)
+    return KBServer(
+        (host, port),
+        service,
+        quiet=quiet,
+        access_log=access_log,
+        request_timeout=request_timeout,
+        max_body_bytes=max_body_bytes,
+    )

@@ -50,6 +50,9 @@ class RunRecord:
     snapshot_version: int | None = None
     #: Digest of the published canonical JSON (byte-equality witness).
     canonical_sha256: str | None = None
+    #: True when this run was re-queued from the pending-run journal
+    #: after a service restart (crash recovery, not a client submit).
+    recovered: bool = False
 
     def document(self) -> dict:
         """The JSON document ``GET /runs/<id>`` serves."""
@@ -74,6 +77,8 @@ class RunRecord:
             document["snapshot_version"] = self.snapshot_version
         if self.canonical_sha256 is not None:
             document["canonical_sha256"] = self.canonical_sha256
+        if self.recovered:
+            document["recovered"] = True
         if self.started_at is not None and self.finished_at is not None:
             document["seconds"] = round(self.finished_at - self.started_at, 4)
         return document
@@ -105,6 +110,21 @@ class RunRegistry:
                 events_path=events_path,
             )
             self._records[record.run_id] = record
+            return record
+
+    def restore(self, record: RunRecord) -> RunRecord:
+        """Re-insert a journaled record after a restart.
+
+        Bumps the id counter past the restored id so freshly submitted
+        runs can never collide with a recovered one.
+        """
+        with self._lock:
+            self._records[record.run_id] = record
+            try:
+                number = int(record.run_id.rsplit("-", 1)[-1])
+            except ValueError:
+                number = 0
+            self._counter = max(self._counter, number)
             return record
 
     def get(self, run_id: str) -> RunRecord | None:

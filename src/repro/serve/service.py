@@ -26,6 +26,8 @@ transport should answer with.
 
 from __future__ import annotations
 
+import json
+import os
 import queue
 import re
 import tempfile
@@ -36,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro import faults
 from repro.api import RunSession
 from repro.corpus.indexing import CorpusLabelIndex, INDEX_FILE
 from repro.corpus.readers import table_from_record
@@ -68,12 +71,19 @@ def sanitize_trace_id(candidate: str | None) -> str:
 
 
 class ServiceError(Exception):
-    """A client-visible failure with an HTTP status code."""
+    """A client-visible failure with an HTTP status code.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``retry_after`` (seconds) rides along on backpressure rejections so
+    the transport can answer with a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self, status: int, message: str, *, retry_after: float | None = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -113,6 +123,13 @@ class KBService:
     serve`` uses.
     """
 
+    #: Default bound on queued-but-unstarted writer jobs; past it the
+    #: service answers 503 + ``Retry-After`` instead of queueing without
+    #: limit (a stuck writer must not grow memory unboundedly).
+    DEFAULT_MAX_QUEUE_DEPTH = 256
+    #: The ``Retry-After`` hint (seconds) on backpressure rejections.
+    RETRY_AFTER_SECONDS = 1.0
+
     def __init__(
         self,
         session: RunSession,
@@ -120,6 +137,7 @@ class KBService:
         store: CorpusStore | None = None,
         default_incremental: bool | None = None,
         request_history: int = 4096,
+        max_queue_depth: int | None = None,
     ) -> None:
         self.session = session
         self.store = store
@@ -147,7 +165,19 @@ class KBService:
             self._traces_dir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
         self._traces_dir.mkdir(parents=True, exist_ok=True)
         self._snapshot = Snapshot(version=0, published_at=self.started_at)
+        # The queue object itself stays unbounded so close()'s stop
+        # sentinel and journal recovery can never block; the *client*
+        # bound is enforced explicitly in the submit paths (see
+        # ``_admit``), which also lets rejections carry a 503.
         self._queue: "queue.Queue[object]" = queue.Queue()
+        if max_queue_depth is None:
+            max_queue_depth = self.DEFAULT_MAX_QUEUE_DEPTH
+        if max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {max_queue_depth}"
+            )
+        self.max_queue_depth = max_queue_depth
+        self._rejected_jobs = 0
         self._writer: threading.Thread | None = None
         self._closed = threading.Event()
         #: Rolling request telemetry fed by the transport layer.
@@ -156,6 +186,21 @@ class KBService:
         self._status_counts: dict[int, int] = {}
         self._latencies: list[float] = []
         self._request_history = request_history
+        #: Durable pending-run journal: runs are added at submit time and
+        #: removed at their terminal status, so a killed service can
+        #: re-queue exactly the runs it still owed on restart.  Only
+        #: meaningful with a persistent artifact store — a temp-backed
+        #: service has nothing durable to resume against.
+        self._journal_lock = threading.Lock()
+        if session.artifact_store is not None:
+            self._journal_path = (
+                session.artifact_store.directory
+                / "service"
+                / "pending_runs.json"
+            )
+        else:
+            self._journal_path = None
+        self._recover_pending_runs()
 
     @classmethod
     def from_store(
@@ -239,6 +284,7 @@ class KBService:
                     400, f"body.tables[{position}]: {error}"
                 ) from None
         self._require_open()
+        self._admit()
         job = _IngestJob(tables=tables, on_conflict=on_conflict)
         self._queue.put(job)
         job.done.wait()
@@ -275,6 +321,7 @@ class KBService:
                 "serve a corpus store or submit with incremental=false",
             )
         self._require_open()
+        self._admit()
         record = self.runs.create(
             class_name, bool(incremental), trace_id=sanitize_trace_id(trace_id)
         )
@@ -282,6 +329,9 @@ class KBService:
             record,
             events_path=str(self._traces_dir / f"{record.run_id}.ndjson"),
         )
+        # Journal before enqueueing: once the client holds a run id, a
+        # crash must not lose the run (the restart re-queues it).
+        self._journal_add(record)
         self._queue.put(_RunJob(record))
         return record.document()
 
@@ -465,6 +515,12 @@ class KBService:
             "uptime_seconds": uptime,
             "uptime_s": uptime,
             "queue_depth": self._queue.qsize(),
+            "writer_queue": {
+                "depth": self._queue.qsize(),
+                "max_depth": self.max_queue_depth,
+                "rejected_jobs": self._rejected_jobs,
+            },
+            "faults": faults.fault_stats(),
             "snapshot_version": self._snapshot.version,
             "snapshot": self._snapshot.describe(),
             "runs": self.runs.counts(),
@@ -519,6 +575,10 @@ class KBService:
         while True:
             job = self._queue.get()
             try:
+                # The single writer dying with work queued is exactly
+                # what the pending-run journal recovers from; a 'raise'
+                # fault here kills only this thread (readers stay up).
+                faults.check("serve.writer")
                 if isinstance(job, _StopJob):
                     return
                 if isinstance(job, _IngestJob):
@@ -620,6 +680,10 @@ class KBService:
                 snapshot_version=self._snapshot.version,
                 canonical_sha256=view.canonical_sha256,
             )
+            # Journal removal comes *after* the terminal status: a crash
+            # between the two re-runs a finished run on restart, which
+            # republishes byte-identical output — never loses one.
+            self._journal_remove(record.run_id)
         except Exception as error:  # noqa: BLE001 - surfaced via the record
             detail = "".join(
                 traceback.format_exception_only(type(error), error)
@@ -632,8 +696,130 @@ class KBService:
                 finished_at=time.time(),
                 error=detail,
             )
+            self._journal_remove(record.run_id)
+
+    # -- pending-run journal (crash-safe restart) ------------------------
+    def _journal_entries(self) -> list[dict]:
+        """Current journal content; caller holds ``_journal_lock``."""
+        path = self._journal_path
+        if path is None or not path.exists():
+            return []
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            # A torn journal cannot happen through the atomic writer
+            # below; if it is unreadable anyway (disk fault, manual
+            # edit), `repro fsck --repair` quarantines it.  Starting
+            # with nothing to resume beats refusing to start.
+            return []
+        runs = document.get("runs") if isinstance(document, dict) else None
+        return [entry for entry in runs or [] if isinstance(entry, dict)]
+
+    def _journal_write(self, entries: list[dict]) -> None:
+        """Atomically rewrite the journal; caller holds ``_journal_lock``."""
+        path = self._journal_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                json.dump(
+                    {"version": 1, "runs": entries}, handle, sort_keys=True
+                )
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _journal_add(self, record: RunRecord) -> None:
+        if self._journal_path is None:
+            return
+        with self._journal_lock:
+            entries = [
+                entry
+                for entry in self._journal_entries()
+                if entry.get("run_id") != record.run_id
+            ]
+            entries.append(
+                {
+                    "run_id": record.run_id,
+                    "class_name": record.class_name,
+                    "incremental": record.incremental,
+                    "trace_id": record.trace_id,
+                    "submitted_at": record.submitted_at,
+                }
+            )
+            self._journal_write(entries)
+
+    def _journal_remove(self, run_id: str) -> None:
+        if self._journal_path is None:
+            return
+        with self._journal_lock:
+            entries = self._journal_entries()
+            remaining = [
+                entry for entry in entries if entry.get("run_id") != run_id
+            ]
+            if len(remaining) != len(entries):
+                self._journal_write(remaining)
+
+    def _recover_pending_runs(self) -> None:
+        """Re-queue runs the previous process died owing (constructor).
+
+        Recovered jobs enter the queue directly — the admission bound
+        applies to new client traffic, never to owed work.  Re-running a
+        run whose crash fell between publish and journal removal is
+        safe: the incremental engine serves the same artifacts and the
+        published canonical output is byte-identical.
+        """
+        if self._journal_path is None:
+            return
+        with self._journal_lock:
+            entries = self._journal_entries()
+        for entry in entries:
+            run_id = entry.get("run_id")
+            class_name = entry.get("class_name")
+            if not isinstance(run_id, str) or not isinstance(class_name, str):
+                continue
+            try:
+                submitted_at = float(entry.get("submitted_at"))
+            except (TypeError, ValueError):
+                submitted_at = time.time()
+            trace_id = entry.get("trace_id")
+            record = RunRecord(
+                run_id=run_id,
+                class_name=class_name,
+                incremental=bool(entry.get("incremental", True)),
+                trace_id=trace_id if isinstance(trace_id, str) else None,
+                events_path=str(self._traces_dir / f"{run_id}.ndjson"),
+                submitted_at=submitted_at,
+                recovered=True,
+            )
+            # Drop any partial event log from the killed attempt — the
+            # rerun's tracer starts its sequence numbers from scratch.
+            try:
+                os.unlink(record.events_path)
+            except OSError:
+                pass
+            self.runs.restore(record)
+            self._queue.put(_RunJob(record))
 
     # -- internals ------------------------------------------------------
+    def _admit(self) -> None:
+        """Enforce the writer-queue bound on client submissions."""
+        if self._queue.qsize() >= self.max_queue_depth:
+            with self._telemetry_lock:
+                self._rejected_jobs += 1
+            raise ServiceError(
+                503,
+                f"service writer queue is full "
+                f"({self.max_queue_depth} jobs pending); retry shortly",
+                retry_after=self.RETRY_AFTER_SECONDS,
+            )
+
     def _require_open(self) -> None:
         if self._closed.is_set():
             raise ServiceError(503, "service is shutting down")

@@ -32,6 +32,25 @@ def explode_on_seven(chunk: list[int]) -> list[int]:
     return chunk
 
 
+def timed_square(chunk: list[int]) -> tuple[dict, list[int]]:
+    """Spool-protocol shape (``meta, results``) for direct enqueueing.
+
+    ``run_worker`` unpickles ``(callable, chunk)`` and expects the
+    callable to return a ``(meta, results)`` pair the way the executor's
+    timing wrapper does; tests that drive the spool without a
+    ``QueueExecutor`` (the chaos suite) enqueue this instead.  The meta
+    is empty on purpose: the chaos suite compares whole result pickles
+    byte for byte across a crash-and-retry, so nothing process-specific
+    may leak into them.
+    """
+    return {}, [value * value for value in chunk]
+
+
+def timed_holding(chunk: list[tuple[int, str]]) -> tuple[dict, list[int]]:
+    """``holding_batch`` in the spool-protocol ``(meta, results)`` shape."""
+    return {}, holding_batch(chunk)
+
+
 def holding_batch(chunk: list[tuple[int, str]]) -> list[int]:
     """Announce, wait out the ``hold`` marker, then square the values."""
     control_dir = Path(chunk[0][1])
